@@ -1,0 +1,41 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures.  Flow
+results are cached per (design, algorithm, scale) so the Table 1, Fig. 5,
+and Fig. 6 benches share runs instead of repeating them.
+
+Set ``REPRO_BENCH_SCALE`` (default 0.25) to grow the designs toward paper
+scale; 1.0 runs the full presets (several minutes per design).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import generate_design, preset
+from repro.flow import FlowConfig, FlowReport, run_flow
+from repro.library import default_library
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+DESIGNS = ["D1", "D2", "D3", "D4", "D5"]
+
+_cache: dict[tuple, FlowReport] = {}
+
+
+@pytest.fixture(scope="session")
+def lib():
+    return default_library()
+
+
+def run_design(
+    lib, name: str, algorithm: str = "ilp", config: FlowConfig | None = None, tag: str = ""
+) -> FlowReport:
+    """Run (or fetch the cached) flow for one design preset."""
+    key = (name, algorithm, BENCH_SCALE, tag)
+    if key not in _cache:
+        bundle = generate_design(preset(name, scale=BENCH_SCALE), lib)
+        cfg = config or FlowConfig(algorithm=algorithm)
+        _cache[key] = run_flow(bundle.design, bundle.timer, bundle.scan_model, cfg)
+    return _cache[key]

@@ -1,0 +1,50 @@
+"""Fig. 5 — MBR bit widths before & after MBR composition.
+
+Regenerates the per-design register width histograms.  The paper's
+observations pinned here: composition shifts register mass toward wider
+MBRs (notably 8-bit), and D4 — already dominated by 8-bit MBRs — sees the
+least relative clock-capacitance benefit.
+"""
+
+import pytest
+
+from benchmarks.conftest import DESIGNS, run_design
+from repro.reporting import format_fig5_histograms
+
+
+def _mean_width(hist):
+    total = sum(hist.values())
+    return sum(w * c for w, c in hist.items()) / total if total else 0.0
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_fig5_histogram(benchmark, lib, design):
+    report = benchmark.pedantic(
+        lambda: run_design(lib, design), rounds=1, iterations=1, warmup_rounds=0
+    )
+    before = report.base.width_histogram
+    after = report.final.width_histogram
+
+    # Mass shifts toward wider registers.
+    assert _mean_width(after) > _mean_width(before)
+    # More 8-bit MBRs are used ("up to a point where they don't create
+    # routing utilization problems").
+    assert after.get(8, 0) >= before.get(8, 0)
+    # Narrow registers thin out.
+    assert after.get(1, 0) <= before.get(1, 0)
+
+
+def test_fig5_render_and_d4_observation(benchmark, lib, capsys):
+    reports = benchmark.pedantic(
+        lambda: [run_design(lib, d) for d in DESIGNS],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    with capsys.disabled():
+        print("\n\n=== Fig. 5: MBR bit widths before & after composition ===")
+        print(format_fig5_histograms(reports))
+
+    # D4's 8-bit dominance means composition helps its clock tree least.
+    by_name = {r.design_name: r for r in reports}
+    d4_cap_saving = by_name["D4"].savings["clk_cap"]
+    other_savings = [r.savings["clk_cap"] for r in reports if r.design_name != "D4"]
+    assert d4_cap_saving < max(other_savings)

@@ -1,0 +1,58 @@
+"""Ablation — incomplete MBRs (Section 3).
+
+"Allowing incomplete MBR cells gives additional freedom to the MBR
+composition to minimize the total number of registers ... without
+negatively affecting the area or leakage power."  This bench compares
+composition with and without incomplete MBRs under the paper's 5% area
+overhead rule.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench import generate_design, preset
+from repro.core.candidates import CandidateConfig
+from repro.core.composer import ComposerConfig, compose_design
+
+
+@pytest.fixture(scope="module")
+def pair(lib):
+    out = {}
+    for allow in (True, False):
+        bundle = generate_design(preset("D5", scale=BENCH_SCALE), lib)
+        base_area = bundle.design.total_cell_area()
+        res = compose_design(
+            bundle.design,
+            bundle.timer,
+            bundle.scan_model,
+            ComposerConfig(candidates=CandidateConfig(allow_incomplete=allow)),
+        )
+        out[allow] = (res, base_area, bundle.design.total_cell_area())
+    return out
+
+
+@pytest.mark.parametrize("allow", [True, False])
+def test_incomplete_ablation_run(benchmark, lib, pair, allow):
+    res, _, _ = benchmark.pedantic(
+        lambda: pair[allow], rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert res.registers_after < res.registers_before
+
+
+def test_incomplete_mbrs_add_freedom_without_area_cost(benchmark, pair, capsys):
+    with_res, base_area_w, final_area_w = benchmark.pedantic(
+        lambda: pair[True], rounds=1, iterations=1, warmup_rounds=0
+    )
+    without_res, base_area_wo, final_area_wo = pair[False]
+    n_incomplete = sum(1 for g in with_res.composed if g.incomplete)
+    with capsys.disabled():
+        print("\n\n=== Ablation: incomplete MBRs (Section 3) ===")
+        print(f"{'':>24} {'allowed':>9} {'disabled':>9}")
+        print(f"{'registers after':>24} {with_res.registers_after:>9} {without_res.registers_after:>9}")
+        print(f"{'incomplete MBRs used':>24} {n_incomplete:>9} {0:>9}")
+        print(f"{'area delta':>24} {final_area_w - base_area_w:>+9.1f} {final_area_wo - base_area_wo:>+9.1f}")
+
+    # Incomplete MBRs can only help the count.
+    assert with_res.registers_after <= without_res.registers_after
+    # And the 5% rule keeps area in check (it never grows overall).
+    assert final_area_w <= base_area_w * 1.005

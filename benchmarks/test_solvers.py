@@ -1,0 +1,81 @@
+"""Micro-benchmarks — the Section 3.1 ILP and Section 4.2 placement LP.
+
+Performance characterization of the solver substrates at the problem sizes
+the composition flow produces: exact set partitioning on 30-element
+subproblems, the pure-Python simplex on placement LPs, and the exact PWL
+placement fast path.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.mbr_placement import PinConnection, place_mbr_lp, place_mbr_pwl
+from repro.geometry import Rect
+from repro.ilp import SetPartitionProblem, solve_set_partition, solve_set_partition_scipy
+
+
+def _paper_scale_instance() -> SetPartitionProblem:
+    """A 30-register subproblem shaped like a dense bank: singletons,
+    overlapping pairs, quads, and one oct per aligned run."""
+    n = 30
+    subsets = [frozenset([e]) for e in range(n)]
+    weights = [1.0] * n
+    for a in range(n - 1):
+        subsets.append(frozenset([a, a + 1]))
+        weights.append(0.5)
+    for a, b in itertools.combinations(range(0, n, 3), 2):
+        if b - a <= 9:
+            subsets.append(frozenset([a, b]))
+            weights.append(2.0)
+    for start in range(0, n - 4, 2):
+        subsets.append(frozenset(range(start, start + 4)))
+        weights.append(0.25)
+    for start in range(0, n - 8, 6):
+        subsets.append(frozenset(range(start, start + 8)))
+        weights.append(0.125)
+    return SetPartitionProblem(n, tuple(subsets), tuple(weights))
+
+
+def test_setpart_exact_30_nodes(benchmark):
+    problem = _paper_scale_instance()
+    sol = benchmark(solve_set_partition, problem)
+    assert sol.feasible
+    ref = solve_set_partition_scipy(problem)
+    assert sol.objective == pytest.approx(ref.objective, abs=1e-9)
+
+
+def test_setpart_scipy_30_nodes(benchmark):
+    problem = _paper_scale_instance()
+    sol = benchmark(solve_set_partition_scipy, problem)
+    assert sol.feasible
+
+
+def _placement_instance(k: int = 16):
+    conns = []
+    for i in range(k):
+        x = 5.0 * (i % 7)
+        y = 3.0 * (i % 5)
+        conns.append(PinConnection(0.1 * i, 0.5, Rect(x, y, x + 8, y + 6)))
+    return Rect(0, 0, 60, 40), conns
+
+
+def test_placement_lp_simplex(benchmark):
+    region, conns = _placement_instance()
+    p = benchmark(place_mbr_lp, region, conns)
+    assert region.contains_point(p)
+
+
+def test_placement_pwl_fast_path(benchmark):
+    region, conns = _placement_instance()
+    p = benchmark(place_mbr_pwl, region, conns)
+    assert region.contains_point(p)
+
+
+def test_placement_lp_equals_pwl(benchmark):
+    from repro.core.mbr_placement import wirelength_at
+
+    region, conns = _placement_instance()
+    lp = benchmark.pedantic(lambda: place_mbr_lp(region, conns), rounds=1, iterations=1, warmup_rounds=0)
+    pwl = place_mbr_pwl(region, conns)
+    assert wirelength_at(lp, conns) == pytest.approx(wirelength_at(pwl, conns), abs=1e-6)

@@ -1,0 +1,70 @@
+"""Table 1 — industrial design characteristics before and after composition.
+
+Regenerates the paper's main result: per design D1-D5, the Base and Ours
+rows (area, cells, registers, composable registers, clock buffers, clock
+capacitance, TNS, failing endpoints, overflow edges, split wirelength,
+runtime) and the relative savings.  Absolute values differ from the paper
+(synthetic designs, simulator substrates); the assertions pin the *shape*:
+large register reductions, reduced clock cost, and no QoR degradation.
+"""
+
+import pytest
+
+from benchmarks.conftest import DESIGNS, run_design
+from repro.reporting import format_table1
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_table1_row(benchmark, lib, design):
+    report = benchmark.pedantic(
+        lambda: run_design(lib, design), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # Register count drops substantially (paper: 15-39% of total registers).
+    assert report.savings["total_regs"] > 0.10
+    # The reduction among *composable* registers is large (paper avg: 48%).
+    comp = report.composition
+    assert comp.register_reduction / max(comp.composable_registers, 1) > 0.25
+    # Clock tree gets lighter (paper: 3-6% capacitance, 0-5% buffers).
+    assert report.savings["clk_cap"] > 0.0
+    assert report.final.clk_bufs <= report.base.clk_bufs
+    # No QoR degradation: timing, congestion, wirelength, area.
+    assert abs(report.final.tns) <= abs(report.base.tns) * 1.10 + 0.1
+    assert report.final.failing_endpoints <= report.base.failing_endpoints * 1.10 + 2
+    assert report.final.overflow_edges <= report.base.overflow_edges * 1.15 + 3
+    assert report.final.wirelength_total <= report.base.wirelength_total * 1.03
+    assert report.final.area <= report.base.area * 1.005
+
+
+def test_table1_render(benchmark, lib, capsys):
+    """Print the full Table 1 after all rows have run."""
+    reports = benchmark.pedantic(
+        lambda: [run_design(lib, d) for d in DESIGNS],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    table = format_table1(reports)
+    with capsys.disabled():
+        print("\n\n=== Table 1: design characteristics before/after MBR composition ===")
+        print(table)
+
+    avg_total = sum(r.savings["total_regs"] for r in reports) / len(reports)
+    avg_comp = sum(
+        r.composition.register_reduction / max(r.composition.composable_registers, 1)
+        for r in reports
+    ) / len(reports)
+    avg_cap = sum(r.savings["clk_cap"] for r in reports) / len(reports)
+    with capsys.disabled():
+        print(
+            f"averages: total regs -{avg_total:.0%}, composable regs -{avg_comp:.0%}, "
+            f"clock cap -{avg_cap:.0%}  (paper: -29%, -48%, -6%)"
+        )
+    # Paper-level averages at reproduction scale.
+    assert avg_total > 0.15
+    assert avg_comp > 0.30
+    assert avg_cap > 0.02
+    # Wirelength is flat-to-better on average (paper: slightly reduced);
+    # individual synthetic designs may drift a couple of percent either way.
+    avg_wl = sum(
+        r.final.wirelength_total / r.base.wirelength_total - 1 for r in reports
+    ) / len(reports)
+    assert avg_wl < 0.01

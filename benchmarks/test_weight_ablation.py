@@ -1,0 +1,58 @@
+"""Ablation — the placement-aware weights of Section 3.2.
+
+"By weighting MBR candidates, we limit the increase in routing congestion
+and wire-length during MBR composition.  Without this, both routing
+congestion and wire-length can significantly increase."  This bench runs
+the composer with the paper's weights and with weight = 1/bits (no blocking
+penalty) and compares overflow edges and wirelength.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench import generate_design, preset
+from repro.core.candidates import CandidateConfig
+from repro.core.composer import ComposerConfig
+from repro.flow import FlowConfig, run_flow
+
+
+@pytest.fixture(scope="module")
+def pair(lib):
+    out = {}
+    for use_weights in (True, False):
+        bundle = generate_design(preset("D3", scale=BENCH_SCALE), lib)
+        cfg = FlowConfig(
+            composer=ComposerConfig(
+                candidates=CandidateConfig(use_placement_weights=use_weights)
+            )
+        )
+        out[use_weights] = run_flow(bundle.design, bundle.timer, bundle.scan_model, cfg)
+    return out
+
+
+@pytest.mark.parametrize("use_weights", [True, False])
+def test_weight_ablation_run(benchmark, lib, pair, use_weights):
+    rep = benchmark.pedantic(
+        lambda: pair[use_weights], rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert rep.final.total_regs < rep.base.total_regs
+
+
+def test_weights_control_congestion_and_wirelength(benchmark, pair, capsys):
+    weighted = benchmark.pedantic(lambda: pair[True], rounds=1, iterations=1, warmup_rounds=0)
+    unweighted = pair[False]
+    with capsys.disabled():
+        print("\n\n=== Ablation: placement-aware weights (Section 3.2) ===")
+        print(f"{'':>22} {'with weights':>14} {'without':>10}")
+        print(f"{'total registers':>22} {weighted.final.total_regs:>14} {unweighted.final.total_regs:>10}")
+        print(f"{'overflow edges':>22} {weighted.final.overflow_edges:>14} {unweighted.final.overflow_edges:>10}")
+        print(f"{'wirelength (um)':>22} {weighted.final.wirelength_total:>14.0f} {unweighted.final.wirelength_total:>10.0f}")
+
+    # Ignoring the layout merges more aggressively ...
+    assert unweighted.final.total_regs <= weighted.final.total_regs
+    # ... at the cost of congestion and/or wirelength.
+    worse_congestion = unweighted.final.overflow_edges > weighted.final.overflow_edges
+    worse_wirelength = (
+        unweighted.final.wirelength_total > weighted.final.wirelength_total * 1.002
+    )
+    assert worse_congestion or worse_wirelength

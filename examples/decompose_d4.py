@@ -1,0 +1,58 @@
+"""Future-work extension: decompose & recompose initial 8-bit MBRs.
+
+The paper observes that composition barely helps designs like D4 whose
+clock tree is dominated by pre-existing 8-bit MBRs (which are skipped as
+already-maximal), and proposes decomposing and recomposing them instead.
+This example runs both flavours on the D4-like benchmark and compares —
+including the clock/data/leakage power split the whole exercise is about.
+
+Run:  python examples/decompose_d4.py
+"""
+
+from repro.bench import generate_design, preset
+from repro.flow import FlowConfig, run_flow
+from repro.library import default_library
+from repro.metrics.power import estimate_power
+
+
+def run(library, decompose: bool):
+    bundle = generate_design(preset("D4", scale=0.2), library)
+    config = FlowConfig(decompose_widths=(8,) if decompose else ())
+    report = run_flow(bundle.design, bundle.timer, bundle.scan_model, config)
+    power = estimate_power(bundle.design, clock_period_ns=bundle.clock_period)
+    return report, power
+
+
+def main() -> None:
+    library = default_library()
+    plain, plain_power = run(library, decompose=False)
+    ext, ext_power = run(library, decompose=True)
+
+    print("D4 (8-bit-rich design), plain composition vs decompose+recompose:\n")
+    rows = [
+        ("registers after", plain.final.total_regs, ext.final.total_regs),
+        ("8-bit MBRs after", plain.final.width_histogram.get(8, 0),
+         ext.final.width_histogram.get(8, 0)),
+        ("TNS after (ns)", round(plain.final.tns, 1), round(ext.final.tns, 1)),
+        ("failing endpoints", plain.final.failing_endpoints, ext.final.failing_endpoints),
+        ("clock cap (pF)", round(plain.final.clk_cap, 4), round(ext.final.clk_cap, 4)),
+        ("clock power (mW)", round(plain_power.clock_dynamic_mw, 3),
+         round(ext_power.clock_dynamic_mw, 3)),
+        ("total power (mW)", round(plain_power.total_mw, 3), round(ext_power.total_mw, 3)),
+    ]
+    print(f"{'':>22} {'plain':>10} {'decompose':>10}")
+    for label, a, b in rows:
+        print(f"{label:>22} {a:>10} {b:>10}")
+
+    if ext.decomposition is not None:
+        d = ext.decomposition
+        reformed = ext.final.width_histogram.get(8, 0)
+        print(f"\ndecomposed {d.cells_removed} MBRs into {d.cells_created} bit cells;"
+              f" the ILP re-formed {reformed} 8-bit MBRs")
+    print("\nfinding: the refresh pays on timing (every re-formed MBR gets fresh")
+    print("drive mapping and useful skew), not on raw register count — the bits")
+    print("of a dense bank occupy more area as singles than their shared cell did.")
+
+
+if __name__ == "__main__":
+    main()

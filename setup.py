@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` works through the PEP 660 path when
+setuptools>=64 + wheel are available, and through this shim (legacy
+`setup.py develop`) otherwise.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Benchmark designs.
+
+* :mod:`repro.bench.paper_example` — the paper's six-register worked
+  example (Figs. 1-3), reconstructed geometrically so that every candidate
+  weight in Fig. 3 is reproduced.
+* :mod:`repro.bench.generator` — the synthetic "industrial" design
+  generator behind the D1-D5 benchmarks of Table 1 (the paper's designs are
+  proprietary 28 nm chips; see DESIGN.md for the substitution rationale).
+"""
+
+from repro.bench.paper_example import PAPER_EDGES, build_paper_example
+from repro.bench.generator import BenchmarkSpec, DesignBundle, generate_design
+from repro.bench.presets import D1, D2, D3, D4, D5, PRESETS, preset
+
+__all__ = [
+    "PAPER_EDGES",
+    "build_paper_example",
+    "BenchmarkSpec",
+    "DesignBundle",
+    "generate_design",
+    "D1",
+    "D2",
+    "D3",
+    "D4",
+    "D5",
+    "PRESETS",
+    "preset",
+]

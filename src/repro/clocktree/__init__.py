@@ -1,0 +1,27 @@
+"""Clock-tree synthesis (CTS-lite) and clock metrics.
+
+MBR composition's headline benefit is a lighter clock tree: fewer sinks,
+less leaf capacitance, fewer and smaller buffers (paper Section 1 and the
+'Clk Bufs' / 'Clk Cap' columns of Table 1).  This package synthesizes a
+buffered clock tree over the design's clock sinks — recursive median
+partitioning into fanout-limited clusters, a buffer per cluster — and
+reports buffer count, clock wirelength, and total clock-tree capacitance.
+
+The tree is *virtual*: it is measured, not stitched into the netlist, which
+matches the paper's flow where composition happens before CTS and only the
+tree cost model is needed to evaluate the benefit.
+"""
+
+from repro.clocktree.cts import (
+    ClockTree,
+    ClockTreeReport,
+    synthesize_clock_network,
+    synthesize_clock_tree,
+)
+
+__all__ = [
+    "ClockTree",
+    "ClockTreeReport",
+    "synthesize_clock_network",
+    "synthesize_clock_tree",
+]

@@ -1,0 +1,235 @@
+"""Recursive median-partitioning clock-tree synthesis."""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point, centroid
+from repro.geometry.rect import Rect
+from repro.library.cells import ClockBufferCell, ClockGateCell, RegisterCell
+from repro.library.library import Technology
+from repro.netlist.db import Pin
+from repro.netlist.design import Design
+
+
+@dataclass(frozen=True, slots=True)
+class _Sink:
+    """A clock consumer: location and capacitive load."""
+
+    location: Point
+    cap: float
+    name: str
+
+
+@dataclass
+class ClockTreeReport:
+    """Clock-tree cost summary — Table 1's clock columns.
+
+    ``capacitance`` is the total capacitance the clock network switches every
+    cycle: routed clock wire, register/ICG clock pins, and buffer input pins.
+    """
+
+    num_sinks: int
+    num_buffers: int
+    wirelength: float
+    capacitance: float
+    buffer_area: float
+
+    def __add__(self, other: "ClockTreeReport") -> "ClockTreeReport":
+        return ClockTreeReport(
+            self.num_sinks + other.num_sinks,
+            self.num_buffers + other.num_buffers,
+            self.wirelength + other.wirelength,
+            self.capacitance + other.capacitance,
+            self.buffer_area + other.buffer_area,
+        )
+
+
+@dataclass
+class ClockTree:
+    """One synthesized (virtual) clock tree: per-level buffer clusters.
+
+    ``parent`` links every sink (and intermediate buffer) to its driving
+    buffer; ``driver_delay`` holds each buffer's stage delay — together they
+    give per-leaf insertion delays and the tree's global skew.
+    """
+
+    levels: list[list[_Sink]] = field(default_factory=list)
+    report: ClockTreeReport = field(
+        default_factory=lambda: ClockTreeReport(0, 0, 0.0, 0.0, 0.0)
+    )
+    parent: dict[str, str] = field(default_factory=dict)
+    driver_delay: dict[str, float] = field(default_factory=dict)
+    leaf_names: list[str] = field(default_factory=list)
+
+    def insertion_delay(self, leaf: str) -> float:
+        """Clock latency from the tree root to one leaf sink."""
+        total = 0.0
+        node = leaf
+        while node in self.parent:
+            node = self.parent[node]
+            total += self.driver_delay.get(node, 0.0)
+        return total
+
+    def insertion_delays(self) -> dict[str, float]:
+        return {leaf: self.insertion_delay(leaf) for leaf in self.leaf_names}
+
+    def global_skew(self) -> float:
+        """Max minus min leaf insertion delay — what useful-skew windows
+        must stay within after CTS realizes them."""
+        delays = list(self.insertion_delays().values())
+        if not delays:
+            return 0.0
+        return max(delays) - min(delays)
+
+
+def _cluster_wirelength(sinks: list[_Sink]) -> float:
+    """Steiner-length estimate for one cluster.
+
+    For two or three sinks the bounding-box half-perimeter is (near) exact;
+    for larger clusters the standard RSMT estimate scales it by
+    ``sqrt(n)/2`` (uniformly spread terminals), so a cluster's wire cost
+    grows with its sink count — the effect MBR composition exploits when it
+    removes clock sinks.  Single-sink clusters contribute no wire (the
+    buffer sits on the sink).
+    """
+    n = len(sinks)
+    if n <= 1:
+        return 0.0
+    box = Rect.from_points([s.location for s in sinks])
+    scale = max(1.0, math.sqrt(n) / 2.0)
+    return box.half_perimeter * scale
+
+
+def _partition(sinks: list[_Sink], max_fanout: int, max_cap: float) -> list[list[_Sink]]:
+    """Recursively split sinks by median until every cluster fits the
+    fanout and capacitance limits of the strongest clock buffer."""
+    total_cap = sum(s.cap for s in sinks)
+    if len(sinks) <= max_fanout and total_cap <= max_cap:
+        return [sinks]
+    xs = [s.location.x for s in sinks]
+    ys = [s.location.y for s in sinks]
+    split_on_x = (max(xs) - min(xs)) >= (max(ys) - min(ys))
+    ordered = sorted(sinks, key=lambda s: s.location.x if split_on_x else s.location.y)
+    mid = len(ordered) // 2
+    left, right = ordered[:mid], ordered[mid:]
+    if not left or not right:  # all sinks coincident: split by count
+        left, right = ordered[: max(1, mid)], ordered[max(1, mid) :]
+        if not left or not right:
+            return [sinks]
+    return _partition(left, max_fanout, max_cap) + _partition(right, max_fanout, max_cap)
+
+
+def _pick_buffer(buffers: list[ClockBufferCell], load: float) -> ClockBufferCell:
+    """Smallest buffer able to drive ``load`` (largest one as fallback)."""
+    for buf in buffers:  # sorted weakest -> strongest by the library
+        if buf.max_fanout_cap >= load:
+            return buf
+    return buffers[-1]
+
+
+def _collect_sinks(design: Design, net_name: str | None = None) -> list[_Sink]:
+    """Clock sinks: register clock pins and ICG clock inputs on clock nets.
+
+    With ``net_name`` given, only sinks of that specific clock net — used
+    by per-domain synthesis, where every gated net gets its own subtree.
+    """
+    sinks: list[_Sink] = []
+    for cell in design.cells.values():
+        lc = cell.libcell
+        if isinstance(lc, RegisterCell):
+            pin = cell.pin(lc.clock_pin_name)
+        elif isinstance(lc, ClockGateCell):
+            pin = cell.pin("CK")
+        else:
+            continue
+        if pin.net is None or not pin.net.is_clock:
+            continue
+        if net_name is not None and pin.net.name != net_name:
+            continue
+        sinks.append(_Sink(pin.location, pin.cap, pin.full_name))
+    return sinks
+
+
+def synthesize_clock_network(
+    design: Design,
+    max_fanout: int = 16,
+    technology: Technology | None = None,
+) -> dict[str, ClockTree]:
+    """Synthesize one subtree per clock net (per-domain CTS).
+
+    A gated domain's registers hang off their ICG, whose own clock pin is a
+    sink of the parent net's tree — so the domain structure of the netlist
+    carries straight into the virtual clock network.  Returns a map of
+    clock-net name to its subtree; sum the reports for network totals.
+    """
+    return {
+        net.name: synthesize_clock_tree(
+            design, max_fanout=max_fanout, technology=technology, clock_net=net.name
+        )
+        for net in design.clock_nets()
+    }
+
+
+def synthesize_clock_tree(
+    design: Design,
+    max_fanout: int = 16,
+    technology: Technology | None = None,
+    clock_net: str | None = None,
+) -> ClockTree:
+    """Build a virtual buffered clock tree over the design's clock sinks.
+
+    Level 0 clusters the leaf sinks; each cluster's buffer becomes a sink of
+    the next level, until a single root cluster remains.  The report
+    accumulates wirelength, buffer count/area, and total switched
+    capacitance across all levels.  ``clock_net`` restricts synthesis to one
+    net's sinks (see :func:`synthesize_clock_network` for per-domain trees);
+    by default all clock sinks share one tree — a flat approximation whose
+    before/after deltas track the per-domain ones.
+    """
+    tech = technology or design.library.technology
+    buffers = design.library.clock_buffers()
+    if not buffers:
+        raise ValueError("library has no clock buffers for CTS")
+    max_cap = buffers[-1].max_fanout_cap
+
+    tree = ClockTree()
+    current = _collect_sinks(design, clock_net)
+    tree.report.num_sinks = len(current)
+    tree.report.capacitance = sum(s.cap for s in current)
+    tree.leaf_names = [s.name for s in current]
+    if not current:
+        return tree
+
+    guard = 0
+    buf_count = 0
+    while len(current) > 1:
+        guard += 1
+        if guard > 64:  # pragma: no cover - safety against degenerate input
+            raise RuntimeError("CTS failed to converge")
+        tree.levels.append(current)
+        next_level: list[_Sink] = []
+        for cluster in _partition(current, max_fanout, max_cap):
+            wl = _cluster_wirelength(cluster)
+            load = sum(s.cap for s in cluster) + tech.wire_cap_per_um * wl
+            buf = _pick_buffer(buffers, load)
+            where = centroid([s.location for s in cluster])
+            buf_count += 1
+            buf_name = f"ctsbuf_{buf_count}"
+            stage_delay = (
+                buf.intrinsic_delay
+                + buf.drive_resistance * load
+                + tech.wire_delay_per_um * wl / max(len(cluster), 1)
+            )
+            tree.driver_delay[buf_name] = stage_delay
+            for sink in cluster:
+                tree.parent[sink.name] = buf_name
+            tree.report.num_buffers += 1
+            tree.report.buffer_area += buf.area
+            tree.report.wirelength += wl
+            tree.report.capacitance += tech.wire_cap_per_um * wl + buf.pin("A").cap
+            next_level.append(_Sink(where, buf.pin("A").cap, buf_name))
+        current = next_level
+    return tree

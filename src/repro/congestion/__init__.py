@@ -1,0 +1,13 @@
+"""Routing-congestion estimation.
+
+Table 1 of the paper reports 'Ovfl Edges' — the number of overflowed edges
+of the global-routing grid graph, after Sapatnekar et al.'s congestion
+estimation framework [15].  We estimate per-edge routing demand with a
+directional RUDY-style model: every net spreads its bounding-box wire length
+uniformly over the box, and a grid edge's usage is the summed crossing
+demand of the nets whose boxes span it.
+"""
+
+from repro.congestion.grid import CongestionGrid, CongestionReport
+
+__all__ = ["CongestionGrid", "CongestionReport"]

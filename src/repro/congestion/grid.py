@@ -1,0 +1,146 @@
+"""Directional RUDY congestion grid and overflow-edge counting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.netlist.design import Design
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionReport:
+    """Summary of one congestion analysis."""
+
+    overflow_edges: int
+    total_edges: int
+    max_usage_ratio: float
+    mean_usage_ratio: float
+
+    @property
+    def overflow_fraction(self) -> float:
+        return self.overflow_edges / self.total_edges if self.total_edges else 0.0
+
+
+class CongestionGrid:
+    """A global-routing grid with directional demand estimation.
+
+    The die is cut into ``bins_x`` x ``bins_y`` g-cells.  Vertical grid edges
+    (between horizontally adjacent g-cells) carry horizontal wires; their
+    capacity is ``tracks_per_um * bin_height``.  A net whose bounding box
+    spans a vertical edge contributes crossing demand equal to the fraction
+    of its box height overlapping that edge's g-cell row (and symmetrically
+    for horizontal edges / vertical wires).  Overflow edges are those whose
+    demand exceeds capacity — the paper's Table 1 metric.
+    """
+
+    def __init__(
+        self,
+        die: Rect,
+        bins_x: int = 24,
+        bins_y: int = 24,
+        tracks_per_um: float = 8.0,
+    ) -> None:
+        if bins_x < 2 or bins_y < 2:
+            raise ValueError("need at least a 2x2 grid to have edges")
+        self.die = die
+        self.bins_x = bins_x
+        self.bins_y = bins_y
+        self.bin_w = die.width / bins_x
+        self.bin_h = die.height / bins_y
+        self.tracks_per_um = tracks_per_um
+        # usage_v[i, j]: crossing demand over the vertical boundary between
+        # g-cells (i, j) and (i+1, j); usage_h[i, j] between (i, j), (i, j+1).
+        self.usage_v = np.zeros((bins_x - 1, bins_y), dtype=float)
+        self.usage_h = np.zeros((bins_x, bins_y - 1), dtype=float)
+
+    # -- demand accumulation ---------------------------------------------------
+
+    def add_net_box(self, box: Rect, weight: float = 1.0) -> None:
+        """Add one net's bounding box to the demand model."""
+        if box.width <= 0 and box.height <= 0:
+            return
+        self._add_directional(box, weight, horizontal=True)
+        self._add_directional(box, weight, horizontal=False)
+
+    def _overlap_fractions(self, lo: float, hi: float, origin: float, size: float, n: int):
+        """Per-bin overlap fraction of span [lo, hi] with each of n bins.
+
+        For a degenerate span (lo == hi) the single containing bin gets 1.0.
+        """
+        frac = np.zeros(n, dtype=float)
+        if hi <= lo:
+            b = int(min(max((lo - origin) / size, 0), n - 1))
+            frac[b] = 1.0
+            return frac
+        b0 = int(max(np.floor((lo - origin) / size), 0))
+        b1 = int(min(np.ceil((hi - origin) / size), n))
+        span = hi - lo
+        for b in range(b0, b1):
+            bin_lo = origin + b * size
+            bin_hi = bin_lo + size
+            overlap = min(hi, bin_hi) - max(lo, bin_lo)
+            if overlap > 0:
+                frac[b] = overlap / span
+        return frac
+
+    def _add_directional(self, box: Rect, weight: float, horizontal: bool) -> None:
+        if horizontal:
+            # Horizontal wires cross vertical boundaries strictly inside the box.
+            y_frac = self._overlap_fractions(
+                box.ylo, box.yhi, self.die.ylo, self.bin_h, self.bins_y
+            )
+            for i in range(self.bins_x - 1):
+                bx = self.die.xlo + (i + 1) * self.bin_w
+                if box.xlo < bx < box.xhi:
+                    self.usage_v[i, :] += weight * y_frac
+        else:
+            x_frac = self._overlap_fractions(
+                box.xlo, box.xhi, self.die.xlo, self.bin_w, self.bins_x
+            )
+            for j in range(self.bins_y - 1):
+                by = self.die.ylo + (j + 1) * self.bin_h
+                if box.ylo < by < box.yhi:
+                    self.usage_h[:, j] += weight * x_frac
+
+    @staticmethod
+    def of_design(
+        design: Design,
+        bins_x: int = 24,
+        bins_y: int = 24,
+        tracks_per_um: float = 8.0,
+    ) -> "CongestionGrid":
+        grid = CongestionGrid(design.die, bins_x, bins_y, tracks_per_um)
+        for net in design.nets.values():
+            box = net.bbox()
+            if box is not None and net.num_pins >= 2:
+                grid.add_net_box(box)
+        return grid
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def capacity_v(self) -> float:
+        """Track capacity of one vertical edge (horizontal wires)."""
+        return self.tracks_per_um * self.bin_h
+
+    @property
+    def capacity_h(self) -> float:
+        return self.tracks_per_um * self.bin_w
+
+    def report(self) -> CongestionReport:
+        ratios = np.concatenate(
+            [
+                (self.usage_v / self.capacity_v).ravel(),
+                (self.usage_h / self.capacity_h).ravel(),
+            ]
+        )
+        overflow = int((ratios > 1.0).sum())
+        return CongestionReport(
+            overflow_edges=overflow,
+            total_edges=int(ratios.size),
+            max_usage_ratio=float(ratios.max(initial=0.0)),
+            mean_usage_ratio=float(ratios.mean()) if ratios.size else 0.0,
+        )

@@ -1,0 +1,269 @@
+"""Candidate-MBR enumeration over one compatibility subgraph (Section 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.cliques import enumerate_maximal_cliques, enumerate_subcliques
+from repro.core.compatibility import RegisterInfo
+from repro.core.mapping import (
+    MappingChoice,
+    candidate_widths,
+    incomplete_area_acceptable,
+    select_library_cell,
+)
+from repro.core.weights import KEEP_WEIGHT, candidate_weight
+from repro.geometry.region import FeasibleRegion, common_region
+from repro.library.library import CellLibrary
+from repro.scan.model import ScanModel
+
+
+@dataclass
+class CandidateMBR:
+    """One valid MBR candidate: a clique plus its mapping and ILP weight.
+
+    Singleton candidates ("keep the register as is") have ``members`` of
+    length one, ``mapping=None``, and weight exactly 1 — they guarantee ILP
+    feasibility and model the do-nothing choice.
+    """
+
+    members: tuple[str, ...]
+    bits: int
+    weight: float
+    blockers: int
+    mapping: MappingChoice | None
+    region: FeasibleRegion | None
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.members) == 1
+
+    @property
+    def is_incomplete(self) -> bool:
+        return self.mapping is not None and self.mapping.incomplete
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateConfig:
+    """Knobs of candidate enumeration.
+
+    ``allow_incomplete``
+        Enable incomplete MBRs (Section 3): cliques whose bit sum matches no
+        library width may map to the next larger cell, subject to the
+        area-per-bit rule and ``max_incomplete_area_overhead``.
+    ``max_incomplete_area_overhead``
+        Flow-level cap on the relative area increase an incomplete MBR may
+        cost (the paper's experiments use 5%).
+    ``max_candidates_per_subgraph``
+        Safety valve for pathological dense subgraphs: when exceeded, the
+        lightest candidates are kept (plus all singletons).
+    ``max_group_spread``
+        Maximum half-perimeter (um) of the bounding box of a candidate's
+        register centers.  Merging registers that are compatible but far
+        apart stretches every data net toward the common MBR location; this
+        cap is what keeps total wirelength from growing (the paper reports
+        *reduced* wirelength after composition).
+    ``multi_scan_weight_penalty``
+        Weight multiplier for candidates that can only map to multi-SI/SO
+        cells (Section 4.1: external-scan cells "are penalized during MBR
+        selection" for their chain-routing cost).  Small scattered merges on
+        ordered chains stop paying off; large ones still win.
+    ``use_placement_weights``
+        Ablation switch: when False, every candidate is weighted ``1/bits``
+        with no blocking-register penalty — the "without this, both routing
+        congestion and wire-length can significantly increase" configuration
+        of Section 3.2.
+    """
+
+    allow_incomplete: bool = True
+    max_incomplete_area_overhead: float = 0.05
+    max_candidates_per_subgraph: int = 4000
+    max_group_spread: float = 18.0
+    multi_scan_weight_penalty: float = 20.0
+    use_placement_weights: bool = True
+    window_enumeration_above: int = 12
+    """Clique size beyond which sub-clique enumeration switches from the
+    exhaustive subset DP to spatially-contiguous windows.  In a dense
+    clique, a subset that skips over a nearer register is blocked by it
+    (Section 3.2) and a blocked candidate can never beat its members'
+    singletons in the ILP — so only spatially contiguous groups are worth
+    enumerating; this keeps dense banks (and decomposed MBRs) tractable."""
+
+
+def enumerate_candidates(
+    subgraph: nx.Graph,
+    all_registers: list[RegisterInfo],
+    library: CellLibrary,
+    scan_model: ScanModel | None = None,
+    config: CandidateConfig | None = None,
+) -> list[CandidateMBR]:
+    """All valid candidate MBRs of one compatibility subgraph.
+
+    For every maximal clique, enumerate the sub-cliques whose bit totals the
+    library can host; validate each against the group-level constraints that
+    pairwise edges cannot express (common feasible region, scan ordering,
+    mapping existence, incomplete-MBR economics); weight with the placement
+    polygon.  Singletons for every node are always included.
+    """
+    config = config or CandidateConfig()
+    infos: dict[str, RegisterInfo] = {
+        n: subgraph.nodes[n]["info"] for n in subgraph.nodes
+    }
+
+    candidates: list[CandidateMBR] = [
+        CandidateMBR(
+            members=(name,),
+            bits=info.bits,
+            weight=KEEP_WEIGHT,
+            blockers=0,
+            mapping=None,
+            region=info.region,
+        )
+        for name, info in sorted(infos.items())
+    ]
+
+    seen: set[frozenset[str]] = set()
+    multi: list[CandidateMBR] = []
+    bits_of = {n: infos[n].bits for n in infos}
+    for clique in enumerate_maximal_cliques(subgraph):
+        if len(clique) < 2:
+            continue
+        members_list = [infos[n] for n in clique]
+        widths = candidate_widths(library, members_list, scan_model)
+        if not widths:
+            continue
+        max_bits = max(widths)
+        if len(clique) > config.window_enumeration_above:
+            subcliques = _window_subcliques(
+                [infos[n] for n in sorted(clique)],
+                bits_of,
+                set(widths),
+                max_bits,
+                config.allow_incomplete,
+            )
+        else:
+            subcliques = enumerate_subcliques(
+                clique,
+                bits_of,
+                target_bit_sums=set(widths),
+                max_bits=max_bits,
+                allow_incomplete=config.allow_incomplete,
+            )
+        for subclique in subcliques:
+            if subclique in seen:
+                continue
+            seen.add(subclique)
+            cand = _validate_group(
+                [infos[n] for n in sorted(subclique)],
+                all_registers,
+                library,
+                scan_model,
+                config,
+            )
+            if cand is not None:
+                multi.append(cand)
+
+    # Deterministic candidate order: ILP tie-breaking must not depend on
+    # hash-seed-sensitive set iteration.
+    multi.sort(key=lambda c: (c.weight, -c.bits, c.members))
+    if len(multi) > config.max_candidates_per_subgraph:
+        multi = multi[: config.max_candidates_per_subgraph]
+    return candidates + multi
+
+
+def _window_subcliques(
+    members: list[RegisterInfo],
+    bits_of: dict[str, int],
+    target_bit_sums: set[int],
+    max_bits: int,
+    allow_incomplete: bool,
+) -> list[frozenset[str]]:
+    """Spatially-contiguous sub-cliques of a large clique.
+
+    Members are serpentine-sorted (row, then x alternating); every window
+    ``members[i:j]`` whose bit sum the library can host becomes a
+    candidate.  O(k^2) candidates instead of exponentially many — see
+    ``CandidateConfig.window_enumeration_above`` for why this loses nothing
+    the ILP could actually select.
+    """
+
+    def serpentine(info: RegisterInfo):
+        row = round(info.center_xy[1])
+        x = info.center_xy[0] if row % 2 == 0 else -info.center_xy[0]
+        return (row, x, info.name)
+
+    ordered = sorted(members, key=serpentine)
+    out: list[frozenset[str]] = []
+    k = len(ordered)
+    for i in range(k):
+        total = 0
+        for j in range(i, k):
+            total += bits_of[ordered[j].name]
+            if total > max_bits:
+                break
+            if j == i:
+                continue  # singletons handled separately
+            exact = total in target_bit_sums
+            incomplete_ok = allow_incomplete and any(w > total for w in target_bit_sums)
+            if exact or incomplete_ok:
+                out.append(frozenset(m.name for m in ordered[i : j + 1]))
+    return out
+
+
+def _validate_group(
+    members: list[RegisterInfo],
+    all_registers: list[RegisterInfo],
+    library: CellLibrary,
+    scan_model: ScanModel | None,
+    config: CandidateConfig,
+) -> CandidateMBR | None:
+    """Group-level validation and weighting of one sub-clique."""
+    region = common_region([m.region for m in members])
+    if region is None:
+        return None
+
+    xs = [m.center_xy[0] for m in members]
+    ys = [m.center_xy[1] for m in members]
+    if (max(xs) - min(xs)) + (max(ys) - min(ys)) > config.max_group_spread:
+        return None
+
+    bits = sum(m.bits for m in members)
+    widths = candidate_widths(library, members, scan_model)
+    fitting = [w for w in widths if w >= bits]
+    if not fitting:
+        return None
+    width = min(fitting)
+
+    choice = select_library_cell(library, members, width, scan_model)
+    if choice is None:
+        return None
+    if choice.incomplete:
+        if not config.allow_incomplete:
+            return None
+        if not incomplete_area_acceptable(choice, members):
+            return None
+        from repro.core.mapping import area_overhead_fraction
+
+        if area_overhead_fraction(choice, members) > config.max_incomplete_area_overhead:
+            return None
+
+    if config.use_placement_weights:
+        weight, blockers = candidate_weight(members, all_registers, mapped_bits=bits)
+        if weight == float("inf"):
+            return None  # n >= b: hopeless, drop before the ILP sees it
+    else:
+        weight, blockers = 1.0 / bits, 0  # ablation: ignore the layout
+    from repro.library.functional import ScanStyle
+
+    if choice.cell.scan_style is ScanStyle.MULTI:
+        weight *= config.multi_scan_weight_penalty
+    return CandidateMBR(
+        members=tuple(m.name for m in members),
+        bits=bits,
+        weight=weight,
+        blockers=blockers,
+        mapping=choice,
+        region=region,
+    )

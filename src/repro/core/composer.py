@@ -1,0 +1,273 @@
+"""The MBR composition engine: ILP selection and netlist application.
+
+This ties Sections 2-4 together: analyze registers, build and partition the
+compatibility graph, enumerate weighted candidates per subgraph, solve the
+set-partitioning ILP exactly, then apply each selected candidate — map it to
+a library cell, place it with the wire-length LP, rewrite the netlist, track
+scan chains — and finally legalize the new cells.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.candidates import CandidateConfig, CandidateMBR, enumerate_candidates
+from repro.core.compatibility import (
+    CompatibilityConfig,
+    RegisterInfo,
+    analyze_registers,
+)
+from repro.core.graph import build_compatibility_graph
+from repro.core.mbr_placement import place_mbr
+from repro.core.partition import DEFAULT_MAX_NODES, partition_graph
+from repro.geometry.rect import Rect
+from repro.ilp.setpart import SetPartitionProblem, solve_set_partition
+from repro.ilp.scipy_backend import solve_set_partition_scipy
+from repro.netlist.design import Design
+from repro.netlist.edit import ComposeError, compose_mbr
+from repro.netlist.registers import RegisterBit, RegisterView
+from repro.placement.legalize import LegalizeResult, PlacementRows, legalize
+from repro.scan.model import ScanModel
+from repro.sta.timer import Timer
+
+
+@dataclass
+class ComposerConfig:
+    """All knobs of one composition run."""
+
+    compatibility: CompatibilityConfig = field(default_factory=CompatibilityConfig)
+    candidates: CandidateConfig = field(default_factory=CandidateConfig)
+    max_subgraph_nodes: int = DEFAULT_MAX_NODES
+    solver: str = "exact"  # "exact" (our branch-and-bound) or "scipy"
+    placement_method: str = "pwl"  # "pwl" or "lp"
+    run_legalize: bool = True
+    legalize_max_displacement: float | None = None
+    passes: int = 2
+    """Incremental composition passes.  The paper applies composition
+    incrementally, including on MBRs composed earlier; a second pass over
+    the re-analyzed design merges newly-adjacent MBRs (e.g. two fresh 4-bit
+    cells into an 8-bit) and groups whose polygons became clean when their
+    blockers merged away."""
+
+
+@dataclass
+class ComposedGroup:
+    """One applied composition."""
+
+    new_cell: str
+    libcell: str
+    members: tuple[str, ...]
+    bits: int
+    weight: float
+    incomplete: bool
+
+
+@dataclass
+class CompositionResult:
+    """Statistics and records of a composition run."""
+
+    composed: list[ComposedGroup] = field(default_factory=list)
+    rejected: list[tuple[tuple[str, ...], str]] = field(default_factory=list)
+    registers_before: int = 0
+    registers_after: int = 0
+    composable_registers: int = 0
+    subgraphs: int = 0
+    candidates_considered: int = 0
+    ilp_nodes: int = 0
+    runtime_seconds: float = 0.0
+    legalization: LegalizeResult | None = None
+
+    @property
+    def register_reduction(self) -> int:
+        return self.registers_before - self.registers_after
+
+
+def compose_design(
+    design: Design,
+    timer: Timer,
+    scan_model: ScanModel | None = None,
+    config: ComposerConfig | None = None,
+) -> CompositionResult:
+    """Run the full placement-aware ILP composition on a placed design.
+
+    The design is edited in place; ``timer`` is invalidated at the end.
+    Returns the :class:`CompositionResult` record.
+    """
+    config = config or ComposerConfig()
+    t0 = time.perf_counter()
+    result = CompositionResult(registers_before=design.total_register_count())
+
+    new_cells = []
+    for pass_index in range(max(1, config.passes)):
+        infos = analyze_registers(design, timer, scan_model, config.compatibility)
+        if pass_index == 0:
+            result.composable_registers = sum(
+                1 for i in infos.values() if i.composable
+            )
+        from repro.core.weights import RegisterField
+
+        all_regs = RegisterField(list(infos.values()))
+
+        graph = build_compatibility_graph(infos, scan_model, config.compatibility)
+        parts = partition_graph(graph, config.max_subgraph_nodes)
+        result.subgraphs += len(parts)
+
+        chosen: list[CandidateMBR] = []
+        for part in parts:
+            candidates = enumerate_candidates(
+                part, all_regs, design.library, scan_model, config.candidates
+            )
+            result.candidates_considered += len(candidates)
+            selected, nodes = _solve_subgraph(part, candidates, config.solver)
+            result.ilp_nodes += nodes
+            chosen.extend(c for c in selected if not c.is_singleton)
+
+        pass_cells = _apply_candidates(design, chosen, infos, scan_model, config, result)
+        new_cells = [c for c in new_cells if c.name in design.cells] + pass_cells
+        timer.dirty()
+        if not pass_cells:
+            break
+
+    if scan_model is not None:
+        scan_model.reorder_chains(design)
+        scan_model.restitch(design)
+    if config.run_legalize and new_cells:
+        rows = PlacementRows(
+            design.die,
+            design.library.technology.row_height,
+            design.library.technology.site_width,
+        )
+        result.legalization = legalize(
+            design,
+            rows,
+            movable=new_cells,
+            max_displacement=config.legalize_max_displacement,
+        )
+
+    timer.dirty()
+    result.registers_after = design.total_register_count()
+    result.runtime_seconds = time.perf_counter() - t0
+    return result
+
+
+def _solve_subgraph(
+    part, candidates: list[CandidateMBR], solver: str
+) -> tuple[list[CandidateMBR], int]:
+    """Solve one subgraph's weighted set-partitioning ILP."""
+    names = sorted(part.nodes)
+    index = {n: i for i, n in enumerate(names)}
+    problem = SetPartitionProblem(
+        n_elements=len(names),
+        subsets=tuple(frozenset(index[m] for m in c.members) for c in candidates),
+        weights=tuple(c.weight for c in candidates),
+    )
+    if solver == "scipy":
+        sol = solve_set_partition_scipy(problem)
+        nodes = 0
+    elif solver == "exact":
+        sol = solve_set_partition(problem)
+        nodes = sol.nodes_explored
+        if not sol.optimal:
+            # Pathologically dense subproblem: let HiGHS finish the job and
+            # keep whichever solution is better.
+            alt = solve_set_partition_scipy(problem)
+            if alt.feasible and alt.objective < sol.objective - 1e-9:
+                sol = alt
+    else:
+        raise ValueError(f"unknown solver {solver!r}")
+    if not sol.feasible:  # pragma: no cover - singletons guarantee feasibility
+        raise RuntimeError("composition ILP infeasible despite singleton candidates")
+    return [candidates[i] for i in sol.chosen], nodes
+
+
+def _bit_order(
+    members: list[RegisterInfo], scan_model: ScanModel | None
+) -> list[RegisterBit]:
+    """Old register bits in the order they take the new cell's bit slots.
+
+    Members on a scan chain come in chain order (so an internal-scan MBR
+    preserves it); remaining members follow in name order.
+    """
+
+    def sort_key(info: RegisterInfo):
+        if scan_model is not None:
+            chain = scan_model.chain_of(info.name)
+            if chain is not None:
+                return (0, chain.name, chain.position(info.name))
+        return (1, info.name, 0)
+
+    ordered = sorted(members, key=sort_key)
+    bits: list[RegisterBit] = []
+    for info in ordered:
+        bits.extend(RegisterView(info.cell).connected_bits())
+    return bits
+
+
+def _bit_map(bit_order: list[RegisterBit]) -> dict[str, tuple[int, ...]]:
+    """Map each source register to the new-cell bit indices it occupies."""
+    mapping: dict[str, list[int]] = {}
+    for new_index, old_bit in enumerate(bit_order):
+        mapping.setdefault(old_bit.cell.name, []).append(new_index)
+    return {name: tuple(indices) for name, indices in mapping.items()}
+
+
+def _apply_candidates(
+    design: Design,
+    chosen: list[CandidateMBR],
+    infos: dict[str, RegisterInfo],
+    scan_model: ScanModel | None,
+    config: ComposerConfig,
+    result: CompositionResult,
+):
+    """Map, place, and commit every selected multi-register candidate."""
+    new_cells = []
+    for cand in sorted(chosen, key=lambda c: (-c.bits, c.members)):
+        members = [infos[m] for m in cand.members]
+        target = cand.mapping.cell
+        bit_order = _bit_order(members, scan_model)
+        region = _placement_window(design, cand.region.rect, target)
+        origin = place_mbr(region, target, bit_order, method=config.placement_method)
+        try:
+            new_cell = compose_mbr(
+                design,
+                [m.cell for m in members],
+                target,
+                origin,
+                bit_order=bit_order,
+            )
+        except ComposeError as exc:
+            result.rejected.append((cand.members, str(exc)))
+            continue
+        if scan_model is not None:
+            scan_model.replace_group(
+                list(cand.members), new_cell.name, bit_map=_bit_map(bit_order)
+            )
+        new_cells.append(new_cell)
+        result.composed.append(
+            ComposedGroup(
+                new_cell=new_cell.name,
+                libcell=target.name,
+                members=cand.members,
+                bits=cand.bits,
+                weight=cand.weight,
+                incomplete=cand.is_incomplete,
+            )
+        )
+    return new_cells
+
+
+def _placement_window(design: Design, region: Rect, target) -> Rect:
+    """Clip a feasible region so the new cell stays on the die."""
+    window = Rect(
+        design.die.xlo,
+        design.die.ylo,
+        max(design.die.xlo, design.die.xhi - target.width),
+        max(design.die.ylo, design.die.yhi - target.height),
+    )
+    clipped = region.intersect(window)
+    if clipped is None:
+        # Fully constrained region outside the window: take the window point
+        # nearest the region (degenerate but safe).
+        return Rect.point(window.clamp_point(region.center))
+    return clipped

@@ -1,0 +1,154 @@
+"""MBR decomposition — the paper's future-work extension (Section 5).
+
+"MBR composition in designs that already contain a large number of 8-bit
+MBRs, like D4, doesn't provide significant reduction in the clock tree
+capacitance ... To optimize such designs, we plan in the future to
+consider the decomposition of the initial 8-bit MBRs and their
+recomposition using the proposed methodology, instead of skipping them
+completely."
+
+:func:`decompose_mbr` splits one MBR into single-bit registers of the same
+functional class (preserving data, control, and scan connectivity), and
+:func:`decompose_registers` applies it to every maximal-width MBR so the
+subsequent composition pass can regroup the bits with full freedom.  The
+``decompose_recompose`` benchmark shows the effect on a D4-like design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point
+from repro.library.cells import RegisterCell
+from repro.library.functional import ScanStyle
+from repro.netlist.db import Cell
+from repro.netlist.design import Design
+from repro.netlist.registers import RegisterView
+from repro.scan.model import ScanModel
+
+
+class DecomposeError(ValueError):
+    """Raised when an MBR cannot be split (no 1-bit cell, constraints)."""
+
+
+@dataclass
+class DecomposeResult:
+    """Record of a decomposition pass."""
+
+    decomposed: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def cells_removed(self) -> int:
+        return len(self.decomposed)
+
+    @property
+    def cells_created(self) -> int:
+        return sum(len(v) for v in self.decomposed.values())
+
+
+def _single_bit_cell(design: Design, original: RegisterCell) -> RegisterCell:
+    """The 1-bit library cell that can replace one bit of ``original``.
+
+    Drive resistance must not exceed the original's (each bit now drives
+    its old load alone, so matching drive is conservative); among
+    qualifying cells the smallest area wins.
+    """
+    styles = (
+        (ScanStyle.INTERNAL,) if original.func_class.is_scan else (ScanStyle.NONE,)
+    )
+    options = [
+        c
+        for c in design.library.register_cells(original.func_class, 1, scan_styles=styles)
+        if c.drive_resistance <= original.drive_resistance + 1e-12
+    ]
+    if not options:
+        raise DecomposeError(
+            f"no 1-bit cell of class {original.func_class.name} at drive "
+            f"<= {original.drive_resistance}"
+        )
+    return min(options, key=lambda c: (c.area, c.name))
+
+
+def decompose_mbr(
+    design: Design,
+    cell: Cell,
+    scan_model: ScanModel | None = None,
+) -> list[Cell]:
+    """Split ``cell`` (a multi-bit register) into 1-bit registers.
+
+    The new cells line up row-wise starting at the MBR's origin (the caller
+    legalizes); each takes over its bit's D/Q nets and the shared control
+    nets.  Internal scan chains expand into external per-bit stitches, and
+    ``scan_model`` (when given) has the MBR's chain entry replaced by the
+    new cell sequence.  Returns the new cells in bit order.
+    """
+    view = RegisterView(cell)
+    original = view.libcell
+    if original.width_bits < 2:
+        raise DecomposeError(f"{cell.name} is already single-bit")
+    if cell.dont_touch or cell.fixed:
+        raise DecomposeError(f"{cell.name} is designer-excluded")
+    target = _single_bit_cell(design, original)
+
+    bits = view.connected_bits()
+    clock_net = view.clock_net
+    control_nets = view.control_nets()
+    si_net = view.scan_in_net() if original.func_class.is_scan else None
+    so_net = view.scan_out_net() if original.func_class.is_scan else None
+
+    new_cells: list[Cell] = []
+    for k, bit in enumerate(bits):
+        new_cell = design.add_cell(
+            design.unique_name(f"{cell.name}_bit"),
+            target,
+            Point(cell.origin.x + k * target.width, cell.origin.y),
+        )
+        if clock_net is not None:
+            design.connect(new_cell.pin(target.clock_pin_name), clock_net)
+        for ctrl, net in control_nets.items():
+            if net is not None and target.has_pin(ctrl):
+                design.connect(new_cell.pin(ctrl), net)
+        if bit.d_net is not None:
+            design.connect(new_cell.pin(target.d_pin(0)), bit.d_net)
+        if bit.q_net is not None:
+            design.connect(new_cell.pin(target.q_pin(0)), bit.q_net)
+        new_cells.append(new_cell)
+
+    if original.func_class.is_scan and new_cells:
+        # Expand the internal chain: old SI feeds the first bit, new stitch
+        # nets link the middle, old SO leaves from the last bit.
+        if si_net is not None:
+            design.connect(new_cells[0].pin(target.si_pin()), si_net)
+        for a, b in zip(new_cells[:-1], new_cells[1:]):
+            stitch = design.add_net(design.unique_name("scan_stitch"))
+            design.connect(a.pin(target.so_pin()), stitch)
+            design.connect(b.pin(target.si_pin()), stitch)
+        if so_net is not None:
+            design.connect(new_cells[-1].pin(target.so_pin()), so_net)
+
+    if scan_model is not None:
+        scan_model.expand_cell(cell.name, [c.name for c in new_cells])
+    design.remove_cell(cell)
+    return new_cells
+
+
+def decompose_registers(
+    design: Design,
+    scan_model: ScanModel | None = None,
+    widths: tuple[int, ...] = (8,),
+) -> DecomposeResult:
+    """Decompose every eligible MBR whose width is in ``widths``.
+
+    Designer-excluded and unsplittable registers are skipped silently —
+    decomposition is an enabling transform, not a requirement.
+    """
+    result = DecomposeResult()
+    for cell in list(design.registers()):
+        if cell.width_bits not in widths:
+            continue
+        try:
+            new_cells = decompose_mbr(design, cell, scan_model)
+        except DecomposeError:
+            continue
+        result.decomposed[cell.name] = [c.name for c in new_cells]
+    return result

@@ -1,0 +1,79 @@
+"""Compatibility-graph construction with spatial pruning.
+
+Nodes are composable registers; an edge joins every compatible pair
+(Section 3, Fig. 1).  Pairwise testing is quadratic, so registers are first
+bucketed by functional group (class + clock + control nets — necessary for
+any edge) and then spatially hashed on their feasible-region rectangles so
+only potentially-overlapping pairs are tested.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import networkx as nx
+
+from repro.core.compatibility import (
+    CompatibilityConfig,
+    RegisterInfo,
+    compatible,
+)
+from repro.scan.model import ScanModel
+
+
+def _functional_group_key(info: RegisterInfo):
+    return (info.func_class, info.clock_net, info.control_key)
+
+
+def _spatial_pairs(infos: list[RegisterInfo], cell_size: float):
+    """Candidate pairs whose region rectangles may overlap, via a uniform
+    grid hash over region bounding boxes."""
+    buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
+    for idx, info in enumerate(infos):
+        r = info.region.rect
+        bx0, bx1 = int(r.xlo // cell_size), int(r.xhi // cell_size)
+        by0, by1 = int(r.ylo // cell_size), int(r.yhi // cell_size)
+        for bx in range(bx0, bx1 + 1):
+            for by in range(by0, by1 + 1):
+                buckets[(bx, by)].append(idx)
+    seen: set[tuple[int, int]] = set()
+    for members in buckets.values():
+        for i_pos, i in enumerate(members):
+            for j in members[i_pos + 1 :]:
+                pair = (i, j) if i < j else (j, i)
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+
+
+def build_compatibility_graph(
+    infos: dict[str, RegisterInfo],
+    scan_model: ScanModel | None = None,
+    config: CompatibilityConfig | None = None,
+) -> "nx.Graph":
+    """Build the compatibility graph over composable registers.
+
+    Node attributes carry the :class:`RegisterInfo` (key ``info``); edges
+    are unweighted — candidate weights come later from the placement-aware
+    polygon test (Section 3.2).
+    """
+    config = config or CompatibilityConfig()
+    graph = nx.Graph()
+    groups: dict[object, list[RegisterInfo]] = defaultdict(list)
+    for info in infos.values():
+        if not info.composable:
+            continue
+        graph.add_node(info.name, info=info)
+        groups[_functional_group_key(info)].append(info)
+
+    # Grid cell sized to the typical region so buckets stay small but a
+    # rectangle rarely spans many cells.
+    cell_size = max(2.0 * config.max_region_distance, 1.0)
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        for i, j in _spatial_pairs(members, cell_size):
+            a, b = members[i], members[j]
+            if compatible(a, b, scan_model, config):
+                graph.add_edge(a.name, b.name)
+    return graph

@@ -1,0 +1,154 @@
+"""The heuristic baseline of Fig. 6: agglomerative pairwise merging.
+
+Section 5 compares the ILP against "a heuristic-algorithm-based approach,
+similar to that performed in [8] and [12]".  Those mergers work bottom-up:
+repeatedly merge two compatible registers whose combined width exists in
+the library (1+1 -> 2, 2+2 -> 4, ... ), nearest pairs first, until no merge
+applies.  The baseline shares this reproduction's entire analysis stack —
+compatibility predicates, mapping, wire-length-optimal placement,
+legalization, scan tracking — and differs *only* in allocation:
+
+* local pairwise agglomeration instead of the global set-partitioning ILP;
+* no placement-aware weights (pairs merge blindly with respect to
+  intervening registers);
+* no incomplete MBRs and no odd-width packing (a 5-bit group cannot become
+  4+1 in one step the way the ILP's clique candidates can).
+
+The fragmentation this causes — stranded odd registers at each level — is
+precisely the ~12% register-count gap Fig. 6 attributes to the ILP.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.compatibility import analyze_registers
+from repro.core.composer import (
+    ComposedGroup,
+    ComposerConfig,
+    CompositionResult,
+    _bit_map,
+    _bit_order,
+    _placement_window,
+)
+from repro.core.graph import build_compatibility_graph
+from repro.core.mapping import select_library_cell
+from repro.library.functional import ScanStyle
+from repro.core.mbr_placement import place_mbr
+from repro.netlist.design import Design
+from repro.netlist.edit import ComposeError, compose_mbr
+from repro.placement.legalize import PlacementRows, legalize
+from repro.scan.model import ScanModel
+from repro.sta.timer import Timer
+
+
+def _match_pairs(graph) -> list[tuple[str, str]]:
+    """Greedy nearest-first matching over compatibility edges."""
+    edges = []
+    for u, v in graph.edges:
+        cu = graph.nodes[u]["info"].center
+        cv = graph.nodes[v]["info"].center
+        edges.append((cu.manhattan_to(cv), min(u, v), max(u, v)))
+    edges.sort()
+    matched: set[str] = set()
+    pairs: list[tuple[str, str]] = []
+    for _, u, v in edges:
+        if u in matched or v in matched:
+            continue
+        matched.add(u)
+        matched.add(v)
+        pairs.append((u, v))
+    return pairs
+
+
+def compose_design_heuristic(
+    design: Design,
+    timer: Timer,
+    scan_model: ScanModel | None = None,
+    config: ComposerConfig | None = None,
+    max_rounds: int = 8,
+) -> CompositionResult:
+    """Run the agglomerative baseline (same signature as
+    :func:`repro.core.composer.compose_design`).
+
+    Each round re-analyzes compatibility (merged registers have new
+    positions and slacks), matches nearest compatible pairs whose width sum
+    is an available library width, and applies the merges.  Rounds repeat
+    until a fixed point (at most ``max_rounds``).
+    """
+    config = config or ComposerConfig()
+    t0 = time.perf_counter()
+    result = CompositionResult(registers_before=design.total_register_count())
+    new_cells = []
+
+    for round_index in range(max_rounds):
+        infos = analyze_registers(design, timer, scan_model, config.compatibility)
+        if round_index == 0:
+            result.composable_registers = sum(1 for i in infos.values() if i.composable)
+        graph = build_compatibility_graph(infos, scan_model, config.compatibility)
+        result.subgraphs = max(result.subgraphs, 1)
+
+        merges = 0
+        for u, v in _match_pairs(graph):
+            a, b = infos[u], infos[v]
+            width = a.bits + b.bits
+            if width not in design.library.widths_for(a.func_class):
+                continue
+            common = a.region.intersect(b.region)
+            if common is None:
+                continue
+            choice = select_library_cell(design.library, [a, b], width, scan_model)
+            if choice is None:
+                continue
+            if choice.cell.scan_style is ScanStyle.MULTI:
+                # Same mapping policy as the ILP flow (Section 4.1):
+                # external-scan cells only when unavoidable — a pairwise
+                # merger simply skips such pairs.
+                continue
+            result.candidates_considered += 1
+            bit_order = _bit_order([a, b], scan_model)
+            window = _placement_window(design, common.rect, choice.cell)
+            origin = place_mbr(window, choice.cell, bit_order, config.placement_method)
+            try:
+                new_cell = compose_mbr(
+                    design, [a.cell, b.cell], choice.cell, origin, bit_order=bit_order
+                )
+            except ComposeError as exc:
+                result.rejected.append(((u, v), str(exc)))
+                continue
+            if scan_model is not None:
+                scan_model.replace_group([u, v], new_cell.name, bit_map=_bit_map(bit_order))
+            new_cells.append(new_cell)
+            result.composed.append(
+                ComposedGroup(
+                    new_cell=new_cell.name,
+                    libcell=choice.cell.name,
+                    members=(u, v),
+                    bits=width,
+                    weight=0.0,
+                    incomplete=False,
+                )
+            )
+            merges += 1
+        timer.dirty()
+        if merges == 0:
+            break
+
+    if scan_model is not None:
+        scan_model.reorder_chains(design)
+        scan_model.restitch(design)
+    if config.run_legalize and new_cells:
+        rows = PlacementRows(
+            design.die,
+            design.library.technology.row_height,
+            design.library.technology.site_width,
+        )
+        live = [c for c in new_cells if c.name in design.cells]
+        result.legalization = legalize(
+            design, rows, movable=live, max_displacement=config.legalize_max_displacement
+        )
+
+    timer.dirty()
+    result.registers_after = design.total_register_count()
+    result.runtime_seconds = time.perf_counter() - t0
+    return result

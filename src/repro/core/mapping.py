@@ -1,0 +1,118 @@
+"""MBR mapping: choosing the library cell for an assigned MBR (Section 4.1).
+
+The ILP fixes each selected MBR's bit content and functional class; mapping
+picks the concrete library cell:
+
+* the cell's **drive resistance** must not exceed the minimum drive
+  resistance of the replaced registers — never degrade timing, possibly at
+  some area cost;
+* among qualifying cells, pick the **lowest clock-pin capacitance** (the
+  clock-power objective);
+* **external-scan (multi-SI/SO) cells are penalized**: they are chosen only
+  when the group's scan ordering cannot be preserved by an internal chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compatibility import RegisterInfo
+from repro.library.cells import RegisterCell
+from repro.library.functional import ScanStyle
+from repro.library.library import CellLibrary
+from repro.scan.model import ScanModel
+
+
+@dataclass(frozen=True, slots=True)
+class MappingChoice:
+    """A resolved library cell for a candidate MBR."""
+
+    cell: RegisterCell
+    incomplete: bool
+    spare_bits: int
+
+
+def required_scan_styles(
+    members: list[RegisterInfo], scan_model: ScanModel | None
+) -> tuple[ScanStyle, ...]:
+    """Scan styles able to implement a group's chain constraints.
+
+    Non-scan classes need no scan cell.  Scan groups prefer an internal
+    chain; when ordered-section members are not consecutive on their chain,
+    only a multi-SI/SO cell can host them (several chains cross the MBR).
+    """
+    if not members[0].func_class.is_scan:
+        return (ScanStyle.NONE,)
+    names = [m.name for m in members]
+    if scan_model is None or scan_model.consecutive_in_order(names):
+        return (ScanStyle.INTERNAL, ScanStyle.MULTI)
+    return (ScanStyle.MULTI,)
+
+
+def candidate_widths(
+    library: CellLibrary,
+    members: list[RegisterInfo],
+    scan_model: ScanModel | None,
+) -> tuple[int, ...]:
+    """Library widths reachable by this group, respecting scan style."""
+    styles = required_scan_styles(members, scan_model)
+    return library.widths_for(members[0].func_class, scan_styles=styles)
+
+
+def select_library_cell(
+    library: CellLibrary,
+    members: list[RegisterInfo],
+    width: int,
+    scan_model: ScanModel | None = None,
+) -> MappingChoice | None:
+    """Pick the best library cell of exactly ``width`` bits for the group.
+
+    Returns ``None`` when no cell of the class/width satisfies the scan and
+    drive-resistance constraints.  Preference order:
+
+    1. internal-scan before multi-scan (external chains cost routing);
+    2. drive resistance <= min of the replaced registers;
+    3. lowest clock-pin capacitance, then lowest area.
+    """
+    bits = sum(m.bits for m in members)
+    if width < bits:
+        return None
+    func_class = members[0].func_class
+    min_drive_res = min(m.cell.register_cell.drive_resistance for m in members)
+    styles = required_scan_styles(members, scan_model)
+
+    for style in styles:  # ordered by preference
+        options = [
+            c
+            for c in library.register_cells(func_class, width, scan_styles=(style,))
+            if c.drive_resistance <= min_drive_res + 1e-12
+        ]
+        if not options:
+            continue
+        best = min(options, key=lambda c: (c.clock_pin_cap, c.area, c.name))
+        return MappingChoice(cell=best, incomplete=width > bits, spare_bits=width - bits)
+    return None
+
+
+def incomplete_area_acceptable(choice: MappingChoice, members: list[RegisterInfo]) -> bool:
+    """Section 3's incomplete-MBR filter: the incomplete cell's area per
+    *useful* bit must be below the members' average area per bit."""
+    if not choice.incomplete:
+        return True
+    useful_bits = sum(m.bits for m in members)
+    if useful_bits == 0:
+        return False
+    member_area = sum(m.cell.libcell.area for m in members)
+    member_area_per_bit = member_area / useful_bits
+    # "Area per bit of the incomplete MBR" is per physical bit: the wider
+    # cell must be intrinsically more area-efficient than what it replaces.
+    return choice.cell.area_per_bit < member_area_per_bit
+
+
+def area_overhead_fraction(choice: MappingChoice, members: list[RegisterInfo]) -> float:
+    """Relative area change of replacing the members with the chosen cell —
+    the flow-level incomplete-MBR knob (Section 5 allows at most +5%)."""
+    member_area = sum(m.cell.libcell.area for m in members)
+    if member_area <= 0.0:
+        return float("inf")
+    return (choice.cell.area - member_area) / member_area

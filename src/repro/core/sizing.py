@@ -1,0 +1,94 @@
+"""MBR sizing after composition and useful skew (paper Fig. 4).
+
+Mapping (Section 4.1) deliberately picks the minimum drive resistance of the
+replaced registers, which can leave new MBRs overdriven once useful skew has
+improved their worst slack.  Sizing walks the composed MBRs and downsizes
+each to the weakest drive that still leaves a safety margin of positive
+slack — "both MBR area and clock pin capacitance are further reduced"
+(Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.db import Cell
+from repro.netlist.design import Design
+from repro.sta.timer import Timer
+
+
+@dataclass
+class SizingResult:
+    """Record of one sizing pass."""
+
+    swapped: dict[str, tuple[str, str]] = field(default_factory=dict)
+    area_delta: float = 0.0
+    clock_cap_delta: float = 0.0
+
+    @property
+    def num_swapped(self) -> int:
+        return len(self.swapped)
+
+
+def size_registers(
+    design: Design,
+    timer: Timer,
+    cells: list[Cell] | None = None,
+    margin: float = 0.0,
+) -> SizingResult:
+    """Downsize registers whose Q-side slack affords it.
+
+    For each register (default: all registers), consider weaker-drive cells
+    of the same class/width/scan style.  The launch-delay increase of a swap
+    is ``(R_new - R_old) * load``; the swap is taken when the register's
+    Q slack minus that increase stays above ``margin``.  Candidates are
+    tried weakest-first, so each register lands on the weakest safe drive.
+
+    All decisions read one timing state and commit as a batch (a single
+    invalidation at the end): this is safe for setup because a swap only
+    slows the swapped register's own launch segment, and every affected
+    path is individually required to retain ``margin`` — the arrival at a
+    shared endpoint is the max over independently-slowed paths, each of
+    which passed its own check.
+    """
+    result = SizingResult()
+    targets = cells if cells is not None else design.registers()
+    swaps: list[tuple] = []
+    for cell in sorted(targets, key=lambda c: c.name):
+        if not cell.is_register or cell.dont_touch or cell.fixed:
+            continue
+        current = cell.register_cell
+        options = [
+            c
+            for c in design.library.register_cells(
+                current.func_class, current.width_bits, scan_styles=(current.scan_style,)
+            )
+            if c.drive_resistance > current.drive_resistance
+        ]
+        if not options:
+            continue
+        options.sort(key=lambda c: -c.drive_resistance)  # weakest first
+
+        rs = timer.register_slack(cell)
+        load = max(
+            (
+                timer.graph.output_load(cell.pin(current.q_pin(b)))
+                for b in range(current.width_bits)
+                if cell.pin(current.q_pin(b)).net is not None
+            ),
+            default=0.0,
+        )
+        for option in options:
+            extra_delay = (option.drive_resistance - current.drive_resistance) * load
+            if rs.q_slack - extra_delay > margin:
+                swaps.append((cell, current, option))
+                break
+
+    for cell, current, option in swaps:
+        result.area_delta += option.area - current.area
+        result.clock_cap_delta += option.clock_pin_cap - current.clock_pin_cap
+        design.swap_libcell(cell, option)
+        result.swapped[cell.name] = (current.name, option.name)
+    if swaps:
+        timer.dirty()
+    return result

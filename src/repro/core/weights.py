@@ -1,0 +1,167 @@
+"""Placement-aware candidate weights (paper Section 3.2).
+
+Each candidate MBR gets a *test polygon*: the convex hull of the corner
+points of its constituent registers.  Registers whose center falls inside
+the polygon but are not constituents are *blocking registers*; with ``b``
+total bits and ``n`` blockers the weight is
+
+    w = 1/b          when n == 0          (clean: bigger is better)
+    w = b * 2^n      when 0 < n < b       (crowded: exponentially penalized)
+    w = infinity     when n >= b          (hopelessly entangled: dropped)
+
+Original (unmerged) registers keep weight exactly 1 regardless of width —
+Fig. 3 lists every original register, including the 4-bit E4, at 1.00.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.compatibility import RegisterInfo
+from repro.geometry.hull import convex_hull, point_in_convex_polygon
+from repro.geometry.point import Point
+
+KEEP_WEIGHT = 1.0
+"""Weight of the "leave this register as it is" singleton candidate."""
+
+
+class RegisterField:
+    """Vectorized register-center index for the blocking test.
+
+    The weight pass evaluates tens of thousands of candidate polygons
+    against every register of the design; holding the centers in numpy
+    arrays turns each candidate's blocking count into a handful of
+    vector operations.
+    """
+
+    def __init__(self, registers: list[RegisterInfo]) -> None:
+        self.registers = registers
+        for i, r in enumerate(registers):
+            r.field_index = i
+        if registers:
+            self.xs = np.array([r.center_xy[0] for r in registers])
+            self.ys = np.array([r.center_xy[1] for r in registers])
+        else:  # pragma: no cover - degenerate designs
+            self.xs = np.zeros(0)
+            self.ys = np.zeros(0)
+
+    def blockers(self, members: list[RegisterInfo]) -> list[RegisterInfo]:
+        """Registers strictly inside the members' test polygon.
+
+        The members' footprint bounding box prefilters the field; when no
+        *foreign* register survives the box — the common case for clean
+        bank groups — the convex hull is never even built.
+        """
+        if not len(self.xs):
+            return []
+        xlo = ylo = math.inf
+        xhi = yhi = -math.inf
+        for m in members:
+            fp = m.cell.footprint
+            xlo, ylo = min(xlo, fp.xlo), min(ylo, fp.ylo)
+            xhi, yhi = max(xhi, fp.xhi), max(yhi, fp.yhi)
+        mask = (self.xs > xlo) & (self.xs < xhi) & (self.ys > ylo) & (self.ys < yhi)
+        for m in members:
+            idx = getattr(m, "field_index", None)
+            if idx is not None:
+                mask[idx] = False
+        idx = np.flatnonzero(mask)
+        if not idx.size:
+            return []
+
+        polygon = test_polygon(members)
+        if len(polygon) < 3:
+            return []
+        xs, ys = self.xs[idx], self.ys[idx]
+        inside = np.ones(idx.size, dtype=bool)
+        n = len(polygon)
+        for i in range(n):
+            a, b = polygon[i], polygon[(i + 1) % n]
+            scale = max(abs(b.x - a.x), abs(b.y - a.y), 1.0)
+            cross = (b.x - a.x) * (ys - a.y) - (b.y - a.y) * (xs - a.x)
+            inside &= cross > 1e-9 * scale  # strict interior
+            if not inside.any():
+                return []
+        return [self.registers[j] for j in idx[inside]]
+
+
+def test_polygon(members: list[RegisterInfo]) -> list[Point]:
+    """The convex hull of the members' footprint corners (Fig. 2)."""
+    corners: list[Point] = []
+    for info in members:
+        corners.extend(info.cell.footprint.corners())
+    return convex_hull(corners)
+
+
+def blocking_registers(
+    members: list[RegisterInfo],
+    all_registers: list[RegisterInfo] | RegisterField,
+) -> list[RegisterInfo]:
+    """Registers (of any kind) whose center lies inside the test polygon and
+    that are not themselves members.
+
+    Fig. 2's caption says "we check inside the surrounding polygon of the
+    clique for the presence of other register" — *any* register competes for
+    the region's placement/routing resources, not only compatible ones.
+
+    A :class:`RegisterField` (vectorized) may be passed instead of the raw
+    list — candidate enumeration does this, since the weight pass is its
+    hottest loop; the list path keeps the simple reference implementation.
+    """
+    if isinstance(all_registers, RegisterField):
+        return all_registers.blockers(members)
+    member_names = {m.name for m in members}
+
+    xlo = ylo = math.inf
+    xhi = yhi = -math.inf
+    for m in members:
+        fp = m.cell.footprint
+        xlo, ylo = min(xlo, fp.xlo), min(ylo, fp.ylo)
+        xhi, yhi = max(xhi, fp.xhi), max(yhi, fp.yhi)
+
+    polygon: list[Point] | None = None
+    blockers: list[RegisterInfo] = []
+    for info in all_registers:
+        x, y = info.center_xy
+        if not (xlo < x < xhi and ylo < y < yhi):
+            continue
+        if info.name in member_names:
+            continue
+        if polygon is None:
+            polygon = test_polygon(members)
+        if point_in_convex_polygon(Point(x, y), polygon, include_boundary=False):
+            blockers.append(info)
+    return blockers
+
+
+def weight_formula(bits: int, blockers: int) -> float:
+    """The Section 3.2 weight for ``bits`` total bits and ``blockers``
+    intervening registers."""
+    if bits <= 0:
+        raise ValueError("candidate must carry at least one bit")
+    if blockers == 0:
+        return 1.0 / bits
+    if blockers < bits:
+        return float(bits) * (2.0 ** blockers)
+    return math.inf
+
+
+def candidate_weight(
+    members: list[RegisterInfo],
+    all_registers: list[RegisterInfo] | RegisterField,
+    mapped_bits: int | None = None,
+) -> tuple[float, int]:
+    """Weight of a candidate MBR, and its blocker count.
+
+    ``mapped_bits`` overrides the bit count used by the formula (the sum of
+    the members' connected bits by default) — Fig. 3 weights the 5-bit
+    candidate AE at 1/5 even though it maps to an 8-bit incomplete cell, so
+    the formula uses the *useful* bits.
+    """
+    if len(members) == 1:
+        return KEEP_WEIGHT, 0
+    bits = mapped_bits if mapped_bits is not None else sum(m.bits for m in members)
+    n = len(blocking_registers(members, all_registers))
+    return weight_formula(bits, n), n

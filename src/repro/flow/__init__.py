@@ -1,0 +1,5 @@
+"""The incremental implementation flow of the paper's Fig. 4."""
+
+from repro.flow.driver import FlowConfig, FlowReport, run_flow
+
+__all__ = ["FlowConfig", "FlowReport", "run_flow"]

@@ -1,0 +1,158 @@
+"""The Fig. 4 flow: placement -> MBR composition -> useful skew -> sizing.
+
+``run_flow`` takes a placed design (typically a
+:class:`repro.bench.generator.DesignBundle`) and executes the paper's
+incremental restructuring:
+
+1. measure the **Base** metrics row;
+2. **MBR composition + optimization** with the placement-aware ILP
+   (Section 3) or the heuristic baseline (Fig. 6);
+3. **useful skew** on the newly composed MBRs — "benefiting from their
+   timing compatible smaller counterparts" (Section 5);
+4. **MBR sizing** — downsizing drives where the improved slack allows,
+   reducing area and clock pin capacitance;
+5. measure the **Ours** metrics row.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.composer import ComposerConfig, CompositionResult, compose_design
+from repro.core.heuristic import compose_design_heuristic
+from repro.core.sizing import SizingResult, size_registers
+from repro.metrics.collect import DesignMetrics, collect_metrics, compare_metrics
+from repro.netlist.design import Design
+from repro.scan.model import ScanModel
+from repro.skew.assign import SkewAssignment, assign_useful_skew
+from repro.sta.timer import Timer
+
+
+@dataclass
+class FlowConfig:
+    """Flow-level knobs (Fig. 4 stages)."""
+
+    composer: ComposerConfig = field(default_factory=ComposerConfig)
+    algorithm: str = "ilp"  # "ilp" (the paper) or "heuristic" (Fig. 6 baseline)
+    decompose_widths: tuple[int, ...] = ()
+    """Widths of pre-existing MBRs to decompose before composition — the
+    paper's future-work extension for 8-bit-rich designs like D4 (pass
+    ``(8,)`` to split the initial 8-bit MBRs and let the ILP regroup)."""
+    run_skew: bool = True
+    skew_window: float = 0.05
+    run_sizing: bool = True
+    sizing_margin: float = 0.0
+    cts_max_fanout: int = 16
+    congestion_bins: int = 24
+
+
+@dataclass
+class FlowReport:
+    """Everything one flow run measured and did."""
+
+    design_name: str
+    base: DesignMetrics
+    final: DesignMetrics
+    composition: CompositionResult
+    skew: SkewAssignment | None
+    sizing: SizingResult | None
+    runtime_seconds: float
+    decomposition: object | None = None
+
+    @property
+    def savings(self) -> dict[str, float]:
+        """The 'Save' row: relative reductions of every Table 1 column."""
+        return compare_metrics(self.base, self.final)
+
+
+def run_flow(
+    design: Design,
+    timer: Timer,
+    scan_model: ScanModel | None = None,
+    config: FlowConfig | None = None,
+) -> FlowReport:
+    """Run the incremental MBR composition flow on a placed design."""
+    config = config or FlowConfig()
+    t0 = time.perf_counter()
+
+    base = collect_metrics(
+        design,
+        timer,
+        scan_model,
+        config.composer.compatibility,
+        cts_max_fanout=config.cts_max_fanout,
+        congestion_bins=config.congestion_bins,
+    )
+
+    decomposition = None
+    pending_bit_cells: list[str] = []
+    if config.decompose_widths:
+        from repro.core.decompose import decompose_registers
+
+        decomposition = decompose_registers(
+            design, scan_model, widths=config.decompose_widths
+        )
+        # Deliberately NOT legalized yet: the bit cells sit (overlapping) at
+        # their source MBR's location, so recomposition sees perfectly clean
+        # adjacent groups and can re-pack them; only the bits that survive
+        # composition as singles get legalized below.
+        pending_bit_cells = [
+            n for names in decomposition.decomposed.values() for n in names
+        ]
+        if scan_model is not None:
+            scan_model.restitch(design)
+        timer.dirty()
+
+    if config.algorithm == "ilp":
+        composition = compose_design(design, timer, scan_model, config.composer)
+    elif config.algorithm == "heuristic":
+        composition = compose_design_heuristic(design, timer, scan_model, config.composer)
+    else:
+        raise ValueError(f"unknown algorithm {config.algorithm!r}")
+
+    new_cells = [
+        design.cells[g.new_cell] for g in composition.composed if g.new_cell in design.cells
+    ]
+
+    leftover_bits = [design.cells[n] for n in pending_bit_cells if n in design.cells]
+    if leftover_bits:
+        from repro.placement.legalize import PlacementRows, legalize
+
+        rows = PlacementRows(
+            design.die,
+            design.library.technology.row_height,
+            design.library.technology.site_width,
+        )
+        legalize(design, rows, movable=leftover_bits)
+        timer.dirty()
+
+    skew = None
+    if config.run_skew and new_cells:
+        skew = assign_useful_skew(timer, new_cells, window=config.skew_window)
+
+    sizing = None
+    if config.run_sizing and new_cells:
+        sizing = size_registers(design, timer, new_cells, margin=config.sizing_margin)
+
+    final = collect_metrics(
+        design,
+        timer,
+        scan_model,
+        config.composer.compatibility,
+        cts_max_fanout=config.cts_max_fanout,
+        congestion_bins=config.congestion_bins,
+    )
+    base.exec_time_s = 0.0
+    final.exec_time_s = time.perf_counter() - t0
+
+    return FlowReport(
+        design_name=design.name,
+        base=base,
+        final=final,
+        composition=composition,
+        skew=skew,
+        sizing=sizing,
+        runtime_seconds=final.exec_time_s,
+        decomposition=decomposition,
+    )

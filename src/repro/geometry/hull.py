@@ -1,0 +1,113 @@
+"""Convex hulls and point-in-polygon tests for candidate-MBR weighting.
+
+Section 3.2 of the paper defines, for every candidate MBR, a *test polygon*:
+the convex hull of the outer corner points of the registers the candidate
+would merge.  Registers whose center lies inside that polygon — and that are
+not themselves part of the candidate — count as *blocking* registers and
+drive the weight formula.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+
+__all__ = ["convex_hull", "polygon_area", "point_in_convex_polygon"]
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    """Z-component of the cross product (a - o) x (b - o)."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: list[Point]) -> list[Point]:
+    """Convex hull via Andrew's monotone chain, in counter-clockwise order.
+
+    Collinear points on the hull boundary are dropped, so the result is the
+    minimal vertex set.  Degenerate inputs are handled: a single point or a
+    set of collinear points returns the (deduplicated) extreme points, which
+    still works with :func:`point_in_convex_polygon`.
+    """
+    unique = sorted(set((p.x, p.y) for p in points))
+    pts = [Point(x, y) for x, y in unique]
+    if len(pts) <= 2:
+        return pts
+
+    lower: list[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:  # all input points collinear
+        return [pts[0], pts[-1]]
+    return hull
+
+
+def polygon_area(polygon: list[Point]) -> float:
+    """Signed shoelace area; positive for counter-clockwise vertex order."""
+    if len(polygon) < 3:
+        return 0.0
+    area = 0.0
+    n = len(polygon)
+    for i in range(n):
+        a = polygon[i]
+        b = polygon[(i + 1) % n]
+        area += a.x * b.y - b.x * a.y
+    return area / 2.0
+
+
+def point_in_convex_polygon(
+    p: Point, polygon: list[Point], include_boundary: bool = True, eps: float = 1e-9
+) -> bool:
+    """Whether ``p`` lies inside a convex polygon given in CCW order.
+
+    ``include_boundary`` controls whether boundary points count as inside.
+    The paper counts a register as blocking when its *center is inside* the
+    test polygon; we treat the boundary as inside by default, the conservative
+    choice (a register touching the hull boundary still competes for the
+    routing resources of the region).  ``eps`` absorbs floating-point noise
+    in the cross products — points within ``eps`` of an edge's supporting
+    line count as boundary points.
+
+    Degenerate polygons are supported: a segment (2 vertices) contains only
+    its boundary points, a single vertex contains only itself.
+    """
+    if not polygon:
+        return False
+    if len(polygon) == 1:
+        on_vertex = (
+            abs(p.x - polygon[0].x) <= eps and abs(p.y - polygon[0].y) <= eps
+        )
+        return on_vertex and include_boundary
+    if len(polygon) == 2:
+        a, b = polygon
+        scale = max(abs(b.x - a.x), abs(b.y - a.y), 1.0)
+        if abs(_cross(a, b, p)) > eps * scale:
+            return False
+        within = (
+            min(a.x, b.x) - eps <= p.x <= max(a.x, b.x) + eps
+            and min(a.y, b.y) - eps <= p.y <= max(a.y, b.y) + eps
+        )
+        return within and include_boundary
+
+    on_boundary = False
+    for i in range(len(polygon)):
+        a = polygon[i]
+        b = polygon[(i + 1) % len(polygon)]
+        scale = max(abs(b.x - a.x), abs(b.y - a.y), 1.0)
+        side = _cross(a, b, p)
+        if side < -eps * scale:
+            return False
+        if side <= eps * scale:
+            # On (or within eps of) the supporting line of this edge; for a
+            # convex CCW polygon that passed every other side test, this is
+            # a boundary point.
+            on_boundary = True
+    return include_boundary if on_boundary else True

@@ -1,0 +1,52 @@
+"""2-D points with the Manhattan metric used by placement and timing."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the placement plane (microns)."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return this point scaled about the origin."""
+        return Point(self.x * factor, self.y * factor)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Manhattan distance between two points.
+
+    Wire-length and timing-feasible-region computations in the paper are all
+    Manhattan-metric, matching routed-wire behaviour on a grid.
+    """
+    return a.manhattan_to(b)
+
+
+def centroid(points: list[Point]) -> Point:
+    """Arithmetic mean of a non-empty list of points."""
+    if not points:
+        raise ValueError("centroid of an empty point set is undefined")
+    n = float(len(points))
+    return Point(sum(p.x for p in points) / n, sum(p.y for p in points) / n)

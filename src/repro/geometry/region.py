@@ -1,0 +1,97 @@
+"""Timing-feasible placement regions (Section 2 of the paper).
+
+For each register pin with positive timing slack, the slack converts to an
+equivalent Manhattan distance the pin can move without creating a violation.
+The per-pin feasible region is a rectangle (the Manhattan diamond's bounding
+box, following the rectangle-based region algebra of INTEGRA [9]) around the
+pin's net anchor.  A cell's feasible region is the intersection of its pins'
+regions; two registers are *placement compatible* when their regions overlap.
+
+Negative-slack pins restrict the region to the intersection of the violating
+net's bounding box with the regions of the other pins, degenerating to the
+cell footprint when that intersection is empty — the cell cannot move, but it
+still offers its own footprint as a region other registers may move into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect, intersect_all
+
+
+@dataclass(frozen=True, slots=True)
+class FeasibleRegion:
+    """The timing-feasible placement region of a register (or candidate MBR).
+
+    ``rect``
+        The rectangular region where the register's origin may be placed
+        without creating a new timing violation.
+    ``pinned``
+        True when negative slack (or designer constraints) anchors the cell:
+        the region equals the cell footprint and the cell itself must not
+        move, although *other* registers may still merge into this region.
+    """
+
+    rect: Rect
+    pinned: bool = False
+
+    def overlaps(self, other: "FeasibleRegion") -> bool:
+        """Placement compatibility test between two regions.
+
+        Two pinned regions never merge (neither cell can move to the other),
+        so they are placement-incompatible even if their footprints touch.
+        """
+        if self.pinned and other.pinned:
+            return False
+        return self.rect.overlaps(other.rect)
+
+    def intersect(self, other: "FeasibleRegion") -> "FeasibleRegion | None":
+        """Common region of two compatible registers (``None`` if disjoint)."""
+        common = self.rect.intersect(other.rect)
+        if common is None:
+            return None
+        return FeasibleRegion(common, pinned=self.pinned or other.pinned)
+
+
+def common_region(regions: list[FeasibleRegion]) -> FeasibleRegion | None:
+    """Shared feasible region of a group of registers, or ``None``.
+
+    A candidate MBR is only placeable when every constituent register's
+    feasible region shares a common rectangle; at most one constituent may be
+    pinned (two pinned registers cannot co-locate).
+    """
+    if not regions:
+        raise ValueError("common region of an empty group is undefined")
+    if sum(1 for r in regions if r.pinned) > 1:
+        return None
+    rect = intersect_all([r.rect for r in regions])
+    if rect is None:
+        return None
+    return FeasibleRegion(rect, pinned=any(r.pinned for r in regions))
+
+
+@dataclass(slots=True)
+class SlackToDistance:
+    """Conversion between timing slack and Manhattan move distance.
+
+    The paper transforms "the positive timing slack of the input D and output
+    Q pins to an equivalent distance that it can move without causing a
+    timing violation".  With a linear wire-delay model of ``delay_per_micron``
+    seconds of extra path delay per micron of added Manhattan wire length,
+    a slack of ``s`` seconds allows a move of ``s / delay_per_micron``
+    microns.  ``max_distance`` caps the region so enormous slacks do not
+    produce die-sized regions (which would defeat the *nearby* register
+    intent and blow up the compatibility graph).
+    """
+
+    delay_per_micron: float
+    max_distance: float = field(default=float("inf"))
+
+    def distance(self, slack: float) -> float:
+        """Move budget in microns for a given slack (0 for negative slack)."""
+        if slack <= 0.0:
+            return 0.0
+        if self.delay_per_micron <= 0.0:
+            return self.max_distance
+        return min(slack / self.delay_per_micron, self.max_distance)

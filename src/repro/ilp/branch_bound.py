@@ -1,0 +1,100 @@
+"""Generic 0/1 integer programming by branch-and-bound over LP relaxations.
+
+A deliberately simple MILP solver used to cross-check the specialized
+set-partition solver and to support ad-hoc binary programs in experiments.
+It relaxes each subproblem with :func:`repro.ilp.simplex.solve_lp`, branches
+on the most fractional variable, and explores best-bound first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ilp.simplex import LPStatus, solve_lp
+
+
+@dataclass(frozen=True)
+class BinaryProgramResult:
+    feasible: bool
+    x: np.ndarray | None
+    objective: float | None
+    nodes_explored: int = 0
+
+
+def solve_binary_program(
+    c,
+    A_ub=None,
+    b_ub=None,
+    A_eq=None,
+    b_eq=None,
+    max_nodes: int = 100_000,
+) -> BinaryProgramResult:
+    """Solve ``min c.x`` with binary ``x`` under linear constraints.
+
+    Raises ``RuntimeError`` if ``max_nodes`` subproblems are exhausted
+    before proving optimality — a safety valve, not an expected outcome at
+    composition problem sizes.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.size
+
+    counter = itertools.count()
+    incumbent: np.ndarray | None = None
+    incumbent_obj = float("inf")
+    nodes = 0
+
+    root_bounds: dict[int, int] = {}
+    heap: list[tuple[float, int, dict[int, int]]] = []
+
+    def relax(fixed: dict[int, int]):
+        bounds = [
+            (float(fixed[j]), float(fixed[j])) if j in fixed else (0.0, 1.0)
+            for j in range(n)
+        ]
+        return solve_lp(c, A_ub, b_ub, A_eq, b_eq, bounds)
+
+    root = relax(root_bounds)
+    if root.status is LPStatus.INFEASIBLE:
+        return BinaryProgramResult(False, None, None, 1)
+    heapq.heappush(heap, (root.objective, next(counter), root_bounds))
+
+    while heap:
+        lower, _, fixed = heapq.heappop(heap)
+        if lower >= incumbent_obj - 1e-9:
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError("branch-and-bound node limit exceeded")
+        res = relax(fixed)
+        if not res.ok or res.objective >= incumbent_obj - 1e-9:
+            continue
+        frac_j = _most_fractional(res.x, fixed)
+        if frac_j is None:
+            x_int = np.round(res.x).astype(float)
+            obj = float(c @ x_int)
+            if obj < incumbent_obj:
+                incumbent, incumbent_obj = x_int, obj
+            continue
+        for value in (1, 0):
+            child = dict(fixed)
+            child[frac_j] = value
+            heapq.heappush(heap, (res.objective, next(counter), child))
+
+    if incumbent is None:
+        return BinaryProgramResult(False, None, None, nodes)
+    return BinaryProgramResult(True, incumbent, incumbent_obj, nodes)
+
+
+def _most_fractional(x: np.ndarray, fixed: dict[int, int]) -> int | None:
+    best_j, best_frac = None, 1e-6
+    for j, v in enumerate(x):
+        if j in fixed:
+            continue
+        frac = abs(v - round(v))
+        if frac > best_frac:
+            best_j, best_frac = j, frac
+    return best_j

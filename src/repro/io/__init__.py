@@ -1,0 +1,28 @@
+"""Design and library file I/O.
+
+Text formats so designs round-trip through files the way the paper's flow
+consumes placed netlists:
+
+* :mod:`repro.io.liberty` — a Liberty-style cell library subset
+  (``.lib``-flavoured: cells, pins, capacitance, area, register attributes);
+* :mod:`repro.io.verilog` — structural Verilog netlists (module, wires,
+  named-port instances);
+* :mod:`repro.io.deffile` — a DEF subset (DIEAREA, COMPONENTS with
+  placement and FIXED, PINS with locations).
+
+Each writer/reader pair round-trips everything the composition flow needs;
+they are subsets, not full-language parsers.
+"""
+
+from repro.io.liberty import read_liberty, write_liberty
+from repro.io.verilog import read_verilog, write_verilog
+from repro.io.deffile import read_def, write_def
+
+__all__ = [
+    "read_liberty",
+    "write_liberty",
+    "read_verilog",
+    "write_verilog",
+    "read_def",
+    "write_def",
+]

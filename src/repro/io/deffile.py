@@ -1,0 +1,137 @@
+"""DEF-subset writer/reader: die area, component placement, pin locations.
+
+The writer emits the parts of DEF the flow needs::
+
+    VERSION 5.8 ;
+    DESIGN D1 ;
+    UNITS DISTANCE MICRONS 1000 ;
+    DIEAREA ( 0 0 ) ( 105000 105000 ) ;
+    COMPONENTS 812 ;
+      - ff0 DFF_R_X1 + PLACED ( 10000 50000 ) N ;
+      - pad FIXEDCELL + FIXED ( 0 0 ) N ;
+    END COMPONENTS
+    PINS 34 ;
+      - clk + NET clk + DIRECTION INPUT + PLACED ( 0 52000 ) N ;
+    END PINS
+    END DESIGN
+
+and the reader applies placement/die/pin locations onto a design parsed
+from the matching Verilog netlist.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.netlist.design import Design
+
+_DBU = 1000  # database units per micron
+
+
+def write_def(design: Design, path: str | Path) -> None:
+    """Write die area, component placements, and pin locations."""
+
+    def dbu(v: float) -> int:
+        return round(v * _DBU)
+
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {design.name} ;",
+        f"UNITS DISTANCE MICRONS {_DBU} ;",
+        (
+            f"DIEAREA ( {dbu(design.die.xlo)} {dbu(design.die.ylo)} ) "
+            f"( {dbu(design.die.xhi)} {dbu(design.die.yhi)} ) ;"
+        ),
+        f"COMPONENTS {len(design.cells)} ;",
+    ]
+    for cell in sorted(design.cells.values(), key=lambda c: c.name):
+        status = "FIXED" if cell.fixed else "PLACED"
+        lines.append(
+            f"  - {cell.name} {cell.libcell.name} + {status} "
+            f"( {dbu(cell.origin.x)} {dbu(cell.origin.y)} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append(f"PINS {len(design.ports)} ;")
+    for port in sorted(design.ports.values(), key=lambda p: p.name):
+        direction = "INPUT" if port.is_input else "OUTPUT"
+        net_name = port.net.name if port.net is not None else port.name
+        lines.append(
+            f"  - {port.name} + NET {net_name} + DIRECTION {direction} "
+            f"+ PLACED ( {dbu(port.location.x)} {dbu(port.location.y)} ) N ;"
+        )
+    lines.append("END PINS")
+    lines.append("END DESIGN")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+_DIEAREA = re.compile(
+    r"DIEAREA\s*\(\s*(-?\d+)\s+(-?\d+)\s*\)\s*\(\s*(-?\d+)\s+(-?\d+)\s*\)\s*;"
+)
+_COMPONENT = re.compile(
+    r"-\s+(\S+)\s+(\S+)\s+\+\s+(PLACED|FIXED)\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+)
+_PIN = re.compile(
+    r"-\s+(\S+)\s+\+\s+NET\s+\S+\s+\+\s+DIRECTION\s+(INPUT|OUTPUT)\s+"
+    r"\+\s+PLACED\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+)
+_UNITS = re.compile(r"UNITS\s+DISTANCE\s+MICRONS\s+(\d+)\s*;")
+
+
+def read_def(path: str | Path, design: Design) -> Design:
+    """Apply a DEF-subset file's die/placement/pin data to ``design``.
+
+    The design (typically fresh from :func:`repro.io.verilog.read_verilog`)
+    must already contain the named components and ports; unknown names are
+    an error, since a placement that does not match its netlist is corrupt.
+    """
+    text = Path(path).read_text()
+    units = _UNITS.search(text)
+    dbu = int(units.group(1)) if units else _DBU
+
+    def um(v: str) -> float:
+        return int(v) / dbu
+
+    die = _DIEAREA.search(text)
+    if die is None:
+        raise ValueError(f"{path}: missing DIEAREA")
+    design.die = Rect(um(die.group(1)), um(die.group(2)), um(die.group(3)), um(die.group(4)))
+
+    in_components = False
+    in_pins = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("COMPONENTS"):
+            in_components = True
+            continue
+        if stripped.startswith("END COMPONENTS"):
+            in_components = False
+            continue
+        if stripped.startswith("PINS"):
+            in_pins = True
+            continue
+        if stripped.startswith("END PINS"):
+            in_pins = False
+            continue
+        if in_components:
+            m = _COMPONENT.search(stripped)
+            if not m:
+                continue
+            name, libcell, status, x, y = m.groups()
+            cell = design.cell(name)
+            if cell.libcell.name != libcell:
+                raise ValueError(
+                    f"{path}: component {name} is {libcell} in DEF but "
+                    f"{cell.libcell.name} in the netlist"
+                )
+            cell.origin = Point(um(x), um(y))
+            cell.fixed = status == "FIXED"
+        elif in_pins:
+            m = _PIN.search(stripped)
+            if not m:
+                continue
+            name, _direction, x, y = m.groups()
+            design.ports[name].location = Point(um(x), um(y))
+    return design

@@ -1,0 +1,196 @@
+"""Liberty-style library writer/reader (a strict subset).
+
+The format mirrors the familiar ``.lib`` structure::
+
+    library (repro28) {
+      wire_cap_per_um : 0.0002 ;
+      cell (DFF_R_4B_X1) {
+        area : 6.68 ;
+        cell_kind : register ;
+        width_bits : 4 ;
+        ...
+        pin (D0) { direction : input ; capacitance : 0.0008 ; offset : (0.0, 0.125) ; }
+      }
+    }
+
+Only the attributes this reproduction's cell model carries are emitted, and
+the reader accepts exactly what the writer produces (plus whitespace and
+``/* */`` comments), so libraries round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.library.cells import (
+    ClockBufferCell,
+    ClockGateCell,
+    CombCell,
+    LibCell,
+    PinDesc,
+    PinDirection,
+    RegisterCell,
+)
+from repro.library.functional import FunctionalClass, ResetKind, ScanStyle
+from repro.library.library import CellLibrary, Technology
+
+
+def write_liberty(library: CellLibrary, path: str | Path) -> None:
+    """Serialize a library to Liberty-style text."""
+    lines: list[str] = [f"library ({library.name}) {{"]
+    tech = library.technology
+    lines.append(f"  wire_cap_per_um : {tech.wire_cap_per_um!r} ;")
+    lines.append(f"  wire_delay_per_um : {tech.wire_delay_per_um!r} ;")
+    lines.append(f"  row_height : {tech.row_height!r} ;")
+    lines.append(f"  site_width : {tech.site_width!r} ;")
+    for cell in sorted(library.cells(), key=lambda c: c.name):
+        lines.extend(_cell_lines(cell))
+    lines.append("}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def _cell_lines(cell: LibCell) -> list[str]:
+    lines = [f"  cell ({cell.name}) {{"]
+
+    def attr(name, value):
+        lines.append(f"    {name} : {value!r} ;")
+
+    attr("area", cell.area)
+    attr("width", cell.width)
+    attr("height", cell.height)
+    attr("leakage", cell.leakage)
+    attr("drive_resistance", cell.drive_resistance)
+    attr("intrinsic_delay", cell.intrinsic_delay)
+    if isinstance(cell, RegisterCell):
+        attr("cell_kind", "register")
+        attr("width_bits", cell.width_bits)
+        attr("scan_style", cell.scan_style.value)
+        attr("clock_pin_cap", cell.clock_pin_cap)
+        attr("setup", cell.setup)
+        attr("hold", cell.hold)
+        attr("clk_to_q", cell.clk_to_q)
+        fc = cell.func_class
+        attr("is_latch", int(fc.is_latch))
+        attr("reset_kind", fc.reset.value)
+        attr("has_enable", int(fc.has_enable))
+        attr("is_scan", int(fc.is_scan))
+        attr("negedge", int(fc.negedge))
+    elif isinstance(cell, ClockBufferCell):
+        attr("cell_kind", "clock_buffer")
+        attr("max_fanout_cap", cell.max_fanout_cap)
+    elif isinstance(cell, ClockGateCell):
+        attr("cell_kind", "clock_gate")
+    else:
+        attr("cell_kind", "comb")
+        attr("function", getattr(cell, "function", "buf"))
+
+    for pin in cell.pins:
+        lines.append(
+            f"    pin ({pin.name}) {{ direction : {pin.direction.value} ; "
+            f"capacitance : {pin.cap!r} ; offset : ({pin.dx!r}, {pin.dy!r}) ; }}"
+        )
+    lines.append("  }")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"""
+    library\s*\(\s*(?P<lib>[\w.\-]+)\s*\)\s*\{
+    | cell\s*\(\s*(?P<cell>[\w.\-]+)\s*\)\s*\{
+    | pin\s*\(\s*(?P<pin>[\w.\-]+)\s*\)\s*\{(?P<pinbody>[^}]*)\}
+    | (?P<attr>[\w]+)\s*:\s*(?P<value>[^;]+);
+    | (?P<close>\})
+    """,
+    re.VERBOSE,
+)
+
+
+def read_liberty(path: str | Path) -> CellLibrary:
+    """Parse a Liberty-subset file back into a :class:`CellLibrary`."""
+    text = Path(path).read_text()
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+    library: CellLibrary | None = None
+    lib_attrs: dict[str, str] = {}
+    current: dict | None = None
+    pending_cells: list[dict] = []
+
+    for match in _TOKEN.finditer(text):
+        if match.group("lib"):
+            library = CellLibrary(match.group("lib"))
+        elif match.group("cell"):
+            current = {"name": match.group("cell"), "attrs": {}, "pins": []}
+            pending_cells.append(current)
+        elif match.group("pin"):
+            if current is None:
+                raise ValueError("pin outside cell")
+            current["pins"].append((match.group("pin"), match.group("pinbody")))
+        elif match.group("attr"):
+            target = current["attrs"] if current is not None else lib_attrs
+            target[match.group("attr")] = match.group("value").strip().strip("'\"")
+        elif match.group("close"):
+            if current is not None:
+                current = None
+
+    if library is None:
+        raise ValueError(f"{path}: not a liberty-subset file")
+    library.technology = Technology(
+        wire_cap_per_um=float(lib_attrs.get("wire_cap_per_um", 0.0002)),
+        wire_delay_per_um=float(lib_attrs.get("wire_delay_per_um", 0.0005)),
+        row_height=float(lib_attrs.get("row_height", 1.0)),
+        site_width=float(lib_attrs.get("site_width", 0.2)),
+    )
+    for spec in pending_cells:
+        library.add(_build_cell(spec))
+    return library
+
+
+def _parse_pin(name: str, body: str) -> PinDesc:
+    direction = PinDirection(re.search(r"direction\s*:\s*(\w+)", body).group(1))
+    cap = float(re.search(r"capacitance\s*:\s*([\d.eE+-]+)", body).group(1))
+    dx, dy = re.search(r"offset\s*:\s*\(([\d.eE+-]+),\s*([\d.eE+-]+)\)", body).groups()
+    return PinDesc(name, direction, cap, float(dx), float(dy))
+
+
+def _build_cell(spec: dict) -> LibCell:
+    a = spec["attrs"]
+    pins = tuple(_parse_pin(n, b) for n, b in spec["pins"])
+    base = dict(
+        name=spec["name"],
+        area=float(a["area"]),
+        width=float(a["width"]),
+        height=float(a["height"]),
+        leakage=float(a["leakage"]),
+        pins=pins,
+        drive_resistance=float(a["drive_resistance"]),
+        intrinsic_delay=float(a["intrinsic_delay"]),
+    )
+    kind = a.get("cell_kind", "comb")
+    if kind == "register":
+        func_class = FunctionalClass(
+            is_latch=bool(int(a["is_latch"])),
+            reset=ResetKind(a["reset_kind"]),
+            has_enable=bool(int(a["has_enable"])),
+            is_scan=bool(int(a["is_scan"])),
+            negedge=bool(int(a["negedge"])),
+        )
+        return RegisterCell(
+            **base,
+            width_bits=int(a["width_bits"]),
+            func_class=func_class,
+            scan_style=ScanStyle(a["scan_style"]),
+            clock_pin_cap=float(a["clock_pin_cap"]),
+            setup=float(a["setup"]),
+            hold=float(a["hold"]),
+            clk_to_q=float(a["clk_to_q"]),
+        )
+    if kind == "clock_buffer":
+        return ClockBufferCell(**base, max_fanout_cap=float(a["max_fanout_cap"]))
+    if kind == "clock_gate":
+        return ClockGateCell(**base)
+    return CombCell(**base, function=a.get("function", "buf"))

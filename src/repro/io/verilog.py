@@ -1,0 +1,139 @@
+"""Structural Verilog writer/reader (named-port netlists only).
+
+Writes the design as one flat module::
+
+    module D1 (clk, rst, in0, out0);
+      input clk;
+      output out0;
+      wire n_1;
+      DFF_R_X1 ff0 ( .D(n_1), .Q(n_2), .CK(clk), .RN(rst) );
+    endmodule
+
+and reads the same subset back over a given :class:`CellLibrary`.  Clock
+nets are not a Verilog concept; the reader marks as clock any net driven by
+a port or pin whose name contains ``clk``/``CK``/``GCK``, matching the
+writer's convention (a ``// clock nets:`` comment makes it explicit and
+authoritative when present).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.library.cells import PinDirection
+from repro.library.library import CellLibrary
+from repro.netlist.design import Design
+
+_ID = r"[A-Za-z_][\w$]*"
+
+
+def _escape(name: str) -> str:
+    """Verilog-identifier-safe name (our generators already comply)."""
+    if re.fullmatch(_ID, name):
+        return name
+    return "\\" + name + " "
+
+
+def write_verilog(design: Design, path: str | Path) -> None:
+    """Write the design as a flat structural Verilog module."""
+    lines: list[str] = []
+    clock_nets = sorted(n.name for n in design.nets.values() if n.is_clock)
+    lines.append(f"// repro structural netlist for design {design.name}")
+    lines.append(f"// clock nets: {' '.join(clock_nets)}")
+    for port in sorted(design.ports.values(), key=lambda p: p.name):
+        if port.net is not None and port.net.name != port.name:
+            # Verilog identifies a port with its net; our DB allows distinct
+            # names, so record the binding explicitly for the reader.
+            lines.append(f"// port_net: {port.name} {port.net.name}")
+    ports = sorted(design.ports.values(), key=lambda p: p.name)
+    port_list = ", ".join(_escape(p.name) for p in ports)
+    lines.append(f"module {_escape(design.name)} ({port_list});")
+    for port in ports:
+        kind = "input" if port.is_input else "output"
+        lines.append(f"  {kind} {_escape(port.name)};")
+    for net in sorted(design.nets.values(), key=lambda n: n.name):
+        if net.name not in design.ports:
+            lines.append(f"  wire {_escape(net.name)};")
+    for cell in sorted(design.cells.values(), key=lambda c: c.name):
+        conns = ", ".join(
+            f".{pin.name}({_escape(pin.net.name)})"
+            for pin in sorted(cell.pins.values(), key=lambda p: p.name)
+            if pin.net is not None
+        )
+        lines.append(f"  {_escape(cell.libcell.name)} {_escape(cell.name)} ( {conns} );")
+    lines.append("endmodule")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+_MODULE = re.compile(rf"module\s+({_ID})\s*\((?P<ports>[^)]*)\)\s*;")
+_DECL = re.compile(rf"^\s*(input|output|wire)\s+({_ID})\s*;\s*$")
+_INST = re.compile(rf"^\s*({_ID})\s+({_ID})\s*\(\s*(?P<conns>.*)\)\s*;\s*$")
+_CONN = re.compile(rf"\.({_ID})\s*\(\s*({_ID})\s*\)")
+_CLOCKS = re.compile(r"//\s*clock nets:\s*(.*)$", re.MULTILINE)
+_PORT_NET = re.compile(rf"//\s*port_net:\s*({_ID})\s+({_ID})\s*$", re.MULTILINE)
+
+
+def read_verilog(
+    path: str | Path,
+    library: CellLibrary,
+    die: Rect | None = None,
+) -> Design:
+    """Parse a flat structural module written by :func:`write_verilog`.
+
+    Positions are not part of Verilog: cells land at the origin until a DEF
+    file (:func:`repro.io.deffile.read_def`) places them.  ``die`` defaults
+    to a unit placeholder re-sized by the DEF reader.
+    """
+    text = Path(path).read_text()
+    module = _MODULE.search(text)
+    if module is None:
+        raise ValueError(f"{path}: no module found")
+    design = Design(module.group(1), library, die or Rect(0, 0, 1, 1))
+
+    explicit_clocks: set[str] = set()
+    clocks_match = _CLOCKS.search(text)
+    if clocks_match:
+        explicit_clocks = set(clocks_match.group(1).split())
+
+    directions: dict[str, PinDirection] = {}
+    wires: list[str] = []
+    instances: list[tuple[str, str, str]] = []
+    for line in text.splitlines():
+        decl = _DECL.match(line)
+        if decl:
+            kind, name = decl.groups()
+            if kind == "wire":
+                wires.append(name)
+            else:
+                directions[name] = (
+                    PinDirection.INPUT if kind == "input" else PinDirection.OUTPUT
+                )
+            continue
+        inst = _INST.match(line)
+        if inst and inst.group(1) != "module":
+            instances.append((inst.group(1), inst.group(2), inst.group("conns")))
+
+    def is_clock(name: str) -> bool:
+        if explicit_clocks:
+            return name in explicit_clocks
+        return bool(re.search(r"(^|_)g?clk", name, re.IGNORECASE))
+
+    port_net = {m.group(1): m.group(2) for m in _PORT_NET.finditer(text)}
+    for name in wires:
+        if name not in design.nets:
+            design.add_net(name, is_clock=is_clock(name))
+    for name in directions:
+        bound = port_net.get(name, name)
+        if bound not in design.nets:
+            design.add_net(bound, is_clock=is_clock(bound))
+        design.add_port(name, directions[name], Point(0.0, 0.0))
+        design.connect(design.ports[name], design.nets[bound])
+
+    for libcell_name, inst_name, conns in instances:
+        cell = design.add_cell(inst_name, library.cell(libcell_name))
+        for pin_name, net_name in _CONN.findall(conns):
+            design.connect(cell.pin(pin_name), design.net(net_name))
+    return design

@@ -1,0 +1,47 @@
+"""Standard-cell library model with multi-bit register (MBR) families.
+
+The paper composes registers into MBRs drawn from a real 28 nm standard-cell
+library.  This package models the parts of such a library the flow needs:
+
+* *functional classes* of registers (reset/set/enable/scan variants) — only
+  registers of the same class with a larger-width cell in the library can be
+  composed (Section 2, "functionally compatible");
+* *register cells* across widths {1, 2, 3, 4, 8} and drive strengths, with
+  area, pin capacitance, leakage, and a linear delay model (drive resistance
+  x load + intrinsic) standing in for CCS timing (Section 4.1 describes drive
+  resistance exactly this way);
+* *combinational and clock cells* so the surrounding netlist, STA, and
+  clock-tree substrates have real cells to work with;
+* the :func:`default_library` 28 nm-flavoured library used by the synthetic
+  benchmarks, exhibiting the per-bit area and clock-pin-capacitance sharing
+  that makes MBR composition profitable.
+"""
+
+from repro.library.functional import FunctionalClass, ScanStyle, ResetKind
+from repro.library.cells import (
+    PinDesc,
+    PinDirection,
+    LibCell,
+    CombCell,
+    RegisterCell,
+    ClockBufferCell,
+    ClockGateCell,
+)
+from repro.library.library import CellLibrary
+from repro.library.default_lib import default_library, DefaultLibraryParams
+
+__all__ = [
+    "FunctionalClass",
+    "ScanStyle",
+    "ResetKind",
+    "PinDesc",
+    "PinDirection",
+    "LibCell",
+    "CombCell",
+    "RegisterCell",
+    "ClockBufferCell",
+    "ClockGateCell",
+    "CellLibrary",
+    "default_library",
+    "DefaultLibraryParams",
+]

@@ -1,0 +1,226 @@
+"""The default 28 nm-flavoured library used by tests and benchmarks.
+
+The numbers are schematic but shaped like a real low-power 28 nm library:
+
+* per-bit register area falls with MBR width (shared clock internals and
+  well/tap overhead), roughly 20% smaller per bit at 8 bits;
+* the shared clock pin of an 8-bit MBR presents far less capacitance than
+  eight single-bit clock pins — the effect MBR composition exploits;
+* higher drive strengths have lower drive resistance and more area;
+* multi-SI/SO scan MBRs are slightly smaller than internal-scan ones
+  (Section 4.1), but cost external scan routing, which mapping penalizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cells import (
+    ClockBufferCell,
+    ClockGateCell,
+    CombCell,
+    PinDesc,
+    PinDirection,
+    RegisterCell,
+    register_pin_descs,
+)
+from repro.library.functional import (
+    STANDARD_CLASSES,
+    FunctionalClass,
+    ScanStyle,
+)
+from repro.library.library import CellLibrary, Technology
+
+
+@dataclass(frozen=True, slots=True)
+class DefaultLibraryParams:
+    """Knobs of the generated library.
+
+    ``mbr_widths``
+        The MBR widths available per register class — the paper's running
+        example uses exactly {1, 2, 3, 4, 8}.
+    ``area_sharing`` / ``clock_cap_sharing``
+        How strongly per-bit area and clock-pin capacitance shrink with
+        width; see :func:`_area` and :func:`_clock_cap`.
+    """
+
+    mbr_widths: tuple[int, ...] = (1, 2, 3, 4, 8)
+    drives: tuple[int, ...] = (1, 2, 4)
+    bit_area: float = 2.0  # um^2 for a 1-bit X1 flop
+    area_sharing: float = 0.22
+    bit_clock_cap: float = 0.0008  # pF clock-pin cap of a 1-bit flop
+    clock_cap_sharing: float = 0.65
+    d_pin_cap: float = 0.0008
+    ctrl_pin_cap: float = 0.0010
+    base_drive_resistance: float = 2.0  # ns/pF at X1
+    clk_to_q: float = 0.08  # ns
+    setup: float = 0.03  # ns
+    hold: float = 0.01  # ns
+    leakage_per_um2: float = 1.5  # nW/um^2
+    row_height: float = 1.0
+    multi_scan_area_factor: float = 0.96
+    technology: Technology = field(default_factory=Technology)
+
+
+def _area_per_bit(width: int, p: DefaultLibraryParams) -> float:
+    """Per-bit area of an X1 MBR: ``bit_area * (1 - sharing * (1 - 1/w))``.
+
+    Monotone decreasing in width: 1.00x at 1 bit, ~0.81x at 8 bits with the
+    default sharing of 0.22.
+    """
+    return p.bit_area * (1.0 - p.area_sharing * (1.0 - 1.0 / width))
+
+
+def _clock_cap(width: int, p: DefaultLibraryParams) -> float:
+    """Clock-pin capacitance of a width-``w`` MBR.
+
+    ``cap(w) = c1 * ((1 - s) * w + s)`` — a shared component plus a per-bit
+    component.  With sharing 0.65, an 8-bit MBR's clock pin is ~3.45x a
+    single flop's, i.e. 0.43x per bit: the clock-tree load reduction the
+    paper measures as "Clk Cap".
+    """
+    return p.bit_clock_cap * ((1.0 - p.clock_cap_sharing) * width + p.clock_cap_sharing)
+
+
+def _register_name(
+    func_class: FunctionalClass, width: int, drive: int, scan_style: ScanStyle
+) -> str:
+    suffix = ""
+    if scan_style is ScanStyle.MULTI:
+        suffix = "_MS"
+    bits = "" if width == 1 else f"{width}B_"
+    return f"{func_class.name}_{bits}X{drive}{suffix}"
+
+
+def _make_register(
+    func_class: FunctionalClass,
+    width: int,
+    drive: int,
+    scan_style: ScanStyle,
+    p: DefaultLibraryParams,
+) -> RegisterCell:
+    area = _area_per_bit(width, p) * width * (1.0 + 0.15 * (drive - 1) / max(width, 1))
+    if scan_style is ScanStyle.MULTI:
+        area *= p.multi_scan_area_factor
+    cell_width = area / p.row_height
+    clock_cap = _clock_cap(width, p) * (1.0 + 0.05 * (drive - 1))
+    pins = register_pin_descs(
+        width_bits=width,
+        func_class=func_class,
+        scan_style=scan_style,
+        cell_width=cell_width,
+        cell_height=p.row_height,
+        d_cap=p.d_pin_cap,
+        clock_pin_cap=clock_cap,
+        ctrl_cap=p.ctrl_pin_cap,
+    )
+    return RegisterCell(
+        name=_register_name(func_class, width, drive, scan_style),
+        area=area,
+        width=cell_width,
+        height=p.row_height,
+        leakage=area * p.leakage_per_um2,
+        pins=pins,
+        drive_resistance=p.base_drive_resistance / drive,
+        intrinsic_delay=0.0,
+        width_bits=width,
+        func_class=func_class,
+        scan_style=scan_style,
+        clock_pin_cap=clock_cap,
+        setup=p.setup,
+        hold=p.hold,
+        clk_to_q=p.clk_to_q,
+    )
+
+
+def _comb(name: str, function: str, area: float, drive: int, n_inputs: int,
+          p: DefaultLibraryParams) -> CombCell:
+    in_cap = 0.0006 * (1.0 + 0.4 * (drive - 1))
+    width = area / p.row_height
+    pins = [
+        PinDesc(chr(ord("A") + i), PinDirection.INPUT, in_cap,
+                0.0, (i + 0.5) / n_inputs * p.row_height)
+        for i in range(n_inputs)
+    ]
+    pins.append(PinDesc("Z", PinDirection.OUTPUT, 0.0, width, p.row_height / 2.0))
+    return CombCell(
+        name=name,
+        area=area,
+        width=width,
+        height=p.row_height,
+        leakage=area * p.leakage_per_um2,
+        pins=tuple(pins),
+        drive_resistance=p.base_drive_resistance / drive,
+        intrinsic_delay=0.015 + 0.005 * n_inputs,
+        function=function,
+    )
+
+
+def default_library(params: DefaultLibraryParams | None = None) -> CellLibrary:
+    """Build the default library.
+
+    Every functional class in :data:`STANDARD_CLASSES` gets the full width x
+    drive matrix; scan classes additionally get multi-SI/SO variants at
+    widths > 1.  Plus combinational cells, clock buffers, and a clock gate.
+    """
+    p = params or DefaultLibraryParams()
+    lib = CellLibrary("repro28", technology=p.technology)
+
+    for func_class in STANDARD_CLASSES:
+        widths = p.mbr_widths if not func_class.is_latch else (1, 2, 4)
+        for width in widths:
+            for drive in p.drives:
+                base_style = ScanStyle.INTERNAL if func_class.is_scan else ScanStyle.NONE
+                lib.add(_make_register(func_class, width, drive, base_style, p))
+                if func_class.is_scan and width > 1:
+                    lib.add(_make_register(func_class, width, drive, ScanStyle.MULTI, p))
+
+    for drive in (1, 2, 4, 8):
+        lib.add(_comb(f"INV_X{drive}", "inv", 0.4 * (1 + 0.3 * (drive - 1)), drive, 1, p))
+        lib.add(_comb(f"BUF_X{drive}", "buf", 0.5 * (1 + 0.3 * (drive - 1)), drive, 1, p))
+    for drive in (1, 2):
+        lib.add(_comb(f"NAND2_X{drive}", "nand2", 0.6 * drive, drive, 2, p))
+        lib.add(_comb(f"NOR2_X{drive}", "nor2", 0.6 * drive, drive, 2, p))
+        lib.add(_comb(f"XOR2_X{drive}", "xor2", 1.0 * drive, drive, 2, p))
+        lib.add(_comb(f"AND2_X{drive}", "and2", 0.7 * drive, drive, 2, p))
+        lib.add(_comb(f"OR2_X{drive}", "or2", 0.7 * drive, drive, 2, p))
+    lib.add(_comb("AOI21_X1", "aoi21", 0.9, 1, 3, p))
+    lib.add(_comb("MUX2_X1", "mux2", 1.1, 1, 3, p))
+
+    for drive, fanout_cap in ((2, 0.020), (4, 0.040), (8, 0.080)):
+        width = 0.8 * drive / p.row_height
+        lib.add(
+            ClockBufferCell(
+                name=f"CLKBUF_X{drive}",
+                area=0.8 * drive,
+                width=width,
+                height=p.row_height,
+                leakage=0.8 * drive * p.leakage_per_um2,
+                pins=(
+                    PinDesc("A", PinDirection.INPUT, 0.0010 * drive / 2, 0.0, 0.5),
+                    PinDesc("Z", PinDirection.OUTPUT, 0.0, width, 0.5),
+                ),
+                drive_resistance=p.base_drive_resistance / drive,
+                intrinsic_delay=0.02,
+                max_fanout_cap=fanout_cap,
+            )
+        )
+
+    icg_width = 1.6 / p.row_height
+    lib.add(
+        ClockGateCell(
+            name="ICG_X2",
+            area=1.6,
+            width=icg_width,
+            height=p.row_height,
+            leakage=1.6 * p.leakage_per_um2,
+            pins=(
+                PinDesc("CK", PinDirection.INPUT, 0.0012, 0.0, 0.0),
+                PinDesc("EN", PinDirection.INPUT, 0.0008, 0.0, 0.5),
+                PinDesc("GCK", PinDirection.OUTPUT, 0.0, icg_width, 0.5),
+            ),
+            drive_resistance=1.0,
+            intrinsic_delay=0.03,
+        )
+    )
+    return lib

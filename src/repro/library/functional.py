@@ -1,0 +1,108 @@
+"""Register functional classes and scan styles.
+
+Section 2 of the paper: registers are *functionally compatible* when their
+control pins (reset, scan-enable, clock-gating enable) are driven by the same
+nets and a functionally equivalent MBR exists in the library.  The library
+side of that test is the :class:`FunctionalClass` — the signature of a
+register's function; the netlist side (same control *nets*) lives in
+``repro.core.compatibility``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ResetKind(enum.Enum):
+    """Asynchronous control behaviour of a register."""
+
+    NONE = "none"
+    RESET = "reset"  # async active-low clear
+    SET = "set"  # async active-low preset
+    RESET_SET = "reset_set"
+
+
+class ScanStyle(enum.Enum):
+    """How scan is implemented in a register cell (Section 2).
+
+    ``INTERNAL``
+        The MBR has a single SI/SO pair; bits are chained inside the cell in
+        fixed order.  Registers in ordered scan sections may only merge when
+        the internal chain preserves their scan order.
+    ``MULTI``
+        One SI/SO pair per bit; several scan chains may cross the same MBR
+        (shared scan-enable), at the cost of external chain routing —
+        Section 4.1 penalizes these cells during mapping.
+    ``NONE``
+        Non-scan register.
+    """
+
+    NONE = "none"
+    INTERNAL = "internal"
+    MULTI = "multi"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionalClass:
+    """The functional signature of a register cell family.
+
+    Two register *cells* can implement the same design registers only when
+    their functional classes are equal — same storage kind, same asynchronous
+    controls, same synchronous enable, same clock edge.  Scan style is *not*
+    part of the class: a non-scan group may map to internal- or multi-scan
+    variants of the same class, and mapping (Section 4.1) picks among them.
+    """
+
+    is_latch: bool = False
+    reset: ResetKind = ResetKind.NONE
+    has_enable: bool = False
+    is_scan: bool = False
+    negedge: bool = False
+
+    @property
+    def name(self) -> str:
+        """A compact mnemonic, e.g. ``DFF_R_S`` for a scan reset flop."""
+        parts = ["LAT" if self.is_latch else "DFF"]
+        if self.reset in (ResetKind.RESET, ResetKind.RESET_SET):
+            parts.append("R")
+        if self.reset in (ResetKind.SET, ResetKind.RESET_SET):
+            parts.append("P")
+        if self.has_enable:
+            parts.append("E")
+        if self.is_scan:
+            parts.append("S")
+        if self.negedge:
+            parts.append("N")
+        return "_".join(parts)
+
+    def control_pin_names(self) -> tuple[str, ...]:
+        """The control pins (beyond the clock) a cell of this class carries."""
+        pins: list[str] = []
+        if self.reset in (ResetKind.RESET, ResetKind.RESET_SET):
+            pins.append("RN")
+        if self.reset in (ResetKind.SET, ResetKind.RESET_SET):
+            pins.append("SN")
+        if self.has_enable:
+            pins.append("EN")
+        if self.is_scan:
+            pins.append("SE")
+        return tuple(pins)
+
+
+# The classes exercised by the default library and benchmark generator.
+DFF = FunctionalClass()
+DFF_R = FunctionalClass(reset=ResetKind.RESET)
+DFF_S = FunctionalClass(is_scan=True)
+DFF_R_S = FunctionalClass(reset=ResetKind.RESET, is_scan=True)
+DFF_RE_S = FunctionalClass(reset=ResetKind.RESET, has_enable=True, is_scan=True)
+LAT = FunctionalClass(is_latch=True)
+
+STANDARD_CLASSES: tuple[FunctionalClass, ...] = (
+    DFF,
+    DFF_R,
+    DFF_S,
+    DFF_R_S,
+    DFF_RE_S,
+    LAT,
+)

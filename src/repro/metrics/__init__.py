@@ -1,0 +1,5 @@
+"""Design metrics collection — the columns of the paper's Table 1."""
+
+from repro.metrics.collect import DesignMetrics, collect_metrics, compare_metrics
+
+__all__ = ["DesignMetrics", "collect_metrics", "compare_metrics"]

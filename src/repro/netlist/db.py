@@ -1,0 +1,242 @@
+"""The netlist object model: cells, pins, nets, and top-level ports."""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.library.cells import LibCell, PinDesc, PinDirection, RegisterCell
+
+
+class Pin:
+    """A pin of a placed cell instance.
+
+    A pin's location is the cell origin plus the library pin offset, so pins
+    track cell moves automatically.
+    """
+
+    __slots__ = ("cell", "desc", "net")
+
+    def __init__(self, cell: "Cell", desc: PinDesc) -> None:
+        self.cell = cell
+        self.desc = desc
+        self.net: "Net | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.desc.name
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.cell.name}/{self.desc.name}"
+
+    @property
+    def direction(self) -> PinDirection:
+        return self.desc.direction
+
+    @property
+    def is_input(self) -> bool:
+        return self.desc.direction is PinDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.desc.direction is PinDirection.OUTPUT
+
+    @property
+    def cap(self) -> float:
+        """Input capacitance presented to the driving net (pF)."""
+        return self.desc.cap
+
+    @property
+    def location(self) -> Point:
+        return Point(self.cell.origin.x + self.desc.dx, self.cell.origin.y + self.desc.dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Pin({self.full_name})"
+
+
+class Port:
+    """A top-level design port.
+
+    Ports behave like pins for STA and wire-length purposes: an *input* port
+    drives its net, an *output* port is a timing endpoint.  ``cap`` models
+    the off-chip load on output ports.
+    """
+
+    __slots__ = ("name", "direction", "location", "net", "cap")
+
+    def __init__(
+        self,
+        name: str,
+        direction: PinDirection,
+        location: Point,
+        cap: float = 0.002,
+    ) -> None:
+        self.name = name
+        self.direction = direction
+        self.location = location
+        self.net: "Net | None" = None
+        self.cap = cap
+
+    @property
+    def full_name(self) -> str:
+        return self.name
+
+    @property
+    def is_input(self) -> bool:
+        """True when the port is a design input, i.e. it *drives* its net."""
+        return self.direction is PinDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PinDirection.OUTPUT
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Port({self.name})"
+
+
+Terminal = Union[Pin, Port]
+
+
+class Net:
+    """A signal net connecting one driver terminal to sink terminals."""
+
+    __slots__ = ("name", "terminals", "is_clock")
+
+    def __init__(self, name: str, is_clock: bool = False) -> None:
+        self.name = name
+        self.terminals: list[Terminal] = []
+        self.is_clock = is_clock
+
+    @property
+    def driver(self) -> Terminal | None:
+        """The unique driving terminal: an output pin or an input port."""
+        for t in self.terminals:
+            if isinstance(t, Pin) and t.is_output:
+                return t
+            if isinstance(t, Port) and t.is_input:
+                return t
+        return None
+
+    @property
+    def sinks(self) -> list[Terminal]:
+        """All driven terminals: input pins and output ports."""
+        out: list[Terminal] = []
+        for t in self.terminals:
+            if isinstance(t, Pin) and t.is_input:
+                out.append(t)
+            elif isinstance(t, Port) and t.is_output:
+                out.append(t)
+        return out
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.terminals)
+
+    def sink_cap(self) -> float:
+        """Total input-pin capacitance hanging on the net (pF)."""
+        return sum(t.cap for t in self.sinks)
+
+    def bbox(self, exclude: Terminal | None = None) -> Rect | None:
+        """Bounding box of the net's terminal locations.
+
+        ``exclude`` removes one terminal — Section 4.2 builds, for each MBR
+        pin, the box of the *other* terminals of its net, then optimizes the
+        MBR location against those boxes.  Returns ``None`` when no terminal
+        remains.
+        """
+        points = [t.location for t in self.terminals if t is not exclude]
+        if not points:
+            return None
+        return Rect.from_points(points)
+
+    def hpwl(self) -> float:
+        """Half-perimeter wire length of the net (0 for degenerate nets)."""
+        box = self.bbox()
+        return box.half_perimeter if box is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Net({self.name}, {self.num_pins} pins)"
+
+
+class Cell:
+    """A placed cell instance.
+
+    ``fixed`` marks cells the placer must not move (pads, macros, pinned
+    registers); ``dont_touch`` marks registers the designer excluded from
+    restructuring — Section 2 notes such "fixed or size-only" registers
+    cannot be composed.
+    """
+
+    __slots__ = ("name", "libcell", "origin", "fixed", "dont_touch", "pins", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        libcell: LibCell,
+        origin: Point = Point(0.0, 0.0),
+        fixed: bool = False,
+        dont_touch: bool = False,
+    ) -> None:
+        self.name = name
+        self.libcell = libcell
+        self.origin = origin
+        self.fixed = fixed
+        self.dont_touch = dont_touch
+        self.pins: dict[str, Pin] = {d.name: Pin(self, d) for d in libcell.pins}
+        self.attrs: dict[str, object] = {}
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def is_register(self) -> bool:
+        return isinstance(self.libcell, RegisterCell)
+
+    @property
+    def register_cell(self) -> RegisterCell:
+        if not isinstance(self.libcell, RegisterCell):
+            raise TypeError(f"{self.name} is not a register")
+        return self.libcell
+
+    @property
+    def width_bits(self) -> int:
+        """Bit width: register bit count, 0 for non-registers."""
+        return self.libcell.width_bits if isinstance(self.libcell, RegisterCell) else 0
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def footprint(self) -> Rect:
+        return Rect(
+            self.origin.x,
+            self.origin.y,
+            self.origin.x + self.libcell.width,
+            self.origin.y + self.libcell.height,
+        )
+
+    @property
+    def center(self) -> Point:
+        return Point(
+            self.origin.x + self.libcell.width / 2.0,
+            self.origin.y + self.libcell.height / 2.0,
+        )
+
+    def move_to(self, origin: Point) -> None:
+        if self.fixed:
+            raise ValueError(f"cell {self.name} is fixed and cannot move")
+        self.origin = origin
+
+    # -- connectivity ------------------------------------------------------------
+
+    def pin(self, name: str) -> Pin:
+        try:
+            return self.pins[name]
+        except KeyError:
+            raise KeyError(f"cell {self.name} ({self.libcell.name}) has no pin {name!r}") from None
+
+    def connected_pins(self) -> Iterator[Pin]:
+        return (p for p in self.pins.values() if p.net is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cell({self.name}:{self.libcell.name})"

@@ -1,0 +1,212 @@
+"""The design container: cell/net/port namespaces and editing primitives."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.library.cells import LibCell, PinDirection, RegisterCell
+from repro.library.library import CellLibrary
+from repro.netlist.db import Cell, Net, Pin, Port, Terminal
+
+
+class Design:
+    """A placed design: cells, nets, and ports over a cell library.
+
+    All structural edits go through this class so name uniqueness and
+    pin/net cross-references stay consistent.  The MBR composition flow
+    edits designs exclusively via these primitives (plus
+    :func:`repro.netlist.edit.compose_mbr` built on top of them).
+    """
+
+    def __init__(self, name: str, library: CellLibrary, die: Rect) -> None:
+        self.name = name
+        self.library = library
+        self.die = die
+        self.cells: dict[str, Cell] = {}
+        self.nets: dict[str, Net] = {}
+        self.ports: dict[str, Port] = {}
+        self._uniq = 0
+
+    # -- naming ---------------------------------------------------------------
+
+    def unique_name(self, prefix: str) -> str:
+        """A fresh name with the given prefix (used for composed MBRs)."""
+        while True:
+            self._uniq += 1
+            name = f"{prefix}_{self._uniq}"
+            if name not in self.cells and name not in self.nets:
+                return name
+
+    # -- cells ------------------------------------------------------------------
+
+    def add_cell(
+        self,
+        name: str,
+        libcell: LibCell | str,
+        origin: Point = Point(0.0, 0.0),
+        fixed: bool = False,
+        dont_touch: bool = False,
+    ) -> Cell:
+        if name in self.cells:
+            raise ValueError(f"duplicate cell name {name!r}")
+        if isinstance(libcell, str):
+            libcell = self.library.cell(libcell)
+        cell = Cell(name, libcell, origin, fixed=fixed, dont_touch=dont_touch)
+        self.cells[name] = cell
+        return cell
+
+    def remove_cell(self, cell: Cell | str) -> None:
+        """Remove a cell, disconnecting all of its pins."""
+        if isinstance(cell, str):
+            cell = self.cells[cell]
+        for pin in list(cell.pins.values()):
+            if pin.net is not None:
+                self.disconnect(pin)
+        del self.cells[cell.name]
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(f"design {self.name!r} has no cell {name!r}") from None
+
+    def swap_libcell(self, cell: Cell, new_libcell: LibCell | str) -> None:
+        """Re-map a cell to a pin-compatible library cell (sizing).
+
+        Every connected pin of the old cell must exist on the new cell; the
+        connections carry over by pin name.  Used by MBR sizing to move
+        between drive strengths of the same register family.
+        """
+        if isinstance(new_libcell, str):
+            new_libcell = self.library.cell(new_libcell)
+        saved = [(p.name, p.net) for p in cell.pins.values() if p.net is not None]
+        for pin_name, _ in saved:
+            if not new_libcell.has_pin(pin_name):
+                raise ValueError(
+                    f"cannot swap {cell.name} to {new_libcell.name}: "
+                    f"no pin {pin_name!r} on the new cell"
+                )
+        for pin in cell.pins.values():
+            if pin.net is not None:
+                self.disconnect(pin)
+        cell.libcell = new_libcell
+        cell.pins = {d.name: Pin(cell, d) for d in new_libcell.pins}
+        for pin_name, net in saved:
+            self.connect(cell.pin(pin_name), net)
+
+    # -- nets --------------------------------------------------------------------
+
+    def add_net(self, name: str, is_clock: bool = False) -> Net:
+        if name in self.nets:
+            raise ValueError(f"duplicate net name {name!r}")
+        net = Net(name, is_clock=is_clock)
+        self.nets[name] = net
+        return net
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise KeyError(f"design {self.name!r} has no net {name!r}") from None
+
+    def remove_net(self, net: Net | str) -> None:
+        """Remove a net; all its terminals become unconnected."""
+        if isinstance(net, str):
+            net = self.nets[net]
+        for t in list(net.terminals):
+            t.net = None
+        del self.nets[net.name]
+
+    # -- ports -------------------------------------------------------------------
+
+    def add_port(
+        self,
+        name: str,
+        direction: PinDirection,
+        location: Point,
+        cap: float = 0.002,
+    ) -> Port:
+        if name in self.ports:
+            raise ValueError(f"duplicate port name {name!r}")
+        port = Port(name, direction, location, cap=cap)
+        self.ports[name] = port
+        return port
+
+    # -- connectivity ------------------------------------------------------------
+
+    def connect(self, terminal: Terminal, net: Net | str) -> None:
+        if isinstance(net, str):
+            net = self.nets[net]
+        if terminal.net is net:
+            return
+        if terminal.net is not None:
+            self.disconnect(terminal)
+        net.terminals.append(terminal)
+        terminal.net = net
+
+    def disconnect(self, terminal: Terminal) -> None:
+        net = terminal.net
+        if net is None:
+            return
+        net.terminals.remove(terminal)
+        terminal.net = None
+
+    # -- views --------------------------------------------------------------------
+
+    def registers(self) -> list[Cell]:
+        """All register cells (single-bit flops, latches, and MBRs)."""
+        return [c for c in self.cells.values() if c.is_register]
+
+    def iter_terminals(self) -> Iterator[Terminal]:
+        for cell in self.cells.values():
+            yield from cell.pins.values()
+        yield from self.ports.values()
+
+    def clock_nets(self) -> list[Net]:
+        return [n for n in self.nets.values() if n.is_clock]
+
+    # -- aggregate metrics ---------------------------------------------------------
+
+    def total_cell_area(self) -> float:
+        return sum(c.libcell.area for c in self.cells.values())
+
+    def total_register_count(self) -> int:
+        """Number of register *cells* — each MBR counts as one register,
+        matching the paper's Table 1 'Total Regs' convention."""
+        return sum(1 for c in self.cells.values() if c.is_register)
+
+    def total_register_bits(self) -> int:
+        """Number of *connected* register bits — invariant under MBR
+        composition (an incomplete MBR's spare bits do not count)."""
+        from repro.netlist.registers import RegisterView
+
+        return sum(
+            RegisterView(c).connected_bit_count
+            for c in self.cells.values()
+            if c.is_register
+        )
+
+    def total_hpwl(self) -> float:
+        return sum(net.hpwl() for net in self.nets.values())
+
+    def hpwl_split(self) -> tuple[float, float]:
+        """(clock wirelength, other wirelength) — Table 1's two WL columns."""
+        clk = sum(n.hpwl() for n in self.nets.values() if n.is_clock)
+        other = sum(n.hpwl() for n in self.nets.values() if not n.is_clock)
+        return clk, other
+
+    def width_histogram(self) -> dict[int, int]:
+        """Register count per bit width — the data behind the paper's Fig. 5."""
+        hist: dict[int, int] = {}
+        for c in self.cells.values():
+            if c.is_register:
+                hist[c.width_bits] = hist.get(c.width_bits, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Design({self.name}: {len(self.cells)} cells, "
+            f"{len(self.nets)} nets, {len(self.ports)} ports)"
+        )

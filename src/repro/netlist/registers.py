@@ -1,0 +1,109 @@
+"""Register-centric view over netlist cells.
+
+MBR composition reasons about registers bit by bit: each bit is a D/Q pin
+pair with its own data nets, while clock, reset, enable, and scan-enable are
+shared control pins.  :class:`RegisterView` exposes exactly that structure
+for any register cell, whether a 1-bit flop or an 8-bit MBR from synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.cells import RegisterCell
+from repro.library.functional import ScanStyle
+from repro.netlist.db import Cell, Net, Pin
+
+
+@dataclass(frozen=True)
+class RegisterBit:
+    """One D/Q bit of a register instance."""
+
+    cell: Cell
+    index: int
+    d_pin: Pin
+    q_pin: Pin
+
+    @property
+    def d_net(self) -> Net | None:
+        return self.d_pin.net
+
+    @property
+    def q_net(self) -> Net | None:
+        return self.q_pin.net
+
+    @property
+    def is_connected(self) -> bool:
+        """False for the tied-off bits of an incomplete MBR."""
+        return self.d_pin.net is not None or self.q_pin.net is not None
+
+
+class RegisterView:
+    """Structured access to a register instance's bits and control nets."""
+
+    def __init__(self, cell: Cell) -> None:
+        if not cell.is_register:
+            raise TypeError(f"{cell.name} is not a register")
+        self.cell = cell
+        self.libcell: RegisterCell = cell.register_cell
+
+    # -- bits ---------------------------------------------------------------
+
+    def bits(self) -> list[RegisterBit]:
+        return [
+            RegisterBit(
+                self.cell,
+                b,
+                self.cell.pin(self.libcell.d_pin(b)),
+                self.cell.pin(self.libcell.q_pin(b)),
+            )
+            for b in range(self.libcell.width_bits)
+        ]
+
+    def connected_bits(self) -> list[RegisterBit]:
+        """Bits whose D or Q is wired — excludes incomplete-MBR spare bits."""
+        return [b for b in self.bits() if b.is_connected]
+
+    @property
+    def connected_bit_count(self) -> int:
+        return len(self.connected_bits())
+
+    # -- control ----------------------------------------------------------------
+
+    @property
+    def clock_pin(self) -> Pin:
+        return self.cell.pin(self.libcell.clock_pin_name)
+
+    @property
+    def clock_net(self) -> Net | None:
+        return self.clock_pin.net
+
+    def control_nets(self) -> dict[str, Net | None]:
+        """Map of control pin name (RN/SN/EN/SE) to its net.
+
+        Functional compatibility (Section 2) requires two registers' control
+        nets to be identical pin for pin.
+        """
+        return {
+            name: self.cell.pin(name).net for name in self.libcell.control_pins()
+        }
+
+    # -- scan ---------------------------------------------------------------------
+
+    @property
+    def scan_style(self) -> ScanStyle:
+        return self.libcell.scan_style
+
+    def scan_in_net(self, bit: int = 0) -> Net | None:
+        """External scan-in net (of ``bit`` for multi-scan cells)."""
+        if not self.libcell.func_class.is_scan:
+            return None
+        return self.cell.pin(self.libcell.si_pin(bit)).net
+
+    def scan_out_net(self, bit: int = 0) -> Net | None:
+        if not self.libcell.func_class.is_scan:
+            return None
+        return self.cell.pin(self.libcell.so_pin(bit)).net
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RegisterView({self.cell.name}:{self.libcell.name})"

@@ -1,0 +1,88 @@
+"""Structural sanity checks over a design.
+
+These are the invariants the composition flow must preserve; the integration
+tests run :func:`validate_design` before and after composition to prove the
+netlist edits are sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.db import Pin
+from repro.netlist.design import Design
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    severity: str  # "error" | "warning"
+    message: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+
+def validate_design(design: Design, allow_incomplete_bits: bool = True) -> list[ValidationIssue]:
+    """Check structural invariants; returns a list of issues (empty = clean).
+
+    Errors:
+      * a net with more than one driver;
+      * a net with sinks but no driver;
+      * a register with an unconnected clock pin;
+      * a cell placed (even partially) outside the die.
+
+    Warnings:
+      * unconnected input pins.  Spare D pins of incomplete MBRs are expected
+        and suppressed when ``allow_incomplete_bits`` (Section 3 explicitly
+        allows tied-off/disconnected D/Q pairs); everything else is reported.
+    """
+    issues: list[ValidationIssue] = []
+
+    for net in design.nets.values():
+        drivers = [
+            t
+            for t in net.terminals
+            if (isinstance(t, Pin) and t.is_output) or (not isinstance(t, Pin) and t.is_input)
+        ]
+        if len(drivers) > 1:
+            names = ", ".join(d.full_name for d in drivers)
+            issues.append(ValidationIssue("error", f"net {net.name} multiply driven: {names}"))
+        if not drivers and net.sinks:
+            issues.append(ValidationIssue("error", f"net {net.name} has sinks but no driver"))
+
+    for cell in design.cells.values():
+        if cell.is_register:
+            reg = cell.register_cell
+            clk = cell.pin(reg.clock_pin_name)
+            if clk.net is None:
+                issues.append(
+                    ValidationIssue("error", f"register {cell.name} clock pin unconnected")
+                )
+        if not design.die.contains_rect(cell.footprint):
+            issues.append(ValidationIssue("error", f"cell {cell.name} outside the die"))
+
+        for pin in cell.pins.values():
+            if pin.is_input and pin.net is None:
+                if allow_incomplete_bits and _is_spare_register_input(cell, pin):
+                    continue
+                issues.append(
+                    ValidationIssue("warning", f"input pin {pin.full_name} unconnected")
+                )
+    return issues
+
+
+def _is_spare_register_input(cell, pin: Pin) -> bool:
+    """Whether an unconnected input is a spare D/SI bit of an incomplete MBR."""
+    if not cell.is_register:
+        return False
+    return pin.name.startswith("D") or pin.name.startswith("SI")
+
+
+def assert_valid(design: Design) -> None:
+    """Raise ``AssertionError`` on the first validation *error*."""
+    errors = [i for i in validate_design(design) if i.is_error]
+    if errors:
+        raise AssertionError(
+            f"design {design.name} invalid: " + "; ".join(i.message for i in errors[:10])
+        )

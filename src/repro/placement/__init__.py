@@ -1,0 +1,22 @@
+"""Placement substrate: rows, wire-length, density, and legalization.
+
+The composition flow runs *after* global or detailed placement and must be
+able to (a) measure wire length, (b) legalize the new MBR cells onto rows
+without overlaps, and (c) quantify placement disturbance (displacement of
+other cells) — the quantities the paper's weighting heuristic is designed to
+keep small.
+"""
+
+from repro.placement.rows import PlacementRows
+from repro.placement.hpwl import design_hpwl, net_hpwl
+from repro.placement.density import DensityMap
+from repro.placement.legalize import LegalizeResult, legalize
+
+__all__ = [
+    "PlacementRows",
+    "design_hpwl",
+    "net_hpwl",
+    "DensityMap",
+    "LegalizeResult",
+    "legalize",
+]

@@ -1,0 +1,71 @@
+"""Placement density map over a uniform bin grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.netlist.design import Design
+
+
+class DensityMap:
+    """Cell-area utilization per bin of a uniform grid over the core.
+
+    Used by the legalizer to find room for new MBRs and by tests/benchmarks
+    to show composition does not create density hotspots.
+    """
+
+    def __init__(self, core: Rect, bins_x: int = 32, bins_y: int = 32) -> None:
+        if bins_x <= 0 or bins_y <= 0:
+            raise ValueError("bin counts must be positive")
+        self.core = core
+        self.bins_x = bins_x
+        self.bins_y = bins_y
+        self.bin_w = core.width / bins_x
+        self.bin_h = core.height / bins_y
+        self.area = np.zeros((bins_x, bins_y), dtype=float)
+
+    @staticmethod
+    def of_design(design: Design, bins_x: int = 32, bins_y: int = 32) -> "DensityMap":
+        dm = DensityMap(design.die, bins_x, bins_y)
+        for cell in design.cells.values():
+            dm.add_rect(cell.footprint)
+        return dm
+
+    def _bin_range(self, lo: float, hi: float, origin: float, size: float, n: int):
+        b0 = int(np.floor((lo - origin) / size))
+        b1 = int(np.ceil((hi - origin) / size))
+        return max(b0, 0), min(b1, n)
+
+    def add_rect(self, rect: Rect, sign: float = 1.0) -> None:
+        """Accumulate a rectangle's area into overlapping bins
+        (``sign=-1`` removes it, e.g. when a register is deleted)."""
+        x0, x1 = self._bin_range(rect.xlo, rect.xhi, self.core.xlo, self.bin_w, self.bins_x)
+        y0, y1 = self._bin_range(rect.ylo, rect.yhi, self.core.ylo, self.bin_h, self.bins_y)
+        for bx in range(x0, x1):
+            for by in range(y0, y1):
+                bin_rect = Rect(
+                    self.core.xlo + bx * self.bin_w,
+                    self.core.ylo + by * self.bin_h,
+                    self.core.xlo + (bx + 1) * self.bin_w,
+                    self.core.ylo + (by + 1) * self.bin_h,
+                )
+                overlap = bin_rect.intersect(rect)
+                if overlap is not None:
+                    self.area[bx, by] += sign * overlap.area
+
+    def utilization(self) -> np.ndarray:
+        """Per-bin utilization in [0, ~1+] (cell area / bin area)."""
+        return self.area / (self.bin_w * self.bin_h)
+
+    @property
+    def max_utilization(self) -> float:
+        return float(self.utilization().max(initial=0.0))
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(self.utilization().mean()) if self.area.size else 0.0
+
+    def overfull_bins(self, limit: float = 1.0) -> int:
+        """Number of bins whose utilization exceeds ``limit``."""
+        return int((self.utilization() > limit).sum())

@@ -1,0 +1,34 @@
+"""Half-perimeter wire-length measurement."""
+
+from __future__ import annotations
+
+from repro.netlist.db import Net
+from repro.netlist.design import Design
+
+
+def net_hpwl(net: Net) -> float:
+    """HPWL of one net (0 for nets with fewer than two terminals)."""
+    return net.hpwl()
+
+
+def design_hpwl(design: Design, clock_only: bool | None = None) -> float:
+    """Total HPWL of a design.
+
+    ``clock_only=True`` sums only clock nets, ``False`` only non-clock nets,
+    ``None`` everything — matching Table 1's split of wirelength into 'Clk'
+    and 'Other' columns.
+    """
+    total = 0.0
+    for net in design.nets.values():
+        if clock_only is True and not net.is_clock:
+            continue
+        if clock_only is False and net.is_clock:
+            continue
+        total += net.hpwl()
+    return total
+
+
+def hpwl_of_nets(nets: list[Net]) -> float:
+    """Sum of HPWL over an explicit net list (used for before/after deltas
+    of the nets touched by one composition)."""
+    return sum(n.hpwl() for n in nets)

@@ -1,0 +1,177 @@
+"""Tetris-style row legalization.
+
+The composition flow places each new MBR at its LP-optimal location
+(Section 4.2), which may overlap other cells; this legalizer snaps cells to
+rows/sites and resolves overlaps with minimal displacement.  It supports the
+*incremental* usage the paper relies on: legalize only the new MBRs (and any
+cells they displace) while everything else acts as fixed obstacles.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point
+from repro.netlist.db import Cell
+from repro.netlist.design import Design
+from repro.placement.rows import PlacementRows
+
+
+@dataclass
+class LegalizeResult:
+    """Outcome of a legalization pass."""
+
+    moved: dict[str, tuple[Point, Point]] = field(default_factory=dict)
+    failed: list[str] = field(default_factory=list)
+
+    @property
+    def total_displacement(self) -> float:
+        return sum(a.manhattan_to(b) for a, b in self.moved.values())
+
+    @property
+    def max_displacement(self) -> float:
+        return max((a.manhattan_to(b) for a, b in self.moved.values()), default=0.0)
+
+    @property
+    def num_moved(self) -> int:
+        return sum(1 for a, b in self.moved.values() if a != b)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+class _RowSpace:
+    """Occupied site intervals of one row, kept sorted and disjoint."""
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self) -> None:
+        self.starts: list[int] = []
+        self.ends: list[int] = []
+
+    def occupy(self, lo: int, hi: int) -> None:
+        i = bisect.bisect_left(self.starts, lo)
+        self.starts.insert(i, lo)
+        self.ends.insert(i, hi)
+
+    def fits(self, lo: int, hi: int) -> bool:
+        """Whether [lo, hi) is free."""
+        i = bisect.bisect_right(self.starts, lo) - 1
+        if i >= 0 and self.ends[i] > lo:
+            return False
+        if i + 1 < len(self.starts) and self.starts[i + 1] < hi:
+            return False
+        return True
+
+    def nearest_fit(self, desired: int, width: int, row_sites: int) -> int | None:
+        """The start site of the free gap placement nearest ``desired``."""
+        best: int | None = None
+        best_cost = float("inf")
+
+        def consider(lo: int, hi: int) -> None:
+            nonlocal best, best_cost
+            if hi - lo < width:
+                return
+            x = min(max(desired, lo), hi - width)
+            cost = abs(x - desired)
+            if cost < best_cost:
+                best, best_cost = x, cost
+
+        prev_end = 0
+        for s, e in zip(self.starts, self.ends):
+            consider(prev_end, s)
+            prev_end = max(prev_end, e)
+        consider(prev_end, row_sites)
+        return best
+
+
+def legalize(
+    design: Design,
+    rows: PlacementRows,
+    movable: list[Cell] | None = None,
+    max_displacement: float | None = None,
+) -> LegalizeResult:
+    """Legalize ``movable`` cells (default: all non-fixed cells) onto rows.
+
+    Cells outside ``movable`` — and all ``fixed`` cells — are obstacles.
+    Movable cells are processed in decreasing width (big MBRs first, since
+    they are hardest to seat; the paper notes registers "are larger and often
+    have higher placement priority").  Each cell lands at the free location
+    nearest its current position; cells that cannot be seated within
+    ``max_displacement`` (when given) are reported in ``failed``.
+    """
+    result = LegalizeResult()
+    spaces = [_RowSpace() for _ in range(rows.num_rows)]
+    movable_set = (
+        {c.name for c in movable if not c.fixed}
+        if movable is not None
+        else {c.name for c in design.cells.values() if not c.fixed}
+    )
+
+    for cell in design.cells.values():
+        if cell.name not in movable_set:
+            _occupy_cell(spaces, rows, cell)
+
+    order = sorted(
+        (design.cells[name] for name in movable_set),
+        key=lambda c: (-c.libcell.width, c.name),
+    )
+    for cell in order:
+        target = _seat(spaces, rows, cell, max_displacement)
+        if target is None:
+            result.failed.append(cell.name)
+            _occupy_cell(spaces, rows, cell)  # stays put, still blocks others
+            continue
+        old = cell.origin
+        cell.origin = target
+        _occupy_cell(spaces, rows, cell)
+        result.moved[cell.name] = (old, target)
+    return result
+
+
+def _occupy_cell(spaces: list[_RowSpace], rows: PlacementRows, cell: Cell) -> None:
+    """Mark a cell's sites as occupied in every row it touches."""
+    fp = cell.footprint
+    lo_site = int((fp.xlo - rows.core.xlo) / rows.site_width)
+    hi_site = max(lo_site + 1, int(-(-(fp.xhi - rows.core.xlo) // rows.site_width)))
+    r0 = max(0, int((fp.ylo - rows.core.ylo) / rows.row_height))
+    r1 = min(rows.num_rows - 1, int((fp.yhi - rows.core.ylo - 1e-9) / rows.row_height))
+    for r in range(r0, r1 + 1):
+        spaces[r].occupy(max(lo_site, 0), min(hi_site, rows.sites_per_row))
+
+
+def _seat(
+    spaces: list[_RowSpace],
+    rows: PlacementRows,
+    cell: Cell,
+    max_displacement: float | None,
+) -> Point | None:
+    """Best legal origin for ``cell`` near its current origin."""
+    width_sites = rows.sites_for_width(cell.libcell.width)
+    desired_site = int(round((cell.origin.x - rows.core.xlo) / rows.site_width))
+    desired_row = rows.nearest_row(cell.origin.y)
+
+    best: tuple[float, Point] | None = None
+    for delta in range(rows.num_rows):
+        candidates = {desired_row - delta, desired_row + delta}
+        row_cost = delta * rows.row_height
+        if best is not None and row_cost >= best[0]:
+            break
+        if max_displacement is not None and row_cost > max_displacement:
+            break
+        for r in candidates:
+            if not 0 <= r < rows.num_rows:
+                continue
+            site = spaces[r].nearest_fit(desired_site, width_sites, rows.sites_per_row)
+            if site is None:
+                continue
+            x = rows.core.xlo + site * rows.site_width
+            y = rows.row_y(r)
+            cost = abs(x - cell.origin.x) + abs(y - cell.origin.y)
+            if max_displacement is not None and cost > max_displacement:
+                continue
+            if best is None or cost < best[0]:
+                best = (cost, Point(x, y))
+    return best[1] if best is not None else None

@@ -1,0 +1,61 @@
+"""Placement rows and site grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementRows:
+    """A uniform row/site grid covering the die core.
+
+    Standard cells snap to row ``y`` coordinates and site ``x`` boundaries.
+    """
+
+    core: Rect
+    row_height: float
+    site_width: float
+
+    def __post_init__(self) -> None:
+        if self.row_height <= 0 or self.site_width <= 0:
+            raise ValueError("row height and site width must be positive")
+
+    @property
+    def num_rows(self) -> int:
+        return max(0, int(self.core.height / self.row_height))
+
+    @property
+    def sites_per_row(self) -> int:
+        return max(0, int(self.core.width / self.site_width))
+
+    def row_y(self, row: int) -> float:
+        """The y coordinate of a row's bottom edge."""
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of range 0..{self.num_rows - 1}")
+        return self.core.ylo + row * self.row_height
+
+    def nearest_row(self, y: float) -> int:
+        """The row whose bottom edge is nearest ``y`` (clamped to the core)."""
+        if self.num_rows == 0:
+            raise ValueError("grid has no rows")
+        row = round((y - self.core.ylo) / self.row_height)
+        return min(max(int(row), 0), self.num_rows - 1)
+
+    def snap_x(self, x: float) -> float:
+        """Snap an x coordinate to the nearest site boundary inside the core."""
+        site = round((x - self.core.xlo) / self.site_width)
+        site = min(max(site, 0), self.sites_per_row)
+        return self.core.xlo + site * self.site_width
+
+    def snap(self, p: Point) -> Point:
+        """Snap a point to the legal grid (site boundary, row bottom)."""
+        return Point(self.snap_x(p.x), self.row_y(self.nearest_row(p.y)))
+
+    def sites_for_width(self, width: float) -> int:
+        """Number of sites a cell of the given width occupies."""
+        import math
+
+        return max(1, math.ceil(width / self.site_width - 1e-9))

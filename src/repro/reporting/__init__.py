@@ -1,0 +1,9 @@
+"""Text rendering of experiment results (Table 1 / Figs. 5-6 style)."""
+
+from repro.reporting.tables import (
+    format_fig5_histograms,
+    format_fig6_comparison,
+    format_table1,
+)
+
+__all__ = ["format_table1", "format_fig5_histograms", "format_fig6_comparison"]

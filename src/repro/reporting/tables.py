@@ -1,0 +1,110 @@
+"""Plain-text tables mirroring the paper's Table 1 and Figs. 5-6."""
+
+from __future__ import annotations
+
+from repro.flow.driver import FlowReport
+
+_COLUMNS = [
+    ("Area (um2)", lambda m: f"{m.area:.0f}"),
+    ("Cells", lambda m: f"{m.total_cells}"),
+    ("TotRegs", lambda m: f"{m.total_regs}"),
+    ("CompRegs", lambda m: f"{m.comp_regs}"),
+    ("ClkBufs", lambda m: f"{m.clk_bufs}"),
+    ("ClkCap(pF)", lambda m: f"{m.clk_cap:.3f}"),
+    ("TNS(ns)", lambda m: f"{m.tns:.1f}"),
+    ("FailEP", lambda m: f"{m.failing_endpoints}"),
+    ("OvflEdg", lambda m: f"{m.overflow_edges}"),
+    ("WL-Clk", lambda m: f"{m.wirelength_clk:.0f}"),
+    ("WL-Other", lambda m: f"{m.wirelength_other:.0f}"),
+    ("Time(s)", lambda m: f"{m.exec_time_s:.1f}"),
+]
+
+_SAVE_KEYS = [
+    "area",
+    "total_cells",
+    "total_regs",
+    "comp_regs",
+    "clk_bufs",
+    "clk_cap",
+    "tns",
+    "failing_endpoints",
+    "overflow_edges",
+    "wirelength_clk",
+    "wirelength_other",
+    None,
+]
+
+
+def format_table1(reports: list[FlowReport]) -> str:
+    """Render flow reports as the paper's Table 1: per design a Base row,
+    an Ours row, and a Save row of relative reductions."""
+    headers = ["Design", "Row"] + [name for name, _ in _COLUMNS]
+    rows: list[list[str]] = []
+    for rep in reports:
+        rows.append([rep.design_name, "Base"] + [fmt(rep.base) for _, fmt in _COLUMNS])
+        rows.append(["", "Ours"] + [fmt(rep.final) for _, fmt in _COLUMNS])
+        savings = rep.savings
+        save_row = ["", "Save"]
+        for key in _SAVE_KEYS:
+            save_row.append("" if key is None else f"{100 * savings[key]:.1f}%")
+        rows.append(save_row)
+    return _render(headers, rows)
+
+
+def format_fig5_histograms(reports: list[FlowReport]) -> str:
+    """Fig. 5: register bit-width mix before and after composition."""
+    widths = sorted(
+        {w for rep in reports for w in rep.base.width_histogram}
+        | {w for rep in reports for w in rep.final.width_histogram}
+    )
+    headers = ["Design", "Row"] + [f"{w}-bit" for w in widths] + ["Total"]
+    rows = []
+    for rep in reports:
+        for label, hist in (("Before", rep.base.width_histogram), ("After", rep.final.width_histogram)):
+            counts = [hist.get(w, 0) for w in widths]
+            rows.append(
+                [rep.design_name if label == "Before" else "", label]
+                + [str(c) for c in counts]
+                + [str(sum(counts))]
+            )
+    return _render(headers, rows)
+
+
+def format_fig6_comparison(
+    ilp_reports: list[FlowReport], heuristic_reports: list[FlowReport]
+) -> str:
+    """Fig. 6: total registers after composition, normalized to the
+    heuristic baseline (lower is better; the paper reports the ILP winning
+    on every design, ~12% average savings)."""
+    headers = ["Design", "Base regs", "Heuristic", "ILP", "ILP/Heur"]
+    rows = []
+    ratios = []
+    for ilp, heur in zip(ilp_reports, heuristic_reports):
+        ratio = ilp.final.total_regs / heur.final.total_regs if heur.final.total_regs else 1.0
+        ratios.append(ratio)
+        rows.append(
+            [
+                ilp.design_name,
+                str(ilp.base.total_regs),
+                str(heur.final.total_regs),
+                str(ilp.final.total_regs),
+                f"{ratio:.3f}",
+            ]
+        )
+    if ratios:
+        rows.append(["average", "", "", "", f"{sum(ratios) / len(ratios):.3f}"])
+    return _render(headers, rows)
+
+
+def _render(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

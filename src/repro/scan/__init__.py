@@ -1,0 +1,15 @@
+"""Scan-chain modeling: partitions, ordered sections, and re-stitching.
+
+Section 2 of the paper derives *scan compatibility* from the scan chain
+definitions: registers may merge only within a scan partition; ordered
+sections additionally constrain internal-scan MBRs to preserve scan order;
+multi-SI/SO MBR cells lift ordering restrictions at extra routing cost.
+
+:class:`ScanModel` carries those definitions alongside the netlist,
+answers the compatibility queries, tracks compositions, and re-stitches the
+physical SI/SO nets after the flow finishes restructuring.
+"""
+
+from repro.scan.model import ScanChain, ScanModel, ScanBitRef
+
+__all__ = ["ScanChain", "ScanModel", "ScanBitRef"]

@@ -1,0 +1,14 @@
+"""Useful clock skew assignment (Fishburn [5], as used in the paper's flow).
+
+After MBR composition the flow applies useful skew to the new MBRs
+(Fig. 4): each register's clock arrival gets an offset that balances the
+slack of its incoming (D) and outgoing (Q) paths.  Because timing
+compatibility (Section 2) only merges registers with similar D/Q slacks,
+one shared offset per MBR can still help every constituent bit — that is
+precisely why the compatibility rules forbid mixing positive-D/negative-Q
+with negative-D/positive-Q registers.
+"""
+
+from repro.skew.assign import SkewAssignment, assign_useful_skew, optimal_skew
+
+__all__ = ["SkewAssignment", "assign_useful_skew", "optimal_skew"]

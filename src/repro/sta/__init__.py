@@ -1,0 +1,33 @@
+"""Static timing analysis.
+
+A graph-based STA over the placed netlist with the linear delay model of
+Section 4.1 (drive resistance x load + intrinsic) and Manhattan wire delays,
+giving the quantities the composition flow consumes:
+
+* per-register **D-pin slack** (setup margin of the path *into* the
+  register) and **Q-pin slack** (worst margin of the paths *out of* it) —
+  the inputs to timing compatibility (Section 2) and feasible-region
+  computation;
+* **WNS / TNS / failing endpoints** — the Table 1 QoR guard-rails;
+* per-register **clock arrival offsets** so useful skew (Section 5 / [5])
+  can be applied and re-evaluated.
+
+Clocks are ideal plus an explicit per-register skew map: composition runs
+before CTS, exactly as in the paper's flow (Fig. 4).
+"""
+
+from repro.sta.graph import TimingGraph
+from repro.sta.timer import EndpointSlack, RegisterSlack, Timer, TimingSummary
+from repro.sta.nldm import LookupTable2D, TimingTables, nldm_arrivals, synthesize_tables
+
+__all__ = [
+    "TimingGraph",
+    "Timer",
+    "TimingSummary",
+    "EndpointSlack",
+    "RegisterSlack",
+    "LookupTable2D",
+    "TimingTables",
+    "nldm_arrivals",
+    "synthesize_tables",
+]

@@ -1,0 +1,168 @@
+"""Timing graph construction from a placed design.
+
+Nodes are netlist terminals (cell pins and design ports); edges are
+
+* *net arcs* — net driver to each sink, delayed by Manhattan wire delay;
+* *cell arcs* — input to output through combinational cells, delayed by the
+  linear drive model (the output's load includes sink pin caps plus wire
+  capacitance from the net's HPWL);
+* *launch arcs* — register CK to Q (clock-to-q plus drive delay).
+
+Register D pins, register control pins, and output ports terminate paths;
+register Q pins, input ports, and CK pins originate them.  Clock nets do not
+propagate as data: clock arrival at each register is modelled separately
+(ideal clock + per-register useful-skew offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.cells import ClockBufferCell, ClockGateCell, CombCell, RegisterCell
+from repro.library.library import Technology
+from repro.netlist.db import Cell, Net, Pin, Port, Terminal
+from repro.netlist.design import Design
+
+
+@dataclass(frozen=True, slots=True)
+class TimingArc:
+    """A directed delay edge of the timing graph."""
+
+    src: Terminal
+    dst: Terminal
+    delay: float
+
+
+class TimingGraph:
+    """The levelized timing graph of a design.
+
+    Build is O(pins + nets); the graph is immutable once built — the
+    :class:`repro.sta.timer.Timer` rebuilds it after netlist edits (the
+    incremental flow re-times only at composition checkpoints, which keeps
+    full rebuilds cheap at benchmark scale).
+    """
+
+    def __init__(self, design: Design, technology: Technology | None = None) -> None:
+        self.design = design
+        self.tech = technology or design.library.technology
+        self.fanout: dict[int, list[TimingArc]] = {}
+        self.fanin: dict[int, list[TimingArc]] = {}
+        self.nodes: list[Terminal] = []
+        self.launch_q: list[tuple[Cell, Pin]] = []  # register (cell, Q pin)
+        self.capture_d: list[tuple[Cell, Pin]] = []  # register (cell, D pin)
+        self.launch_delay: dict[int, float] = {}  # id(Q pin) -> ck->q delay
+        self.input_ports: list[Port] = []
+        self.output_ports: list[Port] = []
+        self._topo: list[Terminal] | None = None
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _add_arc(self, src: Terminal, dst: Terminal, delay: float) -> None:
+        arc = TimingArc(src, dst, delay)
+        self.fanout.setdefault(id(src), []).append(arc)
+        self.fanin.setdefault(id(dst), []).append(arc)
+
+    def _node_seen(self, t: Terminal, seen: set[int]) -> None:
+        if id(t) not in seen:
+            seen.add(id(t))
+            self.nodes.append(t)
+
+    def output_load(self, pin: Terminal) -> float:
+        """Capacitive load on a driver: sink pin caps + wire capacitance."""
+        net = pin.net
+        if net is None:
+            return 0.0
+        return net.sink_cap() + self.tech.wire_cap_per_um * net.hpwl()
+
+    def wire_delay(self, src: Terminal, dst: Terminal) -> float:
+        """Manhattan-distance wire delay between two terminals."""
+        return self.tech.wire_delay_per_um * src.location.manhattan_to(dst.location)
+
+    def _build(self) -> None:
+        seen: set[int] = set()
+        design = self.design
+
+        # Net arcs (data nets only — the clock network is ideal here).
+        for net in design.nets.values():
+            if net.is_clock:
+                continue
+            driver = net.driver
+            if driver is None:
+                continue
+            self._node_seen(driver, seen)
+            for sink in net.sinks:
+                self._node_seen(sink, seen)
+                self._add_arc(driver, sink, self.wire_delay(driver, sink))
+
+        # Cell arcs.
+        for cell in design.cells.values():
+            lc = cell.libcell
+            if isinstance(lc, RegisterCell):
+                self._register_arcs(cell, lc, seen)
+            elif isinstance(lc, (CombCell, ClockBufferCell, ClockGateCell)):
+                self._comb_arcs(cell, lc, seen)
+
+        for port in design.ports.values():
+            if port.net is None or port.net.is_clock:
+                continue
+            if port.is_input:
+                self.input_ports.append(port)
+            else:
+                self.output_ports.append(port)
+
+    def _comb_arcs(self, cell: Cell, lc, seen: set[int]) -> None:
+        outs = [cell.pin(p.name) for p in lc.output_pins]
+        for out in outs:
+            if out.net is None or out.net.is_clock:
+                continue
+            load = self.output_load(out)
+            delay = lc.delay(load)
+            for pdesc in lc.input_pins:
+                inp = cell.pin(pdesc.name)
+                if inp.net is None or inp.net.is_clock:
+                    continue
+                self._node_seen(inp, seen)
+                self._node_seen(out, seen)
+                self._add_arc(inp, out, delay)
+
+    def _register_arcs(self, cell: Cell, lc: RegisterCell, seen: set[int]) -> None:
+        for bit in range(lc.width_bits):
+            d = cell.pin(lc.d_pin(bit))
+            q = cell.pin(lc.q_pin(bit))
+            if d.net is not None:
+                self._node_seen(d, seen)
+                self.capture_d.append((cell, d))
+            if q.net is not None:
+                self._node_seen(q, seen)
+                load = self.output_load(q)
+                self.launch_q.append((cell, q))
+                # The Timer seeds arrival(Q) = clk_arrival + this delay.
+                self.launch_delay[id(q)] = lc.clk_to_q + lc.drive_resistance * load
+
+    # -- topology --------------------------------------------------------------
+
+    def topological_order(self) -> list[Terminal]:
+        """Kahn topological order over all graph nodes (cached)."""
+        if self._topo is not None:
+            return self._topo
+        indeg: dict[int, int] = {id(n): 0 for n in self.nodes}
+        for arcs in self.fanout.values():
+            for arc in arcs:
+                indeg[id(arc.dst)] = indeg.get(id(arc.dst), 0) + 1
+        ready = [n for n in self.nodes if indeg[id(n)] == 0]
+        order: list[Terminal] = []
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for arc in self.fanout.get(id(n), ()):
+                indeg[id(arc.dst)] -= 1
+                if indeg[id(arc.dst)] == 0:
+                    ready.append(arc.dst)
+        if len(order) != len(self.nodes):
+            raise ValueError(
+                "combinational loop detected: "
+                f"{len(self.nodes) - len(order)} nodes unreachable in topological sort"
+            )
+        self._topo = order
+        return order

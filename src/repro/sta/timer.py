@@ -1,0 +1,296 @@
+"""The Timer: arrival/required propagation, slacks, and QoR summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cells import RegisterCell
+from repro.library.library import Technology
+from repro.netlist.db import Cell, Pin, Port, Terminal
+from repro.netlist.design import Design
+from repro.sta.graph import TimingGraph
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class EndpointSlack:
+    """Setup slack at one timing endpoint (register D bit or output port)."""
+
+    name: str
+    slack: float
+
+    @property
+    def failing(self) -> bool:
+        return self.slack < 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterSlack:
+    """The D/Q slack pair of one register cell, as Section 2 consumes it.
+
+    ``d_slack``
+        Worst setup slack over the register's connected D bits — margin of
+        the paths *into* the register.
+    ``q_slack``
+        Worst downstream slack over the register's connected Q bits — margin
+        of the paths *out of* it (the backward-propagated required-minus-
+        arrival at Q).
+    """
+
+    cell_name: str
+    d_slack: float
+    q_slack: float
+
+
+@dataclass(frozen=True, slots=True)
+class TimingSummary:
+    """Design-level QoR numbers matching Table 1's timing columns."""
+
+    wns: float
+    tns: float
+    failing_endpoints: int
+    total_endpoints: int
+
+
+@dataclass
+class _TimingState:
+    arrival: dict[int, float] = field(default_factory=dict)
+    required: dict[int, float] = field(default_factory=dict)
+    arrival_min: dict[int, float] | None = None  # computed lazily for hold
+
+
+class Timer:
+    """Setup-mode static timing over a placed design.
+
+    ``clock_period`` is the single clock's period (gated clocks share it).
+    ``skew`` maps register cell names to clock-arrival offsets — the useful
+    skew of [5]: a positive offset delays the register's clock, relaxing its
+    D-side check and tightening its Q-side launches.
+
+    The timer is lazily evaluated and invalidated explicitly: call
+    :meth:`dirty` after editing the netlist or moving cells, then query.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        clock_period: float,
+        skew: dict[str, float] | None = None,
+        input_delay: float = 0.0,
+        output_delay: float = 0.0,
+        technology: Technology | None = None,
+    ) -> None:
+        self.design = design
+        self.clock_period = clock_period
+        self.skew = dict(skew or {})
+        self.input_delay = input_delay
+        self.output_delay = output_delay
+        self.tech = technology or design.library.technology
+        self._graph: TimingGraph | None = None
+        self._state: _TimingState | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def dirty(self) -> None:
+        """Invalidate cached timing after any netlist/placement change."""
+        self._graph = None
+        self._state = None
+
+    def set_skew(self, cell_name: str, offset: float) -> None:
+        """Assign a useful-skew clock offset to one register."""
+        self.skew[cell_name] = offset
+        self._state = None  # graph unchanged, timing stale
+
+    def set_skews(self, offsets: dict[str, float]) -> None:
+        """Batch-assign skew offsets with a single timing invalidation."""
+        self.skew.update(offsets)
+        if offsets:
+            self._state = None
+
+    @property
+    def graph(self) -> TimingGraph:
+        if self._graph is None:
+            self._graph = TimingGraph(self.design, self.tech)
+        return self._graph
+
+    def _clock_arrival(self, cell: Cell) -> float:
+        return self.skew.get(cell.name, 0.0)
+
+    # -- propagation ----------------------------------------------------------
+
+    def _compute(self) -> _TimingState:
+        if self._state is not None:
+            return self._state
+        g = self.graph
+        st = _TimingState()
+
+        # Forward: arrivals.
+        for cell, q in g.launch_q:
+            st.arrival[id(q)] = self._clock_arrival(cell) + g.launch_delay[id(q)]
+        for port in g.input_ports:
+            st.arrival[id(port)] = self.input_delay
+
+        for node in g.topological_order():
+            a = st.arrival.get(id(node), _NEG_INF)
+            if a == _NEG_INF:
+                continue
+            for arc in g.fanout.get(id(node), ()):
+                cand = a + arc.delay
+                if cand > st.arrival.get(id(arc.dst), _NEG_INF):
+                    st.arrival[id(arc.dst)] = cand
+
+        # Backward: required times.
+        for cell, d in g.capture_d:
+            lc = cell.register_cell
+            st.required[id(d)] = (
+                self.clock_period + self._clock_arrival(cell) - lc.setup
+            )
+        for port in g.output_ports:
+            st.required[id(port)] = self.clock_period - self.output_delay
+
+        for node in reversed(g.topological_order()):
+            r = st.required.get(id(node), _POS_INF)
+            for arc in g.fanout.get(id(node), ()):
+                r_dst = st.required.get(id(arc.dst), _POS_INF)
+                if r_dst != _POS_INF:
+                    r = min(r, r_dst - arc.delay)
+            if r != _POS_INF:
+                st.required[id(node)] = r
+
+        self._state = st
+        return st
+
+    # -- queries ------------------------------------------------------------------
+
+    def slack_at(self, terminal: Terminal) -> float | None:
+        """Setup slack at a terminal, ``None`` when unconstrained."""
+        st = self._compute()
+        a = st.arrival.get(id(terminal))
+        r = st.required.get(id(terminal))
+        if a is None or r is None:
+            return None
+        return r - a
+
+    def arrival_at(self, terminal: Terminal) -> float | None:
+        return self._compute().arrival.get(id(terminal))
+
+    def endpoint_slacks(self) -> list[EndpointSlack]:
+        """Slack at every constrained endpoint (register D bits, output ports)."""
+        st = self._compute()
+        out: list[EndpointSlack] = []
+        for _cell, d in self.graph.capture_d:
+            a = st.arrival.get(id(d))
+            if a is None:
+                continue  # D tied off / undriven: unconstrained
+            out.append(EndpointSlack(d.full_name, st.required[id(d)] - a))
+        for port in self.graph.output_ports:
+            a = st.arrival.get(id(port))
+            if a is None:
+                continue
+            out.append(EndpointSlack(port.name, st.required[id(port)] - a))
+        return out
+
+    def summary(self) -> TimingSummary:
+        slacks = self.endpoint_slacks()
+        neg = [e.slack for e in slacks if e.failing]
+        return TimingSummary(
+            wns=min((e.slack for e in slacks), default=0.0),
+            tns=sum(neg),
+            failing_endpoints=len(neg),
+            total_endpoints=len(slacks),
+        )
+
+    # -- hold (min-delay) analysis ------------------------------------------------------
+
+    def _compute_min_arrivals(self) -> dict[int, float]:
+        """Earliest arrivals (shortest paths), for hold checks."""
+        st = self._compute()
+        if st.arrival_min is not None:
+            return st.arrival_min
+        g = self.graph
+        arrival_min: dict[int, float] = {}
+        for cell, q in g.launch_q:
+            arrival_min[id(q)] = self._clock_arrival(cell) + g.launch_delay[id(q)]
+        for port in g.input_ports:
+            arrival_min[id(port)] = self.input_delay
+        for node in g.topological_order():
+            a = arrival_min.get(id(node))
+            if a is None:
+                continue
+            for arc in g.fanout.get(id(node), ()):
+                cand = a + arc.delay
+                prev = arrival_min.get(id(arc.dst))
+                if prev is None or cand < prev:
+                    arrival_min[id(arc.dst)] = cand
+        st.arrival_min = arrival_min
+        return arrival_min
+
+    def hold_slacks(self) -> list[EndpointSlack]:
+        """Hold slack at every register D bit.
+
+        With an ideal clock plus per-register skew, data launched at the
+        capturing edge must arrive no earlier than the capture clock plus
+        the hold requirement: ``slack = min_arrival(D) - skew(capture) -
+        t_hold``.  Composition and useful skew must not create hold
+        violations; the flow benchmarks check this stays clean.
+        """
+        arrival_min = self._compute_min_arrivals()
+        out: list[EndpointSlack] = []
+        for cell, d in self.graph.capture_d:
+            a = arrival_min.get(id(d))
+            if a is None:
+                continue
+            lc = cell.register_cell
+            slack = a - self._clock_arrival(cell) - lc.hold
+            out.append(EndpointSlack(d.full_name, slack))
+        return out
+
+    def hold_summary(self) -> TimingSummary:
+        """WNS/TNS/violation counts for the hold (min-delay) check."""
+        slacks = self.hold_slacks()
+        neg = [e.slack for e in slacks if e.failing]
+        return TimingSummary(
+            wns=min((e.slack for e in slacks), default=0.0),
+            tns=sum(neg),
+            failing_endpoints=len(neg),
+            total_endpoints=len(slacks),
+        )
+
+    # -- register-centric queries ----------------------------------------------------
+
+    def register_slack(self, cell: Cell) -> RegisterSlack:
+        """The (D, Q) slack pair of a register cell (Section 2's inputs).
+
+        Unconstrained sides report +inf; the compatibility logic treats them
+        as "anything goes" on that side.
+        """
+        if not isinstance(cell.libcell, RegisterCell):
+            raise TypeError(f"{cell.name} is not a register")
+        st = self._compute()
+        lc = cell.libcell
+        d_slack = _POS_INF
+        q_slack = _POS_INF
+        for bit in range(lc.width_bits):
+            d = cell.pins.get(lc.d_pin(bit))
+            if d is not None and d.net is not None:
+                a = st.arrival.get(id(d))
+                r = st.required.get(id(d))
+                if a is not None and r is not None:
+                    d_slack = min(d_slack, r - a)
+            q = cell.pins.get(lc.q_pin(bit))
+            if q is not None and q.net is not None:
+                a = st.arrival.get(id(q))
+                r = st.required.get(id(q))
+                if a is not None and r is not None:
+                    q_slack = min(q_slack, r - a)
+        return RegisterSlack(cell.name, d_slack, q_slack)
+
+    def register_slacks(self) -> dict[str, RegisterSlack]:
+        """D/Q slack pairs for every register in the design."""
+        return {
+            c.name: self.register_slack(c)
+            for c in self.design.cells.values()
+            if c.is_register
+        }

@@ -1,0 +1,116 @@
+"""Tests for CTS-lite and clock metrics."""
+
+import pytest
+
+from repro.clocktree import synthesize_clock_tree
+from repro.geometry import Point
+from repro.library.functional import DFF_R
+from repro.netlist import compose_mbr
+
+from tests.conftest import make_flop_row
+
+
+class TestClockTree:
+    def test_single_sink_design(self, lib):
+        d = make_flop_row(lib, n_flops=1, name="one")
+        tree = synthesize_clock_tree(d)
+        assert tree.report.num_sinks == 1
+        assert tree.report.num_buffers == 0
+        assert tree.report.capacitance > 0  # the sink's own pin cap
+
+    def test_sink_count_matches_registers(self, lib):
+        d = make_flop_row(lib, n_flops=16, name="sixteen")
+        tree = synthesize_clock_tree(d)
+        assert tree.report.num_sinks == 16
+
+    def test_fanout_limit_forces_levels(self, lib):
+        d = make_flop_row(lib, n_flops=16, spacing=2.0, name="lv")
+        tree = synthesize_clock_tree(d, max_fanout=4)
+        # 16 sinks at fanout 4 needs at least 4 leaf buffers + upper level.
+        assert tree.report.num_buffers >= 5
+        assert len(tree.levels) >= 2
+
+    def test_no_sinks_empty_report(self, lib):
+        from repro.geometry import Rect
+        from repro.netlist import Design
+
+        d = Design("empty", lib, Rect(0, 0, 10, 10))
+        tree = synthesize_clock_tree(d)
+        assert tree.report.num_sinks == 0
+        assert tree.report.capacitance == 0.0
+
+    def test_composition_reduces_clock_tree_cost(self, lib):
+        # The paper's core effect: fewer sinks and lower leaf cap after MBR
+        # composition must shrink the clock tree.
+        before = make_flop_row(lib, n_flops=32, spacing=2.0, name="b")
+        after = make_flop_row(lib, n_flops=32, spacing=2.0, name="a")
+        target = lib.register_cells(DFF_R, 8)[0]
+        for g in range(4):
+            group = [after.cell(f"ff{8 * g + i}") for i in range(8)]
+            x = group[0].origin.x
+            compose_mbr(after, group, target, Point(x, 50.0))
+
+        t_before = synthesize_clock_tree(before, max_fanout=8)
+        t_after = synthesize_clock_tree(after, max_fanout=8)
+        assert t_after.report.num_sinks == 4
+        assert t_after.report.capacitance < t_before.report.capacitance
+        assert t_after.report.num_buffers <= t_before.report.num_buffers
+
+    def test_report_addition(self, lib):
+        d = make_flop_row(lib, n_flops=4, name="add")
+        r = synthesize_clock_tree(d).report
+        total = r + r
+        assert total.num_sinks == 2 * r.num_sinks
+        assert total.capacitance == pytest.approx(2 * r.capacitance)
+
+    def test_coincident_sinks_converge(self, lib):
+        # All registers at the same point: median split must still terminate.
+        d = make_flop_row(lib, n_flops=8, spacing=0.0, name="co")
+        tree = synthesize_clock_tree(d, max_fanout=2)
+        assert tree.report.num_sinks == 8
+        assert tree.report.num_buffers >= 4
+
+
+class TestInsertionDelayAndDomains:
+    def test_insertion_delays_positive_and_bounded(self, lib):
+        d = make_flop_row(lib, n_flops=16, spacing=2.0, name="ins")
+        tree = synthesize_clock_tree(d, max_fanout=4)
+        delays = tree.insertion_delays()
+        assert len(delays) == 16
+        assert all(v > 0 for v in delays.values())
+        assert tree.global_skew() >= 0.0
+        # Every leaf passes through the same number of levels here, so the
+        # skew is bounded by per-stage load differences, not level count.
+        assert tree.global_skew() < max(delays.values())
+
+    def test_single_sink_zero_insertion(self, lib):
+        d = make_flop_row(lib, n_flops=1, name="ins1")
+        tree = synthesize_clock_tree(d)
+        assert tree.global_skew() == 0.0
+
+    def test_per_domain_network(self, lib):
+        from repro.bench import generate_design, preset
+        from repro.clocktree import synthesize_clock_network
+
+        b = generate_design(preset("D1", scale=0.1), lib)
+        network = synthesize_clock_network(b.design)
+        # One subtree per clock net (root + each gated domain).
+        assert set(network) == {n.name for n in b.design.clock_nets()}
+        total_sinks = sum(t.report.num_sinks for t in network.values())
+        flat = synthesize_clock_tree(b.design)
+        assert total_sinks == flat.report.num_sinks
+
+    def test_domain_tree_only_sees_its_net(self, lib):
+        from repro.bench import generate_design, preset
+        from repro.clocktree import synthesize_clock_network
+
+        b = generate_design(preset("D1", scale=0.1), lib)
+        network = synthesize_clock_network(b.design)
+        for net_name, tree in network.items():
+            net = b.design.net(net_name)
+            # Gated subtrees carry exactly the net's register/ICG sinks.
+            expected = sum(
+                1 for t in net.sinks
+                if getattr(t, "cell", None) is not None and t.name in ("CK", "CKN")
+            )
+            assert tree.report.num_sinks == expected

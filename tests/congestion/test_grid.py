@@ -1,0 +1,79 @@
+"""Tests for the congestion grid and overflow-edge counting."""
+
+import pytest
+
+from repro.congestion import CongestionGrid
+from repro.geometry import Rect
+
+
+class TestDemandModel:
+    def test_empty_grid_no_overflow(self):
+        grid = CongestionGrid(Rect(0, 0, 24, 24), bins_x=4, bins_y=4)
+        rep = grid.report()
+        assert rep.overflow_edges == 0
+        assert rep.total_edges == 3 * 4 + 4 * 3
+        assert rep.max_usage_ratio == 0.0
+
+    def test_net_spanning_one_boundary(self):
+        grid = CongestionGrid(Rect(0, 0, 8, 8), bins_x=2, bins_y=2)
+        # Box crosses the x=4 boundary, confined to the lower row.
+        grid.add_net_box(Rect(2, 0, 6, 1))
+        assert grid.usage_v[0, 0] > 0
+        assert grid.usage_v[0, 1] == pytest.approx(0.0)
+
+    def test_net_inside_one_bin_adds_nothing(self):
+        grid = CongestionGrid(Rect(0, 0, 8, 8), bins_x=2, bins_y=2)
+        grid.add_net_box(Rect(0.5, 0.5, 3.0, 3.0))
+        assert grid.usage_v.sum() == pytest.approx(0.0)
+        assert grid.usage_h.sum() == pytest.approx(0.0)
+
+    def test_vertical_span_adds_horizontal_edge_demand(self):
+        grid = CongestionGrid(Rect(0, 0, 8, 8), bins_x=2, bins_y=2)
+        grid.add_net_box(Rect(1, 1, 2, 7))  # crosses y=4 boundary
+        assert grid.usage_h.sum() > 0
+        assert grid.usage_v.sum() == pytest.approx(0.0)
+
+    def test_y_fractions_sum_to_weight(self):
+        grid = CongestionGrid(Rect(0, 0, 8, 8), bins_x=2, bins_y=4)
+        grid.add_net_box(Rect(0, 0, 8, 8), weight=3.0)
+        # The single vertical boundary column carries total weight 3.
+        assert grid.usage_v.sum() == pytest.approx(3.0)
+
+    def test_degenerate_box_is_noop(self):
+        grid = CongestionGrid(Rect(0, 0, 8, 8), bins_x=2, bins_y=2)
+        grid.add_net_box(Rect(3, 3, 3, 3))
+        assert grid.usage_v.sum() + grid.usage_h.sum() == pytest.approx(0.0)
+
+    def test_overflow_detected_under_heavy_load(self):
+        grid = CongestionGrid(Rect(0, 0, 8, 8), bins_x=2, bins_y=2, tracks_per_um=0.5)
+        for _ in range(20):
+            grid.add_net_box(Rect(1, 0.5, 7, 1.5))
+        rep = grid.report()
+        assert rep.overflow_edges >= 1
+        assert rep.max_usage_ratio > 1.0
+
+    def test_min_grid_size_enforced(self):
+        with pytest.raises(ValueError):
+            CongestionGrid(Rect(0, 0, 8, 8), bins_x=1, bins_y=2)
+
+
+class TestOfDesign:
+    def test_fixture_design_analyzable(self, flop_row):
+        grid = CongestionGrid.of_design(flop_row, bins_x=4, bins_y=4)
+        rep = grid.report()
+        assert rep.total_edges > 0
+        assert rep.mean_usage_ratio >= 0.0
+
+    def test_more_wires_more_demand(self, lib, flop_row):
+        base = CongestionGrid.of_design(flop_row, bins_x=4, bins_y=4)
+        # Add a long net crossing the die.
+        from repro.geometry import Point
+
+        a = flop_row.add_cell("xa", "BUF_X1", Point(5, 5))
+        b = flop_row.add_cell("xb", "INV_X1", Point(95, 95))
+        n = flop_row.add_net("xn")
+        flop_row.connect(a.pin("Z"), n)
+        flop_row.connect(b.pin("A"), n)
+        after = CongestionGrid.of_design(flop_row, bins_x=4, bins_y=4)
+        assert after.usage_v.sum() > base.usage_v.sum()
+        assert after.usage_h.sum() > base.usage_h.sum()

@@ -1,0 +1,113 @@
+"""Tests for compatibility-graph construction and K-partitioning."""
+
+import networkx as nx
+import pytest
+
+from repro.core.compatibility import CompatibilityConfig, analyze_registers
+from repro.core.graph import build_compatibility_graph
+from repro.core.partition import partition_graph
+from repro.sta import Timer
+
+from tests.conftest import make_flop_row
+
+
+@pytest.fixture
+def row_graph(lib, flop_row):
+    timer = Timer(flop_row, clock_period=1.0)
+    infos = analyze_registers(flop_row, timer)
+    return infos, build_compatibility_graph(infos)
+
+
+class TestBuildGraph:
+    def test_compatible_row_is_clique(self, row_graph):
+        infos, graph = row_graph
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 6  # K4
+
+    def test_non_composable_not_in_graph(self, lib, flop_row):
+        flop_row.cell("ff0").dont_touch = True
+        timer = Timer(flop_row, clock_period=1.0)
+        infos = analyze_registers(flop_row, timer)
+        graph = build_compatibility_graph(infos)
+        assert "ff0" not in graph.nodes
+
+    def test_info_attached_to_nodes(self, row_graph):
+        infos, graph = row_graph
+        for n in graph.nodes:
+            assert graph.nodes[n]["info"] is infos[n]
+
+    def test_distant_registers_not_connected(self, lib):
+        from repro.geometry import Rect
+
+        d = make_flop_row(lib, n_flops=2, spacing=300.0, die=Rect(0, 0, 400, 100), name="far")
+        timer = Timer(d, clock_period=1.0)
+        infos = analyze_registers(
+            d, timer, config=CompatibilityConfig(max_region_distance=20.0)
+        )
+        graph = build_compatibility_graph(
+            infos, config=CompatibilityConfig(max_region_distance=20.0)
+        )
+        assert graph.number_of_edges() == 0
+
+    def test_different_clock_groups_disconnected(self, lib, flop_row):
+        from repro.geometry import Point
+        from repro.library.cells import PinDirection
+
+        clk2 = flop_row.add_net("clk2", is_clock=True)
+        flop_row.connect(flop_row.add_port("clk2", PinDirection.INPUT, Point(0, 2)), clk2)
+        flop_row.connect(flop_row.cell("ff0").pin("CK"), clk2)
+        timer = Timer(flop_row, clock_period=1.0)
+        infos = analyze_registers(flop_row, timer)
+        graph = build_compatibility_graph(infos)
+        assert graph.degree("ff0") == 0
+
+
+class TestPartition:
+    def _grid_graph(self, lib, n=60):
+        """A big compatible design: one long row of flops."""
+        d = make_flop_row(lib, n_flops=n, spacing=2.0, die=__import__("repro.geometry", fromlist=["Rect"]).Rect(0, 0, 200, 100), name="grid")
+        timer = Timer(d, clock_period=10.0)
+        infos = analyze_registers(d, timer)
+        return build_compatibility_graph(infos)
+
+    def test_bound_respected(self, lib):
+        graph = self._grid_graph(lib)
+        for part in partition_graph(graph, max_nodes=10):
+            assert part.number_of_nodes() <= 10
+
+    def test_all_nodes_covered_exactly_once(self, lib):
+        graph = self._grid_graph(lib)
+        parts = partition_graph(graph, max_nodes=10)
+        seen = [n for p in parts for n in p.nodes]
+        assert sorted(seen) == sorted(graph.nodes)
+
+    def test_small_components_kept_whole(self, row_graph):
+        _, graph = row_graph
+        parts = partition_graph(graph, max_nodes=30)
+        assert len(parts) == 1
+        assert parts[0].number_of_nodes() == 4
+
+    def test_geometric_split_keeps_neighbors(self, lib):
+        # A 60-flop row split into <=10-node parts: each part should span a
+        # contiguous x range (median bisection on positions).
+        graph = self._grid_graph(lib)
+        parts = partition_graph(graph, max_nodes=10)
+        ranges = []
+        for p in parts:
+            xs = [p.nodes[n]["info"].center.x for n in p.nodes]
+            ranges.append((min(xs), max(xs)))
+        ranges.sort()
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 <= lo2 + 1e-9  # disjoint x spans
+
+    def test_invalid_bound_rejected(self, row_graph):
+        _, graph = row_graph
+        with pytest.raises(ValueError):
+            partition_graph(graph, max_nodes=1)
+
+    def test_edges_within_parts_preserved(self, lib):
+        graph = self._grid_graph(lib)
+        parts = partition_graph(graph, max_nodes=10)
+        for p in parts:
+            for u, v in p.edges:
+                assert graph.has_edge(u, v)

@@ -1,0 +1,170 @@
+"""Tests for MBR mapping (Section 4.1) and MBR placement (Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compatibility import analyze_registers
+from repro.core.mapping import (
+    area_overhead_fraction,
+    incomplete_area_acceptable,
+    required_scan_styles,
+    select_library_cell,
+)
+from repro.core.mbr_placement import (
+    PinConnection,
+    pin_connections,
+    place_mbr_lp,
+    place_mbr_pwl,
+    wirelength_at,
+)
+from repro.geometry import Point, Rect
+from repro.library.functional import DFF_R, DFF_R_S, ScanStyle
+from repro.netlist.registers import RegisterView
+from repro.scan import ScanChain, ScanModel
+from repro.sta import Timer
+
+from tests.conftest import make_flop_row
+
+
+@pytest.fixture
+def members(lib, flop_row):
+    timer = Timer(flop_row, clock_period=1.0)
+    infos = analyze_registers(flop_row, timer)
+    return [infos["ff0"], infos["ff1"]]
+
+
+class TestMapping:
+    def test_drive_resistance_floor(self, lib, flop_row, members):
+        # Upgrade ff0 to the strongest drive: the MBR must match it.
+        strongest = min(lib.register_cells(DFF_R, 1), key=lambda c: c.drive_resistance)
+        flop_row.swap_libcell(flop_row.cell("ff0"), strongest)
+        timer = Timer(flop_row, clock_period=1.0)
+        infos = analyze_registers(flop_row, timer)
+        choice = select_library_cell(lib, [infos["ff0"], infos["ff1"]], 2)
+        assert choice is not None
+        assert choice.cell.drive_resistance <= strongest.drive_resistance
+
+    def test_lowest_clock_cap_among_qualifying(self, lib, members):
+        choice = select_library_cell(lib, members, 2)
+        qualifying = [
+            c
+            for c in lib.register_cells(DFF_R, 2)
+            if c.drive_resistance <= choice.cell.drive_resistance + 1e-12
+        ]
+        assert choice.cell.clock_pin_cap == min(c.clock_pin_cap for c in qualifying)
+
+    def test_exact_vs_incomplete(self, lib, members):
+        exact = select_library_cell(lib, members, 2)
+        incomplete = select_library_cell(lib, members, 4)
+        assert not exact.incomplete and exact.spare_bits == 0
+        assert incomplete.incomplete and incomplete.spare_bits == 2
+
+    def test_width_too_small_rejected(self, lib, members):
+        assert select_library_cell(lib, members, 1) is None
+
+    def test_scan_styles_internal_preferred(self, lib):
+        d = make_flop_row(lib, n_flops=2, func_class=DFF_R_S, name="sc")
+        timer = Timer(d, clock_period=1.0)
+        infos = analyze_registers(d, timer)
+        model = ScanModel()
+        model.add_chain(ScanChain("c", partition="P", cells=["ff0", "ff1"], ordered=True))
+        group = [infos["ff0"], infos["ff1"]]
+        assert required_scan_styles(group, model) == (ScanStyle.INTERNAL, ScanStyle.MULTI)
+        choice = select_library_cell(lib, group, 2, model)
+        assert choice.cell.scan_style is ScanStyle.INTERNAL
+
+    def test_nonconsecutive_ordered_forces_multi_scan(self, lib):
+        d = make_flop_row(lib, n_flops=3, func_class=DFF_R_S, name="sc2")
+        timer = Timer(d, clock_period=1.0)
+        infos = analyze_registers(d, timer)
+        model = ScanModel()
+        model.add_chain(
+            ScanChain("c", partition="P", cells=["ff0", "ff1", "ff2"], ordered=True)
+        )
+        group = [infos["ff0"], infos["ff2"]]  # skips ff1 in an ordered section
+        assert required_scan_styles(group, model) == (ScanStyle.MULTI,)
+        choice = select_library_cell(lib, group, 2, model)
+        assert choice.cell.scan_style is ScanStyle.MULTI
+
+    def test_incomplete_area_rule(self, lib, members):
+        choice = select_library_cell(lib, members, 8)
+        # The default library's 8-bit cell is more area-efficient per bit
+        # than two 1-bit flops, so the per-bit rule passes ...
+        assert incomplete_area_acceptable(choice, members)
+        # ... but replacing 2 bits with an 8-bit cell blows the area budget.
+        assert area_overhead_fraction(choice, members) > 0.05
+
+
+class TestPlacementLP:
+    def _conns(self):
+        return [
+            PinConnection(0.0, 0.5, Rect(0, 0, 2, 2)),
+            PinConnection(1.0, 0.5, Rect(8, 6, 10, 8)),
+        ]
+
+    def test_pwl_inside_region(self):
+        region = Rect(0, 0, 20, 20)
+        p = place_mbr_pwl(region, self._conns())
+        assert region.contains_point(p)
+
+    def test_lp_matches_pwl_objective(self):
+        region = Rect(0, 0, 20, 20)
+        conns = self._conns()
+        p1 = place_mbr_pwl(region, conns)
+        p2 = place_mbr_lp(region, conns)
+        assert wirelength_at(p1, conns) == pytest.approx(wirelength_at(p2, conns), abs=1e-6)
+
+    def test_empty_connections_center(self):
+        region = Rect(2, 2, 6, 10)
+        assert place_mbr_pwl(region, []) == region.center
+        assert place_mbr_lp(region, []) == region.center
+
+    def test_constrained_region_clamps(self):
+        # Optimum outside the region: result lands on the boundary.
+        region = Rect(0, 0, 1, 1)
+        conns = [PinConnection(0.0, 0.0, Rect(50, 50, 60, 60))]
+        p = place_mbr_pwl(region, conns)
+        assert p == Point(1, 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_pwl_equals_lp_on_random_instances(self, data):
+        k = data.draw(st.integers(1, 5))
+        coord = st.floats(min_value=0, max_value=50, allow_nan=False)
+        conns = []
+        for _ in range(k):
+            x1, x2 = sorted([data.draw(coord), data.draw(coord)])
+            y1, y2 = sorted([data.draw(coord), data.draw(coord)])
+            dx = data.draw(st.floats(min_value=0, max_value=3, allow_nan=False))
+            dy = data.draw(st.floats(min_value=0, max_value=1, allow_nan=False))
+            conns.append(PinConnection(dx, dy, Rect(x1, y1, x2, y2)))
+        region = Rect(0, 0, 50, 50)
+        p_pwl = place_mbr_pwl(region, conns)
+        p_lp = place_mbr_lp(region, conns)
+        assert wirelength_at(p_pwl, conns) == pytest.approx(
+            wirelength_at(p_lp, conns), abs=1e-6
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0, max_value=48, allow_nan=False),
+           st.floats(min_value=0, max_value=48, allow_nan=False))
+    def test_pwl_is_global_minimum(self, px, py):
+        # No sampled point beats the PWL optimum.
+        conns = [
+            PinConnection(0.0, 0.0, Rect(10, 10, 20, 20)),
+            PinConnection(2.0, 0.5, Rect(30, 5, 40, 15)),
+        ]
+        region = Rect(0, 0, 50, 50)
+        best = place_mbr_pwl(region, conns)
+        assert wirelength_at(best, conns) <= wirelength_at(Point(px, py), conns) + 1e-9
+
+    def test_pin_connections_from_design(self, lib, flop_row):
+        target = lib.register_cells(DFF_R, 2)[0]
+        bits = [
+            b
+            for name in ("ff0", "ff1")
+            for b in RegisterView(flop_row.cell(name)).connected_bits()
+        ]
+        conns = pin_connections(target, bits)
+        assert len(conns) == 4  # 2 D boxes + 2 Q boxes
+        assert all(c.box.area >= 0 for c in conns)

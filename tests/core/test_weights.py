@@ -1,0 +1,57 @@
+"""Unit tests for the Section 3.2 weight formula and blocking test."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.weights import KEEP_WEIGHT, weight_formula
+
+
+class TestWeightFormula:
+    def test_clean_candidates_reward_width(self):
+        assert weight_formula(8, 0) == pytest.approx(1 / 8)
+        assert weight_formula(4, 0) == pytest.approx(1 / 4)
+        # One clean 8-bit beats two clean 4-bit (paper Section 3.2).
+        assert weight_formula(8, 0) < 2 * weight_formula(4, 0)
+
+    def test_blocked_candidates_penalized(self):
+        assert weight_formula(2, 1) == 4.0
+        assert weight_formula(3, 1) == 6.0
+        assert weight_formula(4, 1) == 8.0
+        assert weight_formula(8, 1) == 16.0
+
+    def test_paper_arithmetic_8bit_vs_two_4bit(self):
+        # Paper: blocked 8-bit (w=16) loses to clean 4-bit + blocked 4-bit
+        # (0.25 + 8 = 8.25).
+        assert weight_formula(8, 1) > weight_formula(4, 0) + weight_formula(4, 1)
+
+    def test_hopeless_candidates_infinite(self):
+        assert weight_formula(2, 2) == math.inf
+        assert weight_formula(4, 7) == math.inf
+        assert weight_formula(1, 1) == math.inf
+
+    def test_exponential_in_blockers(self):
+        assert weight_formula(8, 2) == 2 * weight_formula(8, 1)
+        assert weight_formula(8, 3) == 8 * 2 ** 3
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            weight_formula(0, 0)
+
+    def test_keep_weight_is_one(self):
+        assert KEEP_WEIGHT == 1.0
+
+    @given(st.integers(1, 16), st.integers(0, 20))
+    def test_formula_matches_paper_cases(self, bits, blockers):
+        w = weight_formula(bits, blockers)
+        if blockers == 0:
+            assert w == 1.0 / bits
+        elif blockers < bits:
+            assert w == bits * 2.0 ** blockers
+        else:
+            assert w == math.inf
+
+    @given(st.integers(1, 16))
+    def test_any_blocked_worse_than_any_clean(self, bits):
+        assert weight_formula(bits, 0) < weight_formula(max(bits, 2), 1)

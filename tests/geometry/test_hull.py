@@ -1,0 +1,93 @@
+"""Unit and property tests for convex hulls and point-in-polygon."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, convex_hull, point_in_convex_polygon, polygon_area
+
+
+# Placement coordinates: microns at sub-nm resolution.  Pathological
+# magnitudes (1e-24) are not representative and only probe float absorption.
+coords = st.integers(min_value=-100_000, max_value=100_000).map(lambda v: v / 1000.0)
+points = st.builds(Point, coords, coords)
+
+
+class TestConvexHull:
+    def test_triangle(self):
+        hull = convex_hull([Point(0, 0), Point(4, 0), Point(0, 4)])
+        assert len(hull) == 3
+
+    def test_interior_point_dropped(self):
+        hull = convex_hull([Point(0, 0), Point(4, 0), Point(0, 4), Point(1, 1)])
+        assert Point(1, 1) not in hull
+        assert len(hull) == 3
+
+    def test_collinear_points_dropped(self):
+        hull = convex_hull([Point(0, 0), Point(2, 0), Point(4, 0), Point(4, 4), Point(0, 4)])
+        assert Point(2, 0) not in hull
+        assert len(hull) == 4
+
+    def test_duplicates_ignored(self):
+        hull = convex_hull([Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)])
+        assert len(hull) == 3
+
+    def test_degenerate_single_point(self):
+        assert convex_hull([Point(1, 2), Point(1, 2)]) == [Point(1, 2)]
+
+    def test_degenerate_segment(self):
+        hull = convex_hull([Point(0, 0), Point(1, 1), Point(2, 2)])
+        assert hull == [Point(0, 0), Point(2, 2)]
+
+    def test_ccw_orientation(self):
+        hull = convex_hull([Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)])
+        assert polygon_area(hull) > 0
+
+    @given(st.lists(points, min_size=3, max_size=30))
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        for p in pts:
+            assert point_in_convex_polygon(p, hull, include_boundary=True)
+
+    @given(st.lists(points, min_size=3, max_size=30))
+    def test_hull_vertices_subset_of_input(self, pts):
+        hull = convex_hull(pts)
+        input_set = {(p.x, p.y) for p in pts}
+        assert all((h.x, h.y) in input_set for h in hull)
+
+    @given(st.lists(points, min_size=3, max_size=20))
+    def test_hull_idempotent(self, pts):
+        hull = convex_hull(pts)
+        assert convex_hull(hull) == hull
+
+
+class TestPointInPolygon:
+    SQUARE = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+
+    def test_strict_interior(self):
+        assert point_in_convex_polygon(Point(2, 2), self.SQUARE)
+        assert point_in_convex_polygon(Point(2, 2), self.SQUARE, include_boundary=False)
+
+    def test_exterior(self):
+        assert not point_in_convex_polygon(Point(5, 2), self.SQUARE)
+        assert not point_in_convex_polygon(Point(-0.1, 2), self.SQUARE)
+
+    def test_boundary_inclusive_vs_exclusive(self):
+        edge_point = Point(4, 2)
+        assert point_in_convex_polygon(edge_point, self.SQUARE, include_boundary=True)
+        assert not point_in_convex_polygon(edge_point, self.SQUARE, include_boundary=False)
+
+    def test_vertex(self):
+        assert point_in_convex_polygon(Point(0, 0), self.SQUARE, include_boundary=True)
+        assert not point_in_convex_polygon(Point(0, 0), self.SQUARE, include_boundary=False)
+
+    def test_empty_polygon(self):
+        assert not point_in_convex_polygon(Point(0, 0), [])
+
+    def test_segment_polygon(self):
+        seg = [Point(0, 0), Point(4, 0)]
+        assert point_in_convex_polygon(Point(2, 0), seg)
+        assert not point_in_convex_polygon(Point(2, 0.1), seg)
+        assert not point_in_convex_polygon(Point(5, 0), seg)
+
+    def test_single_vertex_polygon(self):
+        assert point_in_convex_polygon(Point(1, 1), [Point(1, 1)])
+        assert not point_in_convex_polygon(Point(1, 2), [Point(1, 1)])

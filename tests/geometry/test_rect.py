@@ -1,0 +1,109 @@
+"""Unit tests for the rectangle algebra used by feasible regions."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.geometry.rect import bounding_box, intersect_all
+
+
+class TestConstruction:
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 2.0)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5.0, 5.0), 4.0, 2.0)
+        assert (r.xlo, r.ylo, r.xhi, r.yhi) == (3.0, 4.0, 7.0, 6.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(3, 2), Point(0, 4)])
+        assert (r.xlo, r.ylo, r.xhi, r.yhi) == (0, 2, 3, 5)
+
+    def test_degenerate_point_rect(self):
+        r = Rect.point(Point(2.0, 3.0))
+        assert r.area == 0.0
+        assert r.contains_point(Point(2.0, 3.0))
+        assert not r.contains_point(Point(2.0, 3.1))
+
+
+class TestProperties:
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4 and r.height == 3
+        assert r.area == 12
+        assert r.half_perimeter == 7
+        assert r.center == Point(2.0, 1.5)
+
+    def test_corners(self):
+        r = Rect(0, 0, 1, 1)
+        assert len(r.corners()) == 4
+        assert Point(0, 0) in r.corners()
+        assert Point(1, 1) in r.corners()
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.001, 1))
+
+    def test_contains_point_tolerance(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(2.05, 1), tol=0.1)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_overlaps_touching_edges(self):
+        # Closed rectangles that share an edge overlap.
+        assert Rect(0, 0, 1, 1).overlaps(Rect(1, 0, 2, 1))
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(1.01, 0, 2, 1))
+
+
+class TestCombinators:
+    def test_intersect(self):
+        r = Rect(0, 0, 4, 4).intersect(Rect(2, 2, 6, 6))
+        assert r == Rect(2, 2, 4, 4)
+
+    def test_intersect_disjoint(self):
+        assert Rect(0, 0, 1, 1).intersect(Rect(2, 2, 3, 3)) is None
+
+    def test_intersect_degenerate_edge(self):
+        r = Rect(0, 0, 1, 1).intersect(Rect(1, 0, 2, 1))
+        assert r is not None and r.width == 0.0
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(3, 3, 4, 4)) == Rect(0, 0, 4, 4)
+
+    def test_expanded(self):
+        assert Rect(1, 1, 2, 2).expanded(1.0) == Rect(0, 0, 3, 3)
+
+    def test_expanded_negative_clamps(self):
+        r = Rect(0, 0, 1, 1).expanded(-2.0)
+        assert r.width == 0.0 and r.height == 0.0
+
+    def test_clamp_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.clamp_point(Point(5, 1)) == Point(2, 1)
+        assert r.clamp_point(Point(1, 1)) == Point(1, 1)
+
+    def test_manhattan_to_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.manhattan_to_point(Point(3, 3)) == 2.0
+        assert r.manhattan_to_point(Point(1, 1)) == 0.0
+
+    def test_bounding_box_list(self):
+        bb = bounding_box([Rect(0, 0, 1, 1), Rect(5, -1, 6, 2)])
+        assert bb == Rect(0, -1, 6, 2)
+
+    def test_intersect_all(self):
+        assert intersect_all([Rect(0, 0, 4, 4), Rect(1, 1, 5, 5), Rect(2, 0, 3, 6)]) == Rect(2, 1, 3, 4)
+        assert intersect_all([Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)]) is None
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+        with pytest.raises(ValueError):
+            intersect_all([])

@@ -1,0 +1,145 @@
+"""Tests for the exact set-partition solver (the composition ILP core)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp import (
+    SetPartitionProblem,
+    solve_set_partition,
+    solve_set_partition_scipy,
+)
+from repro.ilp.branch_bound import solve_binary_program
+
+
+def problem(n, subsets, weights):
+    return SetPartitionProblem(
+        n_elements=n,
+        subsets=tuple(frozenset(s) for s in subsets),
+        weights=tuple(float(w) for w in weights),
+    )
+
+
+class TestExactness:
+    def test_trivial_singletons(self):
+        p = problem(3, [[0], [1], [2]], [1, 1, 1])
+        sol = solve_set_partition(p)
+        assert sol.feasible and sol.objective == pytest.approx(3.0)
+        assert sorted(sol.chosen) == [0, 1, 2]
+
+    def test_prefers_cheap_big_subset(self):
+        # {0,1,2} at 0.5 beats three singletons at 1 each.
+        p = problem(3, [[0], [1], [2], [0, 1, 2]], [1, 1, 1, 0.5])
+        sol = solve_set_partition(p)
+        assert sol.chosen == [3]
+        assert sol.objective == pytest.approx(0.5)
+
+    def test_overlap_forces_disjoint_choice(self):
+        # {0,1} and {1,2} overlap; must pick one plus a singleton.
+        p = problem(3, [[0, 1], [1, 2], [0], [1], [2]], [0.5, 0.5, 1, 1, 1])
+        sol = solve_set_partition(p)
+        assert sol.objective == pytest.approx(1.5)
+        chosen_sets = [p.subsets[i] for i in sol.chosen]
+        covered = frozenset().union(*chosen_sets)
+        assert covered == frozenset({0, 1, 2})
+        assert sum(len(s) for s in chosen_sets) == 3  # disjoint
+
+    def test_infeasible_reported(self):
+        p = problem(3, [[0, 1]], [1.0])
+        sol = solve_set_partition(p)
+        assert not sol.feasible
+
+    def test_paper_weight_example(self):
+        # Section 3.2's arithmetic: one 8-bit MBR with one blocker (w=16)
+        # loses to a clean 4-bit (w=1/4) plus a blocked 4-bit (w=8).
+        p = problem(
+            2,
+            [[0, 1], [0], [1]],
+            [16.0, 0.25, 8.0],
+        )
+        sol = solve_set_partition(p)
+        assert sorted(sol.chosen) == [1, 2]
+        assert sol.objective == pytest.approx(8.25)
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError):
+            problem(2, [[]], [1.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            problem(2, [[5]], [1.0])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            problem(2, [[0]], [1.0, 2.0])
+
+
+@st.composite
+def random_instances(draw):
+    """Feasible random instances: singletons for every element plus extras."""
+    n = draw(st.integers(3, 9))
+    subsets = [[e] for e in range(n)]
+    weights = [draw(st.floats(min_value=0.1, max_value=4)) for _ in range(n)]
+    n_extra = draw(st.integers(0, 8))
+    for _ in range(n_extra):
+        size = draw(st.integers(2, min(4, n)))
+        members = draw(
+            st.lists(st.integers(0, n - 1), min_size=size, max_size=size, unique=True)
+        )
+        subsets.append(members)
+        weights.append(draw(st.floats(min_value=0.1, max_value=4)))
+    return problem(n, subsets, weights)
+
+
+class TestAgainstReferenceSolvers:
+    @settings(max_examples=40, deadline=None)
+    @given(random_instances())
+    def test_matches_scipy_milp(self, p):
+        ours = solve_set_partition(p)
+        ref = solve_set_partition_scipy(p)
+        assert ours.feasible and ref.feasible
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_instances())
+    def test_matches_generic_branch_bound(self, p):
+        ours = solve_set_partition(p)
+        # Encode as a generic binary program.
+        k = len(p.subsets)
+        A_eq = [[1.0 if e in p.subsets[i] else 0.0 for i in range(k)] for e in range(p.n_elements)]
+        b_eq = [1.0] * p.n_elements
+        ref = solve_binary_program(list(p.weights), A_eq=A_eq, b_eq=b_eq)
+        assert ref.feasible
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_instances())
+    def test_solution_is_exact_partition(self, p):
+        sol = solve_set_partition(p)
+        counts = [0] * p.n_elements
+        for i in sol.chosen:
+            for e in p.subsets[i]:
+                counts[e] += 1
+        assert all(c == 1 for c in counts)
+
+
+class TestScale:
+    def test_30_element_instance_fast(self):
+        # The paper's subgraph bound: 30 registers with many overlapping
+        # candidates must solve exactly without pain.
+        import itertools
+
+        n = 30
+        subsets = [[e] for e in range(n)]
+        weights = [1.0] * n
+        for a, b in itertools.combinations(range(0, n, 2), 2):
+            if abs(a - b) <= 6:
+                subsets.append([a, b])
+                weights.append(0.5)
+        for start in range(0, n - 4, 3):
+            subsets.append(list(range(start, start + 4)))
+            weights.append(0.25)
+        p = problem(n, subsets, weights)
+        sol = solve_set_partition(p)
+        assert sol.feasible
+        ref = solve_set_partition_scipy(p)
+        assert sol.objective == pytest.approx(ref.objective, abs=1e-6)

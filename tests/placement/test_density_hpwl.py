@@ -1,0 +1,67 @@
+"""Tests for density maps and HPWL measurement."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Design
+from repro.placement import DensityMap, design_hpwl
+from repro.placement.hpwl import hpwl_of_nets
+
+
+class TestDensityMap:
+    def test_total_area_conserved(self, lib, flop_row):
+        dm = DensityMap.of_design(flop_row, bins_x=8, bins_y=8)
+        assert dm.area.sum() == pytest.approx(flop_row.total_cell_area())
+
+    def test_rect_spanning_bins_split(self):
+        dm = DensityMap(Rect(0, 0, 10, 10), bins_x=2, bins_y=1)
+        dm.add_rect(Rect(4, 0, 6, 1))  # 1 um^2 in each half
+        assert dm.area[0, 0] == pytest.approx(1.0)
+        assert dm.area[1, 0] == pytest.approx(1.0)
+
+    def test_negative_sign_removes(self):
+        dm = DensityMap(Rect(0, 0, 10, 10), bins_x=2, bins_y=2)
+        r = Rect(1, 1, 3, 3)
+        dm.add_rect(r)
+        dm.add_rect(r, sign=-1.0)
+        assert abs(dm.area).max() == pytest.approx(0.0)
+
+    def test_utilization_and_overfull(self):
+        dm = DensityMap(Rect(0, 0, 4, 4), bins_x=2, bins_y=2)
+        dm.add_rect(Rect(0, 0, 2, 2))  # fills bin (0,0) exactly
+        assert dm.max_utilization == pytest.approx(1.0)
+        assert dm.overfull_bins(limit=0.99) == 1
+        assert dm.overfull_bins(limit=1.01) == 0
+
+    def test_rect_outside_core_clipped(self):
+        dm = DensityMap(Rect(0, 0, 4, 4), bins_x=2, bins_y=2)
+        dm.add_rect(Rect(-2, -2, 1, 1))
+        assert dm.area.sum() == pytest.approx(1.0)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            DensityMap(Rect(0, 0, 4, 4), bins_x=0, bins_y=2)
+
+
+class TestHpwl:
+    def test_clock_other_split(self, flop_row):
+        total = design_hpwl(flop_row)
+        clk = design_hpwl(flop_row, clock_only=True)
+        other = design_hpwl(flop_row, clock_only=False)
+        assert clk + other == pytest.approx(total)
+        assert clk > 0
+
+    def test_hpwl_of_net_subset(self, flop_row):
+        nets = [flop_row.net("n_d0"), flop_row.net("n_q0")]
+        assert hpwl_of_nets(nets) == pytest.approx(sum(n.hpwl() for n in nets))
+
+    def test_moving_cell_changes_hpwl(self, lib):
+        d = Design("t", lib, Rect(0, 0, 100, 100))
+        a = d.add_cell("a", "BUF_X1", Point(0, 0))
+        b = d.add_cell("b", "INV_X1", Point(10, 0))
+        n = d.add_net("n")
+        d.connect(a.pin("Z"), n)
+        d.connect(b.pin("A"), n)
+        before = design_hpwl(d)
+        b.move_to(Point(50, 0))
+        assert design_hpwl(d) > before

@@ -1,0 +1,57 @@
+"""Tests for the row/site grid."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Rect
+from repro.placement import PlacementRows
+
+
+@pytest.fixture
+def rows() -> PlacementRows:
+    return PlacementRows(Rect(0, 0, 100, 50), row_height=1.0, site_width=0.2)
+
+
+class TestGrid:
+    def test_counts(self, rows):
+        assert rows.num_rows == 50
+        assert rows.sites_per_row == 500
+
+    def test_row_y(self, rows):
+        assert rows.row_y(0) == 0.0
+        assert rows.row_y(49) == 49.0
+        with pytest.raises(IndexError):
+            rows.row_y(50)
+
+    def test_nearest_row_clamps(self, rows):
+        assert rows.nearest_row(-5.0) == 0
+        assert rows.nearest_row(500.0) == 49
+        assert rows.nearest_row(10.4) == 10
+        assert rows.nearest_row(10.6) == 11
+
+    def test_snap_x(self, rows):
+        assert rows.snap_x(1.09) == pytest.approx(1.0)
+        assert rows.snap_x(1.11) == pytest.approx(1.2)
+        assert rows.snap_x(-3.0) == 0.0
+        assert rows.snap_x(1000.0) == 100.0
+
+    def test_snap_point(self, rows):
+        p = rows.snap(Point(5.49, 7.6))
+        assert p == Point(5.4, 8.0)
+
+    def test_sites_for_width(self, rows):
+        assert rows.sites_for_width(0.2) == 1
+        assert rows.sites_for_width(0.21) == 2
+        assert rows.sites_for_width(1.0) == 5
+        assert rows.sites_for_width(0.05) == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PlacementRows(Rect(0, 0, 10, 10), row_height=0.0, site_width=0.2)
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_snap_idempotent(self, x):
+        rows = PlacementRows(Rect(0, 0, 100, 50), row_height=1.0, site_width=0.2)
+        snapped = rows.snap_x(x)
+        assert rows.snap_x(snapped) == pytest.approx(snapped)
+        assert 0.0 <= snapped <= 100.0

@@ -1,0 +1,158 @@
+"""Tests for the scan-chain model: partitions, ordering, re-stitching."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.library.functional import DFF_R_S, ScanStyle
+from repro.netlist import compose_mbr
+from repro.netlist.validate import validate_design
+from repro.scan import ScanChain, ScanModel
+
+
+@pytest.fixture
+def model() -> ScanModel:
+    m = ScanModel()
+    m.add_chain(ScanChain("c0", partition="P0", cells=["ff0", "ff1", "ff2", "ff3"]))
+    m.add_chain(ScanChain("c1", partition="P1", cells=["g0", "g1"], ordered=True))
+    return m
+
+
+class TestQueries:
+    def test_partition_lookup(self, model):
+        assert model.partition_of("ff0") == "P0"
+        assert model.partition_of("g1") == "P1"
+        assert model.partition_of("unknown") is None
+
+    def test_same_partition(self, model):
+        assert model.same_partition("ff0", "ff3")
+        assert not model.same_partition("ff0", "g0")
+        assert model.same_partition("nope1", "nope2")  # both unscanned
+
+    def test_duplicate_chain_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_chain(ScanChain("c0", partition="P0"))
+
+    def test_cell_on_two_chains_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_chain(ScanChain("c2", partition="P0", cells=["ff0"]))
+
+    def test_consecutive_in_order(self, model):
+        assert model.consecutive_in_order(["g0", "g1"])
+        assert model.consecutive_in_order(["ff0", "ff2"])  # unordered chain: free
+        assert model.consecutive_in_order(["g0"])
+
+    def test_nonconsecutive_ordered_rejected(self):
+        m = ScanModel()
+        m.add_chain(ScanChain("c", partition="P", cells=["a", "b", "c", "d"], ordered=True))
+        assert m.consecutive_in_order(["a", "b"])
+        assert m.consecutive_in_order(["b", "d"]) is False
+        assert m.consecutive_in_order(["d", "c", "b"])  # order-insensitive input
+
+    def test_members_of_two_ordered_chains_rejected(self):
+        m = ScanModel()
+        m.add_chain(ScanChain("c1", partition="P", cells=["a", "b"], ordered=True))
+        m.add_chain(ScanChain("c2", partition="P", cells=["x", "y"], ordered=True))
+        assert m.ordered_positions(["a", "x"]) is None
+        assert not m.consecutive_in_order(["a", "x"])
+
+
+class TestReplaceGroup:
+    def test_group_collapses_to_first_position(self, model):
+        model.replace_group(["ff1", "ff2"], "mbr0")
+        assert model.chains["c0"].cells == ["ff0", "mbr0", "ff3"]
+        assert model.chain_of("mbr0").name == "c0"
+        assert model.chain_of("ff1") is None
+
+    def test_cross_chain_group_lands_on_one_chain(self):
+        m = ScanModel()
+        m.add_chain(ScanChain("c1", partition="P", cells=["a", "b"]))
+        m.add_chain(ScanChain("c2", partition="P", cells=["x", "y"]))
+        m.replace_group(["b", "x"], "mbr")
+        assert m.chains["c1"].cells == ["a", "mbr"]
+        assert m.chains["c2"].cells == ["y"]
+
+    def test_unscanned_group_noop(self, model):
+        model.replace_group(["nfa", "nfb"], "mbr")
+        assert model.chain_of("mbr") is None
+
+
+class TestRestitch:
+    def test_restitch_after_scattered_merge(self, lib, scan_row):
+        # Merge ff0 and ff2 (NOT consecutive) into an internal-scan MBR; the
+        # netlist-local stitch cannot fix the chain, but the model rebuild can.
+        model = ScanModel()
+        model.add_chain(
+            ScanChain("c0", partition="P0", cells=["ff0", "ff1", "ff2", "ff3"])
+        )
+        target = next(
+            c
+            for c in lib.register_cells(DFF_R_S, 2)
+            if c.scan_style is ScanStyle.INTERNAL
+        )
+        group = [scan_row.cell("ff0"), scan_row.cell("ff2")]
+        mbr = compose_mbr(scan_row, group, target, Point(12, 50), name="mbr0")
+        model.replace_group(["ff0", "ff2"], "mbr0")
+        assert model.chains["c0"].cells == ["mbr0", "ff1", "ff3"]
+
+        model.restitch(scan_row)
+        # Chain must now be connected: mbr0.SO -> ff1.SI, ff1.SO -> ff3.SI.
+        assert mbr.pin("SO").net is scan_row.cell("ff1").pin("SI").net
+        assert scan_row.cell("ff1").pin("SO").net is scan_row.cell("ff3").pin("SI").net
+        errors = [i for i in validate_design(scan_row) if i.is_error]
+        assert not errors
+
+    def test_restitch_idempotent(self, lib, scan_row):
+        model = ScanModel()
+        model.add_chain(
+            ScanChain("c0", partition="P0", cells=["ff0", "ff1", "ff2", "ff3"])
+        )
+        created_first = model.restitch(scan_row)  # already stitched correctly
+        created_second = model.restitch(scan_row)
+        assert created_first == 0 and created_second == 0
+
+    def test_restitch_threads_multi_scan_mbr(self, lib, scan_row):
+        model = ScanModel()
+        model.add_chain(
+            ScanChain("c0", partition="P0", cells=["ff0", "ff1", "ff2", "ff3"])
+        )
+        target = next(
+            c for c in lib.register_cells(DFF_R_S, 2) if c.scan_style is ScanStyle.MULTI
+        )
+        group = [scan_row.cell("ff1"), scan_row.cell("ff2")]
+        mbr = compose_mbr(scan_row, group, target, Point(12, 50), name="mbr0")
+        model.replace_group(["ff1", "ff2"], "mbr0")
+        model.restitch(scan_row)
+        # The external chain passes through both bits.
+        assert scan_row.cell("ff0").pin("SO").net is mbr.pin("SI0").net
+        assert mbr.pin("SO0").net is mbr.pin("SI1").net
+        assert mbr.pin("SO1").net is scan_row.cell("ff3").pin("SI").net
+
+
+class TestFromDesign:
+    def test_extracts_generator_chains(self, lib):
+        from repro.bench import generate_design, preset
+        from repro.scan import ScanModel
+
+        bundle = generate_design(preset("D1", scale=0.1), lib)
+        extracted = ScanModel.from_design(bundle.design)
+        # Same registers end up chained, in the same traversal order.
+        original = {
+            tuple(ch.cells) for ch in bundle.scan_model.chains.values() if ch.cells
+        }
+        recovered = {tuple(ch.cells) for ch in extracted.chains.values()}
+        assert recovered == original
+
+    def test_extracted_model_restitch_is_noop(self, lib, scan_row):
+        from repro.scan import ScanModel
+
+        model = ScanModel.from_design(scan_row)
+        assert len(model.chains) == 1
+        chain = next(iter(model.chains.values()))
+        assert chain.cells == ["ff0", "ff1", "ff2", "ff3"]
+        assert model.restitch(scan_row) == 0  # already physically stitched
+
+    def test_extraction_on_scanless_design(self, lib, flop_row):
+        from repro.scan import ScanModel
+
+        model = ScanModel.from_design(flop_row)
+        assert model.chains == {}

@@ -1,0 +1,80 @@
+"""Tests for useful-skew computation and assignment."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.skew import assign_useful_skew, optimal_skew
+from repro.sta import Timer
+
+
+class TestOptimalSkew:
+    def test_balances_d_and_q(self):
+        # d=-0.1, q=+0.3: shifting by +0.2 equalizes both at +0.1.
+        assert optimal_skew(-0.1, 0.3, window=1.0) == pytest.approx(0.2)
+
+    def test_clamped_to_window(self):
+        assert optimal_skew(-1.0, 1.0, window=0.2) == pytest.approx(0.2)
+        assert optimal_skew(1.0, -1.0, window=0.2) == pytest.approx(-0.2)
+
+    def test_balanced_input_needs_no_skew(self):
+        assert optimal_skew(0.5, 0.5, window=0.2) == 0.0
+
+    def test_unconstrained_both_sides(self):
+        assert optimal_skew(math.inf, math.inf, window=0.2) == 0.0
+
+    def test_unconstrained_d_with_failing_q(self):
+        s = optimal_skew(math.inf, -0.5, window=0.2)
+        assert s == -0.2  # pull clock earlier to help Q
+
+    def test_unconstrained_q_with_failing_d(self):
+        s = optimal_skew(-0.5, math.inf, window=0.2)
+        assert s == 0.2
+
+    @given(
+        st.floats(min_value=-1, max_value=1, allow_nan=False),
+        st.floats(min_value=-1, max_value=1, allow_nan=False),
+        st.floats(min_value=0.01, max_value=0.5, allow_nan=False),
+    )
+    def test_never_hurts_worst_side(self, d, q, w):
+        """min(d+s, q-s) at the chosen s is >= min(d, q) at s=0."""
+        s = optimal_skew(d, q, w)
+        assert -w - 1e-12 <= s <= w + 1e-12
+        assert min(d + s, q - s) >= min(d, q) - 1e-9
+
+
+class TestAssignUsefulSkew:
+    def test_improves_wns_on_skewed_design(self, lib):
+        # Tight period: input paths fail while output paths have margin, so
+        # useful skew can trade Q slack for D slack.
+        from tests.conftest import make_flop_row
+
+        d = make_flop_row(lib, n_flops=4)
+        timer = Timer(d, clock_period=0.12)
+        regs = d.registers()
+        before = timer.summary()
+        result = assign_useful_skew(timer, regs, window=0.05)
+        after = timer.summary()
+        assert result.wns_before == pytest.approx(before.wns)
+        assert result.wns_after == pytest.approx(after.wns)
+        assert after.wns >= before.wns - 1e-9
+
+    def test_offsets_within_window(self, flop_row):
+        timer = Timer(flop_row, clock_period=0.2)
+        result = assign_useful_skew(timer, flop_row.registers(), window=0.03)
+        assert result.offsets
+        assert all(abs(v) <= 0.03 + 1e-12 for v in result.offsets.values())
+
+    def test_balanced_design_gets_near_zero_skew(self, flop_row):
+        timer = Timer(flop_row, clock_period=10.0)  # everything has slack
+        result = assign_useful_skew(timer, flop_row.registers(), window=0.1)
+        # d and q slacks are finite but unequal; skew equalizes them.  The
+        # offsets must at least not create violations.
+        assert timer.summary().failing_endpoints == 0
+
+    def test_offsets_installed_in_timer(self, flop_row):
+        timer = Timer(flop_row, clock_period=0.2)
+        result = assign_useful_skew(timer, flop_row.registers(), window=0.05)
+        for name, off in result.offsets.items():
+            assert timer.skew.get(name, 0.0) == pytest.approx(off)

@@ -1,0 +1,71 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "d1"
+    rc = main(["generate", "--preset", "D1", "--scale", "0.08", "--out-prefix", str(out)])
+    assert rc == 0
+    return out
+
+
+class TestCli:
+    def test_generate_writes_files(self, generated):
+        for suffix in (".lib", ".v", ".def"):
+            assert generated.with_suffix(suffix).exists()
+
+    def test_report(self, generated, capsys):
+        rc = main([
+            "report",
+            "--lib", str(generated) + ".lib",
+            "--verilog", str(generated) + ".v",
+            "--def", str(generated) + ".def",
+            "--period", "1.0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registers" in out and "clock capacitance" in out
+
+    def test_compose_roundtrip(self, generated, tmp_path, capsys):
+        out_prefix = tmp_path / "composed"
+        rc = main([
+            "compose",
+            "--lib", str(generated) + ".lib",
+            "--verilog", str(generated) + ".v",
+            "--def", str(generated) + ".def",
+            "--period", "0.5",
+            "--out-prefix", str(out_prefix),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Base" in text and "Ours" in text
+        assert out_prefix.with_suffix(".v").exists()
+        assert out_prefix.with_suffix(".def").exists()
+
+    def test_compose_heuristic_mode(self, generated, capsys):
+        rc = main([
+            "compose",
+            "--lib", str(generated) + ".lib",
+            "--verilog", str(generated) + ".v",
+            "--def", str(generated) + ".def",
+            "--period", "0.5",
+            "--heuristic",
+        ])
+        assert rc == 0
+
+    def test_default_library_used_without_lib(self, generated, capsys):
+        rc = main([
+            "report",
+            "--verilog", str(generated) + ".v",
+            "--def", str(generated) + ".def",
+            "--period", "1.0",
+        ])
+        assert rc == 0
+
+    def test_missing_required_args(self):
+        with pytest.raises(SystemExit):
+            main(["compose", "--period", "1.0"])
