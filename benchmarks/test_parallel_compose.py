@@ -1,0 +1,77 @@
+"""Solve-stage fan-out benchmark: serial vs process-pool subproblem solving.
+
+The composition engine's solve stage is the paper's scalability seam —
+per-subgraph ILPs are independent, so they parallelize embarrassingly.
+This benchmark captures the real D2 solve workload (the specs the engine
+would hand its first pass) and times ``solve_subproblems`` at worker
+counts 1 and 4.  On a multi-core host the 4-worker run should be ≥1.5×
+faster; on a single core the pool only adds overhead, so the speedup
+assertion is gated on available CPUs.  Either way the results themselves
+must be bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench import generate_design, preset
+from repro.core.candidates import enumerate_candidates
+from repro.core.compatibility import analyze_registers
+from repro.core.graph import build_compatibility_graph
+from repro.core.partition import partition_graph
+from repro.core.subproblem import SubproblemSpec, make_spec, solve_subproblems
+from repro.core.weights import RegisterField
+
+_specs_cache: list[SubproblemSpec] | None = None
+
+
+def _d2_solve_specs(lib) -> list[SubproblemSpec]:
+    """The specs the composer's first-pass solve stage would fan out on D2."""
+    global _specs_cache
+    if _specs_cache is None:
+        bundle = generate_design(preset("D2", scale=BENCH_SCALE), lib)
+        infos = analyze_registers(bundle.design, bundle.timer, bundle.scan_model, None)
+        field = RegisterField(list(infos.values()))
+        graph = build_compatibility_graph(infos, bundle.scan_model, None)
+        parts = partition_graph(graph)
+        _specs_cache = [
+            make_spec(
+                i,
+                part.nodes,
+                enumerate_candidates(
+                    part, field, bundle.design.library, bundle.scan_model
+                ),
+            )
+            for i, part in enumerate(parts)
+        ]
+    return _specs_cache
+
+
+def test_solve_stage_serial(benchmark, lib):
+    specs = _d2_solve_specs(lib)
+    results = benchmark(solve_subproblems, specs, 1)
+    assert len(results) == len(specs)
+
+
+def test_solve_stage_4_workers(benchmark, lib):
+    specs = _d2_solve_specs(lib)
+    results = benchmark(solve_subproblems, specs, 4)
+    assert results == solve_subproblems(specs, workers=1)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs ≥4 CPUs for speedup")
+def test_4_workers_speedup_at_least_1_5x(lib):
+    import time
+
+    specs = _d2_solve_specs(lib)
+    t0 = time.perf_counter()
+    serial = solve_subproblems(specs, workers=1)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = solve_subproblems(specs, workers=4)
+    t_parallel = time.perf_counter() - t0
+    assert serial == parallel
+    assert t_serial / t_parallel >= 1.5, (t_serial, t_parallel)

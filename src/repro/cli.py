@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro.cli compose --lib repro28.lib --verilog design.v \\
-        --def design.def --period 1.2 --out-prefix composed [--heuristic]
+        --def design.def --period 1.2 --out-prefix composed \\
+        [--heuristic] [--workers 4] [--trace]
     python -m repro.cli generate --preset D1 --scale 0.25 --out-prefix d1
     python -m repro.cli report --lib repro28.lib --verilog d.v --def d.def --period 1.2
 
@@ -29,7 +30,7 @@ from repro.io import (
 )
 from repro.library import default_library
 from repro.metrics import collect_metrics
-from repro.reporting import format_table1
+from repro.reporting import format_stage_runtimes, format_table1
 from repro.scan import ScanModel
 from repro.sta import Timer
 
@@ -64,8 +65,14 @@ def cmd_compose(args) -> int:
         algorithm="heuristic" if args.heuristic else "ilp",
         decompose_widths=tuple(args.decompose) if args.decompose else (),
     )
+    config.composer.workers = args.workers
     report = run_flow(design, timer, scan_model, config)
     print(format_table1([report]))
+    if args.trace:
+        print()
+        print(format_stage_runtimes([report]))
+        print()
+        print(report.trace.format())
     if args.out_prefix:
         write_verilog(design, f"{args.out_prefix}.v")
         write_def(design, f"{args.out_prefix}.def")
@@ -118,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         nargs="*",
         help="MBR widths to decompose before composition (e.g. --decompose 8)",
+    )
+    comp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width of the ILP solve stage (default: 1, serial)",
+    )
+    comp.add_argument(
+        "--trace",
+        action="store_true",
+        help="print per-stage runtimes (the pipeline's StageTrace)",
     )
     comp.add_argument("--out-prefix", help="write the composed design here")
     comp.set_defaults(func=cmd_compose)

@@ -13,13 +13,16 @@ Pipeline (paper Sections 2-4):
    acceptance, and feasibility screening;
 6. :mod:`repro.core.weights` — the convex-hull blocking test and the
    placement-aware weight w_i;
-7. :mod:`repro.core.composer` — the set-partitioning ILP and solution
+7. :mod:`repro.core.subproblem` — pure, picklable per-subgraph ILP
+   specs/results, solved serially or across a process pool;
+8. :mod:`repro.core.composer` — the stage pipeline (analyze → graph →
+   partition → enumerate → solve → apply → scan → legalize) and solution
    application;
-8. :mod:`repro.core.mapping` — library cell selection (drive resistance,
+9. :mod:`repro.core.mapping` — library cell selection (drive resistance,
    clock-pin cap, scan style);
-9. :mod:`repro.core.mbr_placement` — the wire-length LP placing each MBR;
-10. :mod:`repro.core.heuristic` — the greedy maximal-clique baseline of
-    Fig. 6.
+10. :mod:`repro.core.mbr_placement` — the wire-length LP placing each MBR;
+11. :mod:`repro.core.heuristic` — the greedy pairwise baseline of Fig. 6
+    (same stage pipeline, different solve stage).
 """
 
 from repro.core.compatibility import (
@@ -36,8 +39,19 @@ from repro.core.partition import partition_graph
 from repro.core.cliques import enumerate_maximal_cliques, enumerate_subcliques
 from repro.core.candidates import CandidateMBR, enumerate_candidates
 from repro.core.weights import blocking_registers, candidate_weight
-from repro.core.composer import ComposerConfig, CompositionResult, compose_design
+from repro.core.composer import (
+    ComposerConfig,
+    ComposeState,
+    CompositionResult,
+    compose_design,
+)
 from repro.core.heuristic import compose_design_heuristic
+from repro.core.subproblem import (
+    SubproblemResult,
+    SubproblemSpec,
+    solve_subproblem,
+    solve_subproblems,
+)
 from repro.core.mapping import select_library_cell
 from repro.core.mbr_placement import place_mbr
 
@@ -58,9 +72,14 @@ __all__ = [
     "blocking_registers",
     "candidate_weight",
     "ComposerConfig",
+    "ComposeState",
     "CompositionResult",
     "compose_design",
     "compose_design_heuristic",
+    "SubproblemResult",
+    "SubproblemSpec",
+    "solve_subproblem",
+    "solve_subproblems",
     "select_library_cell",
     "place_mbr",
 ]

@@ -1,10 +1,22 @@
-"""The MBR composition engine: ILP selection and netlist application.
+"""The MBR composition engine, as a pipeline of typed stages.
 
-This ties Sections 2-4 together: analyze registers, build and partition the
-compatibility graph, enumerate weighted candidates per subgraph, solve the
-set-partitioning ILP exactly, then apply each selected candidate — map it to
-a library cell, place it with the wire-length LP, rewrite the netlist, track
-scan chains — and finally legalize the new cells.
+This ties Sections 2-4 together.  Each incremental pass runs the stage
+pipeline **analyze → graph → partition → enumerate → solve → apply**, and
+the run finishes with **scan → legalize**:
+
+* *analyze* — per-register compatibility analysis;
+* *graph* — the compatibility graph;
+* *partition* — clock-pin-driven decomposition into ≤30-node subgraphs;
+* *enumerate* — weighted candidate MBRs per subgraph;
+* *solve* — the set-partitioning ILPs, detached into pure picklable
+  :class:`~repro.core.subproblem.SubproblemSpec` s and (optionally) fanned
+  out across a process pool (``ComposerConfig.workers``);
+* *apply* — map, place, and commit every selected candidate (serial: it
+  mutates the netlist and the scan model);
+* *scan* / *legalize* — chain reordering/restitching and row legalization.
+
+Every stage execution is timed into the :class:`CompositionResult.trace`
+(:class:`repro.engine.StageTrace`).
 """
 
 from __future__ import annotations
@@ -21,9 +33,9 @@ from repro.core.compatibility import (
 from repro.core.graph import build_compatibility_graph
 from repro.core.mbr_placement import place_mbr
 from repro.core.partition import DEFAULT_MAX_NODES, partition_graph
+from repro.core.subproblem import make_spec, solve_subproblems
+from repro.engine import FlowContext, Pipeline, StageTrace, stage
 from repro.geometry.rect import Rect
-from repro.ilp.setpart import SetPartitionProblem, solve_set_partition
-from repro.ilp.scipy_backend import solve_set_partition_scipy
 from repro.netlist.design import Design
 from repro.netlist.edit import ComposeError, compose_mbr
 from repro.netlist.registers import RegisterBit, RegisterView
@@ -49,6 +61,10 @@ class ComposerConfig:
     the re-analyzed design merges newly-adjacent MBRs (e.g. two fresh 4-bit
     cells into an 8-bit) and groups whose polygons became clean when their
     blockers merged away."""
+    workers: int = 1
+    """Process-pool width of the solve stage.  The per-subgraph ILPs are
+    independent (Section 3), so they fan out across processes; ``1`` keeps
+    the historical in-process serial path.  Both paths are bit-identical."""
 
 
 @dataclass
@@ -77,10 +93,168 @@ class CompositionResult:
     ilp_nodes: int = 0
     runtime_seconds: float = 0.0
     legalization: LegalizeResult | None = None
+    trace: StageTrace | None = None
 
     @property
     def register_reduction(self) -> int:
         return self.registers_before - self.registers_after
+
+
+@dataclass
+class ComposeState(FlowContext):
+    """Shared context of the composition pipeline (one run, all passes)."""
+
+    config: ComposerConfig = field(default_factory=ComposerConfig)
+    result: CompositionResult = field(default_factory=CompositionResult)
+    workers: int = 1
+    pass_index: int = 0
+    infos: dict[str, RegisterInfo] = field(default_factory=dict)
+    all_regs: object | None = None
+    graph: object | None = None
+    parts: list = field(default_factory=list)
+    candidates: list[list[CandidateMBR]] = field(default_factory=list)
+    chosen: list[CandidateMBR] = field(default_factory=list)
+    new_cells: list = field(default_factory=list)
+    pass_cells: list = field(default_factory=list)
+
+
+@stage("analyze")
+def _stage_analyze(state: ComposeState):
+    """Re-analyze every register's compatibility profile."""
+    state.infos = analyze_registers(
+        state.design, state.timer, state.scan_model, state.config.compatibility
+    )
+    if state.pass_index == 0:
+        state.result.composable_registers = sum(
+            1 for i in state.infos.values() if i.composable
+        )
+    from repro.core.weights import RegisterField
+
+    state.all_regs = RegisterField(list(state.infos.values()))
+    return {"registers": len(state.infos)}
+
+
+@stage("graph")
+def _stage_graph(state: ComposeState):
+    """Build the compatibility graph."""
+    state.graph = build_compatibility_graph(
+        state.infos, state.scan_model, state.config.compatibility
+    )
+    return {
+        "nodes": state.graph.number_of_nodes(),
+        "edges": state.graph.number_of_edges(),
+    }
+
+
+@stage("partition")
+def _stage_partition(state: ComposeState):
+    """Cut the graph into independent ≤max_nodes subgraphs."""
+    state.parts = partition_graph(state.graph, state.config.max_subgraph_nodes)
+    state.result.subgraphs += len(state.parts)
+    return {"subgraphs": len(state.parts)}
+
+
+@stage("enumerate")
+def _stage_enumerate(state: ComposeState):
+    """Enumerate and weigh candidate MBRs per subgraph."""
+    state.candidates = [
+        enumerate_candidates(
+            part,
+            state.all_regs,
+            state.design.library,
+            state.scan_model,
+            state.config.candidates,
+        )
+        for part in state.parts
+    ]
+    count = sum(len(c) for c in state.candidates)
+    state.result.candidates_considered += count
+    return {"candidates": count}
+
+
+@stage("solve")
+def _stage_solve(state: ComposeState):
+    """Solve every subgraph's set-partitioning ILP (pure; fans out)."""
+    specs = [
+        make_spec(i, part.nodes, cands, state.config.solver)
+        for i, (part, cands) in enumerate(zip(state.parts, state.candidates))
+    ]
+    results = solve_subproblems(specs, workers=state.workers)
+    chosen: list[CandidateMBR] = []
+    nodes = 0
+    for res, cands in zip(results, state.candidates):
+        nodes += res.nodes_explored
+        chosen.extend(c for c in (cands[i] for i in res.chosen) if not c.is_singleton)
+    state.result.ilp_nodes += nodes
+    state.chosen = chosen
+    return {
+        "subproblems": len(specs),
+        "ilp_nodes": nodes,
+        "chosen": len(chosen),
+        "workers": state.workers,
+    }
+
+
+@stage("apply")
+def _stage_apply(state: ComposeState):
+    """Map, place, and commit the selected candidates (mutates the design)."""
+    state.pass_cells = _apply_candidates(
+        state.design,
+        state.chosen,
+        state.infos,
+        state.scan_model,
+        state.config,
+        state.result,
+    )
+    state.new_cells = [
+        c for c in state.new_cells if c.name in state.design.cells
+    ] + state.pass_cells
+    state.timer.dirty()
+    return {"composed": len(state.pass_cells)}
+
+
+@stage("scan")
+def _stage_scan(state: ComposeState):
+    """Reorder and restitch scan chains around the new MBRs."""
+    if state.scan_model is None:
+        return {"chains": 0}
+    state.scan_model.reorder_chains(state.design)
+    state.scan_model.restitch(state.design)
+    return {"chains": len(state.scan_model.chains)}
+
+
+@stage("legalize")
+def _stage_legalize(state: ComposeState):
+    """Row-legalize the freshly placed MBRs."""
+    live = [c for c in state.new_cells if c.name in state.design.cells]
+    if not (state.config.run_legalize and live):
+        return {"moved": 0}
+    rows = PlacementRows(
+        state.design.die,
+        state.design.library.technology.row_height,
+        state.design.library.technology.site_width,
+    )
+    state.result.legalization = legalize(
+        state.design,
+        rows,
+        movable=live,
+        max_displacement=state.config.legalize_max_displacement,
+    )
+    return {"moved": len(state.result.legalization.moved)}
+
+
+PASS_PIPELINE: Pipeline[ComposeState] = Pipeline(
+    (
+        _stage_analyze,
+        _stage_graph,
+        _stage_partition,
+        _stage_enumerate,
+        _stage_solve,
+        _stage_apply,
+    )
+)
+
+FINALIZE_PIPELINE: Pipeline[ComposeState] = Pipeline((_stage_scan, _stage_legalize))
 
 
 def compose_design(
@@ -88,97 +262,42 @@ def compose_design(
     timer: Timer,
     scan_model: ScanModel | None = None,
     config: ComposerConfig | None = None,
+    workers: int | None = None,
 ) -> CompositionResult:
     """Run the full placement-aware ILP composition on a placed design.
 
     The design is edited in place; ``timer`` is invalidated at the end.
-    Returns the :class:`CompositionResult` record.
+    ``workers`` overrides ``config.workers`` (process-pool width of the
+    solve stage; any value returns bit-identical results).  Returns the
+    :class:`CompositionResult` record, including its stage
+    :class:`~repro.engine.StageTrace`.
     """
     config = config or ComposerConfig()
     t0 = time.perf_counter()
     result = CompositionResult(registers_before=design.total_register_count())
+    trace = StageTrace()
+    state = ComposeState(
+        design,
+        timer,
+        scan_model,
+        config=config,
+        result=result,
+        workers=config.workers if workers is None else workers,
+    )
 
-    new_cells = []
     for pass_index in range(max(1, config.passes)):
-        infos = analyze_registers(design, timer, scan_model, config.compatibility)
-        if pass_index == 0:
-            result.composable_registers = sum(
-                1 for i in infos.values() if i.composable
-            )
-        from repro.core.weights import RegisterField
-
-        all_regs = RegisterField(list(infos.values()))
-
-        graph = build_compatibility_graph(infos, scan_model, config.compatibility)
-        parts = partition_graph(graph, config.max_subgraph_nodes)
-        result.subgraphs += len(parts)
-
-        chosen: list[CandidateMBR] = []
-        for part in parts:
-            candidates = enumerate_candidates(
-                part, all_regs, design.library, scan_model, config.candidates
-            )
-            result.candidates_considered += len(candidates)
-            selected, nodes = _solve_subgraph(part, candidates, config.solver)
-            result.ilp_nodes += nodes
-            chosen.extend(c for c in selected if not c.is_singleton)
-
-        pass_cells = _apply_candidates(design, chosen, infos, scan_model, config, result)
-        new_cells = [c for c in new_cells if c.name in design.cells] + pass_cells
-        timer.dirty()
-        if not pass_cells:
+        state.pass_index = pass_index
+        PASS_PIPELINE.run(state, trace)
+        if not state.pass_cells:
             break
 
-    if scan_model is not None:
-        scan_model.reorder_chains(design)
-        scan_model.restitch(design)
-    if config.run_legalize and new_cells:
-        rows = PlacementRows(
-            design.die,
-            design.library.technology.row_height,
-            design.library.technology.site_width,
-        )
-        result.legalization = legalize(
-            design,
-            rows,
-            movable=new_cells,
-            max_displacement=config.legalize_max_displacement,
-        )
+    FINALIZE_PIPELINE.run(state, trace)
 
     timer.dirty()
     result.registers_after = design.total_register_count()
     result.runtime_seconds = time.perf_counter() - t0
+    result.trace = trace
     return result
-
-
-def _solve_subgraph(
-    part, candidates: list[CandidateMBR], solver: str
-) -> tuple[list[CandidateMBR], int]:
-    """Solve one subgraph's weighted set-partitioning ILP."""
-    names = sorted(part.nodes)
-    index = {n: i for i, n in enumerate(names)}
-    problem = SetPartitionProblem(
-        n_elements=len(names),
-        subsets=tuple(frozenset(index[m] for m in c.members) for c in candidates),
-        weights=tuple(c.weight for c in candidates),
-    )
-    if solver == "scipy":
-        sol = solve_set_partition_scipy(problem)
-        nodes = 0
-    elif solver == "exact":
-        sol = solve_set_partition(problem)
-        nodes = sol.nodes_explored
-        if not sol.optimal:
-            # Pathologically dense subproblem: let HiGHS finish the job and
-            # keep whichever solution is better.
-            alt = solve_set_partition_scipy(problem)
-            if alt.feasible and alt.objective < sol.objective - 1e-9:
-                sol = alt
-    else:
-        raise ValueError(f"unknown solver {solver!r}")
-    if not sol.feasible:  # pragma: no cover - singletons guarantee feasibility
-        raise RuntimeError("composition ILP infeasible despite singleton candidates")
-    return [candidates[i] for i in sol.chosen], nodes
 
 
 def _bit_order(

@@ -6,7 +6,9 @@ repeatedly merge two compatible registers whose combined width exists in
 the library (1+1 -> 2, 2+2 -> 4, ... ), nearest pairs first, until no merge
 applies.  The baseline shares this reproduction's entire analysis stack —
 compatibility predicates, mapping, wire-length-optimal placement,
-legalization, scan tracking — and differs *only* in allocation:
+legalization, scan tracking — and runs the *same stage pipeline* as the
+ILP engine (analyze → graph → solve → apply, then scan → legalize); it
+differs *only* in the solve stage:
 
 * local pairwise agglomeration instead of the global set-partitioning ILP;
 * no placement-aware weights (pairs merge blindly with respect to
@@ -21,25 +23,47 @@ precisely the ~12% register-count gap Fig. 6 attributes to the ILP.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 
-from repro.core.compatibility import analyze_registers
 from repro.core.composer import (
+    FINALIZE_PIPELINE,
     ComposedGroup,
     ComposerConfig,
+    ComposeState,
     CompositionResult,
     _bit_map,
     _bit_order,
     _placement_window,
+    _stage_analyze,
+    _stage_graph,
 )
-from repro.core.graph import build_compatibility_graph
-from repro.core.mapping import select_library_cell
-from repro.library.functional import ScanStyle
+from repro.core.mapping import MappingChoice, select_library_cell
 from repro.core.mbr_placement import place_mbr
+from repro.engine import Pipeline, StageTrace, stage
+from repro.geometry.region import FeasibleRegion
+from repro.library.functional import ScanStyle
 from repro.netlist.design import Design
 from repro.netlist.edit import ComposeError, compose_mbr
-from repro.placement.legalize import PlacementRows, legalize
 from repro.scan.model import ScanModel
 from repro.sta.timer import Timer
+
+
+@dataclass(frozen=True)
+class _PlannedMerge:
+    """One pair the greedy matcher decided to merge this round."""
+
+    u: str
+    v: str
+    width: int
+    choice: MappingChoice
+    region: FeasibleRegion
+
+
+@dataclass
+class HeuristicState(ComposeState):
+    """The heuristic's pipeline context: ComposeState plus planned pairs."""
+
+    planned: list[_PlannedMerge] = field(default_factory=list)
 
 
 def _match_pairs(graph) -> list[tuple[str, str]]:
@@ -61,6 +85,79 @@ def _match_pairs(graph) -> list[tuple[str, str]]:
     return pairs
 
 
+@stage("solve")
+def _stage_match(state: HeuristicState):
+    """The baseline's allocation: greedy nearest-pair matching (no ILP)."""
+    state.result.subgraphs = max(state.result.subgraphs, 1)
+    design, infos = state.design, state.infos
+    planned: list[_PlannedMerge] = []
+    for u, v in _match_pairs(state.graph):
+        a, b = infos[u], infos[v]
+        width = a.bits + b.bits
+        if width not in design.library.widths_for(a.func_class):
+            continue
+        common = a.region.intersect(b.region)
+        if common is None:
+            continue
+        choice = select_library_cell(design.library, [a, b], width, state.scan_model)
+        if choice is None:
+            continue
+        if choice.cell.scan_style is ScanStyle.MULTI:
+            # Same mapping policy as the ILP flow (Section 4.1):
+            # external-scan cells only when unavoidable — a pairwise
+            # merger simply skips such pairs.
+            continue
+        state.result.candidates_considered += 1
+        planned.append(_PlannedMerge(u, v, width, choice, common))
+    state.planned = planned
+    return {"pairs": len(planned)}
+
+
+@stage("apply")
+def _stage_merge(state: HeuristicState):
+    """Place and commit every planned pair merge (mutates the design)."""
+    design, infos, scan_model = state.design, state.infos, state.scan_model
+    merged = []
+    for plan in state.planned:
+        a, b = infos[plan.u], infos[plan.v]
+        bit_order = _bit_order([a, b], scan_model)
+        window = _placement_window(design, plan.region.rect, plan.choice.cell)
+        origin = place_mbr(
+            window, plan.choice.cell, bit_order, state.config.placement_method
+        )
+        try:
+            new_cell = compose_mbr(
+                design, [a.cell, b.cell], plan.choice.cell, origin, bit_order=bit_order
+            )
+        except ComposeError as exc:
+            state.result.rejected.append(((plan.u, plan.v), str(exc)))
+            continue
+        if scan_model is not None:
+            scan_model.replace_group(
+                [plan.u, plan.v], new_cell.name, bit_map=_bit_map(bit_order)
+            )
+        merged.append(new_cell)
+        state.result.composed.append(
+            ComposedGroup(
+                new_cell=new_cell.name,
+                libcell=plan.choice.cell.name,
+                members=(plan.u, plan.v),
+                bits=plan.width,
+                weight=0.0,
+                incomplete=False,
+            )
+        )
+    state.new_cells.extend(merged)
+    state.pass_cells = merged
+    state.timer.dirty()
+    return {"composed": len(merged)}
+
+
+ROUND_PIPELINE: Pipeline[HeuristicState] = Pipeline(
+    (_stage_analyze, _stage_graph, _stage_match, _stage_merge)
+)
+
+
 def compose_design_heuristic(
     design: Design,
     timer: Timer,
@@ -79,76 +176,19 @@ def compose_design_heuristic(
     config = config or ComposerConfig()
     t0 = time.perf_counter()
     result = CompositionResult(registers_before=design.total_register_count())
-    new_cells = []
+    trace = StageTrace()
+    state = HeuristicState(design, timer, scan_model, config=config, result=result)
 
     for round_index in range(max_rounds):
-        infos = analyze_registers(design, timer, scan_model, config.compatibility)
-        if round_index == 0:
-            result.composable_registers = sum(1 for i in infos.values() if i.composable)
-        graph = build_compatibility_graph(infos, scan_model, config.compatibility)
-        result.subgraphs = max(result.subgraphs, 1)
-
-        merges = 0
-        for u, v in _match_pairs(graph):
-            a, b = infos[u], infos[v]
-            width = a.bits + b.bits
-            if width not in design.library.widths_for(a.func_class):
-                continue
-            common = a.region.intersect(b.region)
-            if common is None:
-                continue
-            choice = select_library_cell(design.library, [a, b], width, scan_model)
-            if choice is None:
-                continue
-            if choice.cell.scan_style is ScanStyle.MULTI:
-                # Same mapping policy as the ILP flow (Section 4.1):
-                # external-scan cells only when unavoidable — a pairwise
-                # merger simply skips such pairs.
-                continue
-            result.candidates_considered += 1
-            bit_order = _bit_order([a, b], scan_model)
-            window = _placement_window(design, common.rect, choice.cell)
-            origin = place_mbr(window, choice.cell, bit_order, config.placement_method)
-            try:
-                new_cell = compose_mbr(
-                    design, [a.cell, b.cell], choice.cell, origin, bit_order=bit_order
-                )
-            except ComposeError as exc:
-                result.rejected.append(((u, v), str(exc)))
-                continue
-            if scan_model is not None:
-                scan_model.replace_group([u, v], new_cell.name, bit_map=_bit_map(bit_order))
-            new_cells.append(new_cell)
-            result.composed.append(
-                ComposedGroup(
-                    new_cell=new_cell.name,
-                    libcell=choice.cell.name,
-                    members=(u, v),
-                    bits=width,
-                    weight=0.0,
-                    incomplete=False,
-                )
-            )
-            merges += 1
-        timer.dirty()
-        if merges == 0:
+        state.pass_index = round_index
+        ROUND_PIPELINE.run(state, trace)
+        if not state.pass_cells:
             break
 
-    if scan_model is not None:
-        scan_model.reorder_chains(design)
-        scan_model.restitch(design)
-    if config.run_legalize and new_cells:
-        rows = PlacementRows(
-            design.die,
-            design.library.technology.row_height,
-            design.library.technology.site_width,
-        )
-        live = [c for c in new_cells if c.name in design.cells]
-        result.legalization = legalize(
-            design, rows, movable=live, max_displacement=config.legalize_max_displacement
-        )
+    FINALIZE_PIPELINE.run(state, trace)
 
     timer.dirty()
     result.registers_after = design.total_register_count()
     result.runtime_seconds = time.perf_counter() - t0
+    result.trace = trace
     return result

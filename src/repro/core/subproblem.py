@@ -1,0 +1,153 @@
+"""Pure, picklable per-subgraph ILP subproblems.
+
+The paper's scalability argument (Section 3) is that clock-pin-driven
+partitioning turns composition into many independent subproblems of at
+most ~30 registers.  This module is the seam that makes that independence
+executable: the composer's solve stage serializes each subgraph into a
+:class:`SubproblemSpec` (node names, candidate subsets, weights — no
+design, no netlist, nothing unpicklable), solves every spec with the pure
+function :func:`solve_subproblem`, and maps the chosen candidate indices
+back.  Because the function is pure and the spec self-contained,
+:func:`solve_subproblems` can fan the specs out across a
+``concurrent.futures.ProcessPoolExecutor`` — and the parallel path is
+bit-identical to the serial one, since both run exactly the same solver
+on exactly the same inputs in exactly the same order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ilp.setpart import (
+    SetPartitionProblem,
+    SetPartitionSolution,
+    solve_set_partition,
+)
+
+
+@dataclass(frozen=True)
+class SubproblemSpec:
+    """One subgraph's weighted set-partitioning instance, detached from the
+    design.
+
+    ``nodes`` are the subgraph's register names in sorted order;
+    ``subsets[i]`` holds candidate *i*'s member positions within ``nodes``.
+    The spec must stay picklable — it is what crosses the process boundary.
+    """
+
+    index: int
+    nodes: tuple[str, ...]
+    subsets: tuple[tuple[int, ...], ...]
+    weights: tuple[float, ...]
+    solver: str = "exact"
+
+    def to_problem(self) -> SetPartitionProblem:
+        return SetPartitionProblem(
+            n_elements=len(self.nodes),
+            subsets=tuple(frozenset(s) for s in self.subsets),
+            weights=self.weights,
+        )
+
+
+@dataclass(frozen=True)
+class SubproblemResult:
+    """The solve stage's pure output: which candidates to keep.
+
+    ``chosen`` indexes into the candidate list the spec was built from;
+    ``nodes_explored`` counts branch-and-bound nodes (0 for the HiGHS
+    backend, matching the historical accounting).
+    """
+
+    index: int
+    chosen: tuple[int, ...]
+    objective: float
+    nodes_explored: int
+    optimal: bool
+
+
+def make_spec(
+    index: int,
+    node_names: Sequence[str],
+    candidates: Sequence[object],
+    solver: str = "exact",
+) -> SubproblemSpec:
+    """Detach one subgraph + its :class:`~repro.core.candidates.CandidateMBR`
+    list into a picklable spec (candidate order is preserved, so result
+    indices map straight back)."""
+    names = tuple(sorted(node_names))
+    position = {n: i for i, n in enumerate(names)}
+    return SubproblemSpec(
+        index=index,
+        nodes=names,
+        subsets=tuple(
+            tuple(sorted(position[m] for m in c.members)) for c in candidates
+        ),
+        weights=tuple(c.weight for c in candidates),
+        solver=solver,
+    )
+
+
+def _solve_scipy(problem: SetPartitionProblem) -> SetPartitionSolution:
+    from repro.ilp.scipy_backend import scipy_available, solve_set_partition_scipy
+
+    if not scipy_available():
+        raise RuntimeError(
+            "solver='scipy' requires SciPy; install it or use solver='exact'"
+        )
+    return solve_set_partition_scipy(problem)
+
+
+def solve_subproblem(spec: SubproblemSpec) -> SubproblemResult:
+    """Solve one spec. Pure: no design access, no shared state.
+
+    ``solver='exact'`` runs the branch-and-bound; if the node budget runs
+    out on a pathologically dense instance *and* SciPy is installed, HiGHS
+    finishes the job and the better solution wins.  On a NumPy-only
+    install the incumbent is used as-is, so the exact path has no hard
+    SciPy dependency.
+    """
+    problem = spec.to_problem()
+    if spec.solver == "scipy":
+        sol = _solve_scipy(problem)
+        nodes = 0
+    elif spec.solver == "exact":
+        sol = solve_set_partition(problem)
+        nodes = sol.nodes_explored
+        if not sol.optimal:
+            from repro.ilp.scipy_backend import scipy_available
+
+            if scipy_available():
+                alt = _solve_scipy(problem)
+                if alt.feasible and alt.objective < sol.objective - 1e-9:
+                    sol = alt
+    else:
+        raise ValueError(f"unknown solver {spec.solver!r}")
+    if not sol.feasible:  # pragma: no cover - singletons guarantee feasibility
+        raise RuntimeError("composition ILP infeasible despite singleton candidates")
+    return SubproblemResult(
+        index=spec.index,
+        chosen=tuple(sol.chosen),
+        objective=sol.objective,
+        nodes_explored=nodes,
+        optimal=sol.optimal,
+    )
+
+
+def solve_subproblems(
+    specs: Sequence[SubproblemSpec], workers: int = 1
+) -> list[SubproblemResult]:
+    """Solve every spec, in spec order.
+
+    ``workers <= 1`` solves in-process (no pool, no pickling — the
+    historical serial path).  ``workers > 1`` fans out over a process
+    pool; ``map`` preserves input order, and each result is a pure
+    function of its spec, so the two paths return identical lists.
+    """
+    if workers <= 1 or len(specs) <= 1:
+        return [solve_subproblem(s) for s in specs]
+    n_workers = min(workers, len(specs))
+    chunksize = max(1, len(specs) // (n_workers * 4))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(solve_subproblem, specs, chunksize=chunksize))

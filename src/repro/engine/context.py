@@ -1,0 +1,25 @@
+"""The shared context every pipeline stage reads and mutates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.design import Design
+from repro.scan.model import ScanModel
+from repro.sta.timer import Timer
+
+
+@dataclass
+class FlowContext:
+    """What every stage of this system operates on: one placed design, its
+    incremental timer, and (optionally) its scan model.
+
+    The flow driver and the composition engine each subclass this with
+    their intermediate products (metrics rows, compatibility graphs,
+    chosen candidates, ...), so a stage function's signature names exactly
+    the state it can touch.
+    """
+
+    design: Design
+    timer: Timer
+    scan_model: ScanModel | None = None

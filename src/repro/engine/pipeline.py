@@ -1,0 +1,44 @@
+"""The pipeline runner: timed, traced, sequential stage execution."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Generic
+
+from repro.engine.stage import Counters, CtxT, Stage, StageOutput, StageTrace
+
+
+@dataclass(frozen=True)
+class Pipeline(Generic[CtxT]):
+    """An ordered sequence of stages sharing one context.
+
+    ``run`` executes every stage in order, timing each into the trace.
+    Passing the same trace to repeated ``run`` calls (the composer's
+    incremental passes, the heuristic's rounds) accumulates records.
+    """
+
+    stages: tuple[Stage[CtxT], ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in pipeline: {names}")
+
+    def run(self, ctx: CtxT, trace: StageTrace | None = None) -> StageTrace:
+        trace = trace if trace is not None else StageTrace()
+        for st in self.stages:
+            t0 = time.perf_counter()
+            out = st.run(ctx)
+            seconds = time.perf_counter() - t0
+            counters: Counters | None
+            children = None
+            if isinstance(out, StageOutput):
+                counters, children = out.counters, out.children
+            else:
+                counters = out
+            trace.record(st.name, seconds, counters=counters, children=children)
+        return trace
+
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.stages]

@@ -1,5 +1,11 @@
 """The incremental implementation flow of the paper's Fig. 4."""
 
-from repro.flow.driver import FlowConfig, FlowReport, run_flow
+from repro.flow.driver import (
+    FLOW_PIPELINE,
+    FlowConfig,
+    FlowReport,
+    FlowState,
+    run_flow,
+)
 
-__all__ = ["FlowConfig", "FlowReport", "run_flow"]
+__all__ = ["FLOW_PIPELINE", "FlowConfig", "FlowReport", "FlowState", "run_flow"]

@@ -1,17 +1,27 @@
-"""The Fig. 4 flow: placement -> MBR composition -> useful skew -> sizing.
+"""The Fig. 4 flow as a stage pipeline: placement -> MBR composition ->
+useful skew -> sizing.
 
 ``run_flow`` takes a placed design (typically a
 :class:`repro.bench.generator.DesignBundle`) and executes the paper's
-incremental restructuring:
+incremental restructuring as a :class:`repro.engine.Pipeline` of
+first-class stages:
 
-1. measure the **Base** metrics row;
-2. **MBR composition + optimization** with the placement-aware ILP
-   (Section 3) or the heuristic baseline (Fig. 6);
-3. **useful skew** on the newly composed MBRs — "benefiting from their
-   timing compatible smaller counterparts" (Section 5);
-4. **MBR sizing** — downsizing drives where the improved slack allows,
-   reducing area and clock pin capacitance;
-5. measure the **Ours** metrics row.
+1. **base-metrics** — measure the Table 1 "Base" row;
+2. **decompose** — (optional) split pre-existing MBRs so composition can
+   regroup their bits (the paper's future-work extension);
+3. **compose** — MBR composition + optimization with the placement-aware
+   ILP (Section 3) or the heuristic baseline (Fig. 6); its own stage
+   trace nests under this record;
+4. **legalize-bits** — legalize decomposed bits that survived as singles;
+5. **skew** — useful skew on the newly composed MBRs — "benefiting from
+   their timing compatible smaller counterparts" (Section 5);
+6. **sizing** — MBR sizing: downsizing drives where the improved slack
+   allows, reducing area and clock pin capacitance;
+7. **final-metrics** — measure the Table 1 "Ours" row.
+
+Every stage is timed into :class:`FlowReport.trace`; the top-level stage
+times sum to :class:`FlowReport.runtime_seconds` (within pipeline
+bookkeeping noise).
 """
 
 from __future__ import annotations
@@ -20,8 +30,10 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.composer import ComposerConfig, CompositionResult, compose_design
+from repro.core.decompose import DecomposeResult, decompose_registers
 from repro.core.heuristic import compose_design_heuristic
 from repro.core.sizing import SizingResult, size_registers
+from repro.engine import FlowContext, Pipeline, StageOutput, StageTrace, stage
 from repro.metrics.collect import DesignMetrics, collect_metrics, compare_metrics
 from repro.netlist.design import Design
 from repro.scan.model import ScanModel
@@ -58,12 +70,159 @@ class FlowReport:
     skew: SkewAssignment | None
     sizing: SizingResult | None
     runtime_seconds: float
-    decomposition: object | None = None
+    decomposition: DecomposeResult | None = None
+    trace: StageTrace | None = None
 
     @property
     def savings(self) -> dict[str, float]:
         """The 'Save' row: relative reductions of every Table 1 column."""
         return compare_metrics(self.base, self.final)
+
+
+@dataclass
+class FlowState(FlowContext):
+    """Shared context of one flow run."""
+
+    config: FlowConfig = field(default_factory=FlowConfig)
+    base: DesignMetrics | None = None
+    final: DesignMetrics | None = None
+    composition: CompositionResult | None = None
+    skew: SkewAssignment | None = None
+    sizing: SizingResult | None = None
+    decomposition: DecomposeResult | None = None
+    pending_bit_cells: list[str] = field(default_factory=list)
+    new_cells: list = field(default_factory=list)
+
+
+def _measure(state: FlowState) -> DesignMetrics:
+    return collect_metrics(
+        state.design,
+        state.timer,
+        state.scan_model,
+        state.config.composer.compatibility,
+        cts_max_fanout=state.config.cts_max_fanout,
+        congestion_bins=state.config.congestion_bins,
+    )
+
+
+@stage("base-metrics")
+def _stage_base_metrics(state: FlowState):
+    """Measure the Table 1 'Base' row."""
+    state.base = _measure(state)
+    return state.base.as_counters()
+
+
+@stage("decompose")
+def _stage_decompose(state: FlowState):
+    """Optionally split pre-existing MBRs before composition."""
+    if not state.config.decompose_widths:
+        return {"decomposed": 0}
+    state.decomposition = decompose_registers(
+        state.design, state.scan_model, widths=state.config.decompose_widths
+    )
+    # Deliberately NOT legalized yet: the bit cells sit (overlapping) at
+    # their source MBR's location, so recomposition sees perfectly clean
+    # adjacent groups and can re-pack them; only the bits that survive
+    # composition as singles get legalized below.
+    state.pending_bit_cells = [
+        n for names in state.decomposition.decomposed.values() for n in names
+    ]
+    if state.scan_model is not None:
+        state.scan_model.restitch(state.design)
+    state.timer.dirty()
+    return {"decomposed": len(state.decomposition.decomposed)}
+
+
+@stage("compose")
+def _stage_compose(state: FlowState):
+    """Run the composition engine; nest its stage trace under this record."""
+    config = state.config
+    if config.algorithm == "ilp":
+        state.composition = compose_design(
+            state.design, state.timer, state.scan_model, config.composer
+        )
+    elif config.algorithm == "heuristic":
+        state.composition = compose_design_heuristic(
+            state.design, state.timer, state.scan_model, config.composer
+        )
+    else:
+        raise ValueError(f"unknown algorithm {config.algorithm!r}")
+    state.new_cells = [
+        state.design.cells[g.new_cell]
+        for g in state.composition.composed
+        if g.new_cell in state.design.cells
+    ]
+    return StageOutput(
+        counters={
+            "composed": len(state.composition.composed),
+            "register_reduction": state.composition.register_reduction,
+        },
+        children=state.composition.trace,
+    )
+
+
+@stage("legalize-bits")
+def _stage_legalize_bits(state: FlowState):
+    """Legalize decomposed bit cells that survived composition as singles."""
+    leftover = [
+        state.design.cells[n]
+        for n in state.pending_bit_cells
+        if n in state.design.cells
+    ]
+    if not leftover:
+        return {"legalized": 0}
+    from repro.placement.legalize import PlacementRows, legalize
+
+    rows = PlacementRows(
+        state.design.die,
+        state.design.library.technology.row_height,
+        state.design.library.technology.site_width,
+    )
+    legalize(state.design, rows, movable=leftover)
+    state.timer.dirty()
+    return {"legalized": len(leftover)}
+
+
+@stage("skew")
+def _stage_skew(state: FlowState):
+    """Useful skew on the newly composed MBRs."""
+    if not (state.config.run_skew and state.new_cells):
+        return {"skewed": 0}
+    state.skew = assign_useful_skew(
+        state.timer, state.new_cells, window=state.config.skew_window
+    )
+    return {"skewed": len(state.skew.offsets)}
+
+
+@stage("sizing")
+def _stage_sizing(state: FlowState):
+    """Downsize drives where the improved slack allows."""
+    if not (state.config.run_sizing and state.new_cells):
+        return {"swapped": 0}
+    state.sizing = size_registers(
+        state.design, state.timer, state.new_cells, margin=state.config.sizing_margin
+    )
+    return {"swapped": state.sizing.num_swapped}
+
+
+@stage("final-metrics")
+def _stage_final_metrics(state: FlowState):
+    """Measure the Table 1 'Ours' row."""
+    state.final = _measure(state)
+    return state.final.as_counters()
+
+
+FLOW_PIPELINE: Pipeline[FlowState] = Pipeline(
+    (
+        _stage_base_metrics,
+        _stage_decompose,
+        _stage_compose,
+        _stage_legalize_bits,
+        _stage_skew,
+        _stage_sizing,
+        _stage_final_metrics,
+    )
+)
 
 
 def run_flow(
@@ -75,84 +234,20 @@ def run_flow(
     """Run the incremental MBR composition flow on a placed design."""
     config = config or FlowConfig()
     t0 = time.perf_counter()
+    state = FlowState(design, timer, scan_model, config=config)
+    trace = FLOW_PIPELINE.run(state)
 
-    base = collect_metrics(
-        design,
-        timer,
-        scan_model,
-        config.composer.compatibility,
-        cts_max_fanout=config.cts_max_fanout,
-        congestion_bins=config.congestion_bins,
-    )
-
-    decomposition = None
-    pending_bit_cells: list[str] = []
-    if config.decompose_widths:
-        from repro.core.decompose import decompose_registers
-
-        decomposition = decompose_registers(
-            design, scan_model, widths=config.decompose_widths
-        )
-        # Deliberately NOT legalized yet: the bit cells sit (overlapping) at
-        # their source MBR's location, so recomposition sees perfectly clean
-        # adjacent groups and can re-pack them; only the bits that survive
-        # composition as singles get legalized below.
-        pending_bit_cells = [
-            n for names in decomposition.decomposed.values() for n in names
-        ]
-        if scan_model is not None:
-            scan_model.restitch(design)
-        timer.dirty()
-
-    if config.algorithm == "ilp":
-        composition = compose_design(design, timer, scan_model, config.composer)
-    elif config.algorithm == "heuristic":
-        composition = compose_design_heuristic(design, timer, scan_model, config.composer)
-    else:
-        raise ValueError(f"unknown algorithm {config.algorithm!r}")
-
-    new_cells = [
-        design.cells[g.new_cell] for g in composition.composed if g.new_cell in design.cells
-    ]
-
-    leftover_bits = [design.cells[n] for n in pending_bit_cells if n in design.cells]
-    if leftover_bits:
-        from repro.placement.legalize import PlacementRows, legalize
-
-        rows = PlacementRows(
-            design.die,
-            design.library.technology.row_height,
-            design.library.technology.site_width,
-        )
-        legalize(design, rows, movable=leftover_bits)
-        timer.dirty()
-
-    skew = None
-    if config.run_skew and new_cells:
-        skew = assign_useful_skew(timer, new_cells, window=config.skew_window)
-
-    sizing = None
-    if config.run_sizing and new_cells:
-        sizing = size_registers(design, timer, new_cells, margin=config.sizing_margin)
-
-    final = collect_metrics(
-        design,
-        timer,
-        scan_model,
-        config.composer.compatibility,
-        cts_max_fanout=config.cts_max_fanout,
-        congestion_bins=config.congestion_bins,
-    )
-    base.exec_time_s = 0.0
-    final.exec_time_s = time.perf_counter() - t0
+    state.base.exec_time_s = 0.0
+    state.final.exec_time_s = time.perf_counter() - t0
 
     return FlowReport(
         design_name=design.name,
-        base=base,
-        final=final,
-        composition=composition,
-        skew=skew,
-        sizing=sizing,
-        runtime_seconds=final.exec_time_s,
-        decomposition=decomposition,
+        base=state.base,
+        final=state.final,
+        composition=state.composition,
+        skew=state.skew,
+        sizing=state.sizing,
+        runtime_seconds=state.final.exec_time_s,
+        decomposition=state.decomposition,
+        trace=trace,
     )

@@ -36,6 +36,16 @@ class DesignMetrics:
     def wirelength_total(self) -> float:
         return self.wirelength_clk + self.wirelength_other
 
+    def as_counters(self) -> dict[str, float]:
+        """The headline numbers as stage-trace counters (see
+        :class:`repro.engine.StageTrace`)."""
+        return {
+            "cells": float(self.total_cells),
+            "registers": float(self.total_regs),
+            "composable": float(self.comp_regs),
+            "clk_bufs": float(self.clk_bufs),
+        }
+
 
 def collect_metrics(
     design: Design,

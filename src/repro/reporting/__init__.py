@@ -3,7 +3,13 @@
 from repro.reporting.tables import (
     format_fig5_histograms,
     format_fig6_comparison,
+    format_stage_runtimes,
     format_table1,
 )
 
-__all__ = ["format_table1", "format_fig5_histograms", "format_fig6_comparison"]
+__all__ = [
+    "format_table1",
+    "format_fig5_histograms",
+    "format_fig6_comparison",
+    "format_stage_runtimes",
+]

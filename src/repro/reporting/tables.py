@@ -51,6 +51,30 @@ def format_table1(reports: list[FlowReport]) -> str:
     return _render(headers, rows)
 
 
+def format_stage_runtimes(reports: list[FlowReport]) -> str:
+    """Per-stage runtime columns for the Table 1 designs: one row per
+    design, one column per flow pipeline stage (aggregated over repeats;
+    the composer's sub-stages are contained in the ``compose`` column —
+    print ``report.trace.format()`` for the nested breakdown)."""
+    names: list[str] = []
+    for rep in reports:
+        if rep.trace is None:
+            continue
+        for name in rep.trace.stage_names():
+            if name not in names:
+                names.append(name)
+    headers = ["Design"] + names + ["Total(s)"]
+    rows = []
+    for rep in reports:
+        agg = rep.trace.aggregated() if rep.trace is not None else {}
+        rows.append(
+            [rep.design_name]
+            + [f"{agg.get(name, 0.0):.2f}" for name in names]
+            + [f"{rep.runtime_seconds:.2f}"]
+        )
+    return _render(headers, rows)
+
+
 def format_fig5_histograms(reports: list[FlowReport]) -> str:
     """Fig. 5: register bit-width mix before and after composition."""
     widths = sorted(

@@ -6,6 +6,7 @@ from repro.bench import generate_design, preset
 from repro.core.composer import ComposerConfig, compose_design
 from repro.core.heuristic import compose_design_heuristic
 from repro.core.sizing import size_registers
+from repro.ilp import scipy_available
 from repro.library.functional import DFF_R
 from repro.netlist.validate import validate_design
 from repro.sta import Timer
@@ -55,6 +56,7 @@ class TestComposeRow:
         for group in res.composed:
             assert "ff1" not in group.members
 
+    @pytest.mark.skipif(not scipy_available(), reason="SciPy not installed")
     def test_scipy_solver_equivalent_objective(self, lib):
         d1 = make_flop_row(lib, n_flops=8, spacing=2.0, name="sa")
         d2 = make_flop_row(lib, n_flops=8, spacing=2.0, name="sb")

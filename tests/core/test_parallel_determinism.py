@@ -1,0 +1,52 @@
+"""Parallel solve fan-out must be bit-identical to the serial path.
+
+The solve stage's specs are pure functions of the design, and
+``solve_subproblems`` preserves spec order, so any worker count must give
+exactly the same composition — same groups, same weights, same final
+register counts.  This locks the D1/D2 presets (the acceptance designs)
+against nondeterministic scheduling artifacts.
+"""
+
+import pytest
+
+from repro.bench import generate_design, preset
+from repro.core.composer import ComposerConfig, compose_design
+
+
+def _compose(lib, name: str, scale: float, workers: int):
+    bundle = generate_design(preset(name, scale=scale), lib)
+    result = compose_design(
+        bundle.design, bundle.timer, bundle.scan_model, workers=workers
+    )
+    return bundle.design, result
+
+
+@pytest.mark.parametrize("name,scale", [("D1", 0.12), ("D2", 0.1)])
+def test_workers_4_bit_identical_to_serial(lib, name, scale):
+    design1, serial = _compose(lib, name, scale, workers=1)
+    design4, parallel = _compose(lib, name, scale, workers=4)
+
+    def groups(result):
+        return [
+            (set(g.members), g.weight, g.bits, g.libcell, g.incomplete)
+            for g in result.composed
+        ]
+
+    assert groups(serial) == groups(parallel)
+    assert serial.registers_after == parallel.registers_after
+    assert serial.registers_before == parallel.registers_before
+    assert serial.ilp_nodes == parallel.ilp_nodes
+    assert design1.total_register_count() == design4.total_register_count()
+    assert design1.width_histogram() == design4.width_histogram()
+
+
+def test_workers_override_beats_config(lib):
+    bundle = generate_design(preset("D1", scale=0.08), lib)
+    config = ComposerConfig(workers=1)
+    result = compose_design(
+        bundle.design, bundle.timer, bundle.scan_model, config, workers=2
+    )
+    # The solve stage records the worker count it actually used.
+    solve_records = [r for r in result.trace.records if r.name == "solve"]
+    assert solve_records
+    assert all(r.counters["workers"] == 2 for r in solve_records)

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.composer import ComposerConfig, compose_design
+from repro.ilp import scipy_available
 from repro.geometry import Point, Rect
 from repro.library import default_library
 from repro.netlist.validate import validate_design
@@ -63,6 +64,7 @@ class TestCompositionInvariants:
 
     @settings(max_examples=6, deadline=None)
     @given(n=st.integers(4, 10))
+    @pytest.mark.skipif(not scipy_available(), reason="SciPy not installed")
     def test_solver_backends_agree_on_count(self, n):
         d1 = make_flop_row(LIB, n_flops=n, spacing=2.0, die=Rect(0, 0, 150, 100), name="s1")
         d2 = make_flop_row(LIB, n_flops=n, spacing=2.0, die=Rect(0, 0, 150, 100), name="s2")

@@ -1,0 +1,135 @@
+"""Unit tests for the stage-pipeline engine."""
+
+import pytest
+
+from repro.engine import (
+    FunctionStage,
+    Pipeline,
+    Stage,
+    StageOutput,
+    StageTrace,
+    stage,
+)
+
+
+class TestStage:
+    def test_function_stage_runs(self):
+        st = FunctionStage("double", lambda ctx: {"value": ctx["x"] * 2})
+        assert st.name == "double"
+        assert st.run({"x": 3}) == {"value": 6}
+
+    def test_stage_decorator(self):
+        @stage("named")
+        def my_stage(ctx):
+            return None
+
+        assert isinstance(my_stage, FunctionStage)
+        assert my_stage.name == "named"
+        assert isinstance(my_stage, Stage)
+
+    def test_protocol_accepts_custom_class(self):
+        class Custom:
+            name = "custom"
+
+            def run(self, ctx):
+                return None
+
+        assert isinstance(Custom(), Stage)
+
+
+class TestPipeline:
+    def test_runs_stages_in_order(self):
+        order = []
+        pipe = Pipeline(
+            (
+                FunctionStage("a", lambda ctx: order.append("a")),
+                FunctionStage("b", lambda ctx: order.append("b")),
+                FunctionStage("c", lambda ctx: order.append("c")),
+            )
+        )
+        trace = pipe.run({})
+        assert order == ["a", "b", "c"]
+        assert [r.name for r in trace.records] == ["a", "b", "c"]
+        assert all(r.seconds >= 0 for r in trace.records)
+
+    def test_counters_recorded(self):
+        pipe = Pipeline((FunctionStage("count", lambda ctx: {"n": 7}),))
+        trace = pipe.run({})
+        assert trace.records[0].counters == {"n": 7}
+
+    def test_stage_output_nests_children(self):
+        child = StageTrace()
+        child.record("inner", 0.5)
+        pipe = Pipeline(
+            (FunctionStage("outer", lambda ctx: StageOutput({"k": 1}, child)),)
+        )
+        trace = pipe.run({})
+        rec = trace.records[0]
+        assert rec.counters == {"k": 1}
+        assert rec.children is child
+        # Children do not double-count into the top-level total.
+        assert trace.total_seconds == pytest.approx(rec.seconds)
+
+    def test_repeated_runs_accumulate_into_one_trace(self):
+        pipe = Pipeline((FunctionStage("s", lambda ctx: None),))
+        trace = StageTrace()
+        pipe.run({}, trace)
+        pipe.run({}, trace)
+        assert [r.name for r in trace.records] == ["s", "s"]
+        assert trace.aggregated() == {"s": pytest.approx(trace.total_seconds)}
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline(
+                (
+                    FunctionStage("same", lambda ctx: None),
+                    FunctionStage("same", lambda ctx: None),
+                )
+            )
+
+    def test_stage_exception_propagates(self):
+        def boom(ctx):
+            raise RuntimeError("boom")
+
+        pipe = Pipeline((FunctionStage("boom", boom),))
+        with pytest.raises(RuntimeError, match="boom"):
+            pipe.run({})
+
+    def test_context_shared_across_stages(self):
+        pipe = Pipeline(
+            (
+                FunctionStage("write", lambda ctx: ctx.__setitem__("k", 1)),
+                FunctionStage("read", lambda ctx: {"seen": ctx["k"]}),
+            )
+        )
+        trace = pipe.run({})
+        assert trace.records[1].counters == {"seen": 1}
+
+
+class TestStageTrace:
+    def test_aggregated_folds_repeats_in_first_seen_order(self):
+        trace = StageTrace()
+        trace.record("a", 1.0)
+        trace.record("b", 2.0)
+        trace.record("a", 3.0)
+        assert trace.aggregated() == {"a": 4.0, "b": 2.0}
+        assert trace.stage_names() == ["a", "b"]
+        assert trace.total_seconds == 6.0
+
+    def test_counter_total(self):
+        trace = StageTrace()
+        trace.record("a", 0.0, counters={"n": 2})
+        trace.record("b", 0.0, counters={"n": 3, "m": 1})
+        assert trace.counter_total("n") == 5
+        assert trace.counter_total("missing") == 0
+
+    def test_format_lists_stages_and_total(self):
+        trace = StageTrace()
+        trace.record("solve", 1.25, counters={"ilp_nodes": 42})
+        child = StageTrace()
+        child.record("inner", 0.5)
+        trace.record("apply", 0.75, children=child)
+        text = trace.format()
+        assert "solve" in text and "ilp_nodes=42" in text
+        assert "inner" in text
+        assert "total" in text and "2.0000" in text

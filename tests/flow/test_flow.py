@@ -84,6 +84,65 @@ class TestFlowQoR:
         assert rep.final.exec_time_s == pytest.approx(rep.runtime_seconds)
 
 
+class TestFlowTrace:
+    """The stage-pipeline engine's runtime accounting."""
+
+    def test_trace_covers_every_flow_stage(self, report):
+        _, rep, _ = report
+        assert rep.trace is not None
+        assert rep.trace.stage_names() == [
+            "base-metrics",
+            "decompose",
+            "compose",
+            "legalize-bits",
+            "skew",
+            "sizing",
+            "final-metrics",
+        ]
+
+    def test_stage_runtimes_sum_to_flow_runtime(self, report):
+        _, rep, _ = report
+        # Top-level stage wall clocks account for the whole run (the only
+        # unmeasured work is pipeline bookkeeping and report assembly).
+        assert rep.trace.total_seconds == pytest.approx(
+            rep.runtime_seconds, rel=0.05
+        )
+
+    def test_compose_stage_nests_composer_trace(self, report):
+        _, rep, _ = report
+        compose_rec = next(r for r in rep.trace.records if r.name == "compose")
+        assert compose_rec.children is rep.composition.trace
+        names = rep.composition.trace.stage_names()
+        assert names[:6] == [
+            "analyze",
+            "graph",
+            "partition",
+            "enumerate",
+            "solve",
+            "apply",
+        ]
+        assert names[-2:] == ["scan", "legalize"]
+
+    def test_composer_trace_counters(self, report):
+        _, rep, _ = report
+        trace = rep.composition.trace
+        assert trace.counter_total("subgraphs") == rep.composition.subgraphs
+        assert trace.counter_total("ilp_nodes") == rep.composition.ilp_nodes
+        assert trace.counter_total("composed") == len(rep.composition.composed)
+
+    def test_heuristic_flow_also_traced(self, lib):
+        b = generate_design(preset("D2", scale=0.1), lib)
+        rep = run_flow(b.design, b.timer, b.scan_model, FlowConfig(algorithm="heuristic"))
+        assert rep.trace is not None
+        names = rep.composition.trace.stage_names()
+        assert names == ["analyze", "graph", "solve", "apply", "scan", "legalize"]
+
+    def test_trace_formats(self, report):
+        _, rep, _ = report
+        text = rep.trace.format()
+        assert "compose" in text and "final-metrics" in text and "total" in text
+
+
 class TestFlowVariants:
     def test_heuristic_algorithm(self, lib):
         b = generate_design(preset("D2", scale=0.1), lib)
@@ -94,6 +153,16 @@ class TestFlowVariants:
         b = generate_design(preset("D2", scale=0.1), lib)
         with pytest.raises(ValueError):
             run_flow(b.design, b.timer, b.scan_model, FlowConfig(algorithm="nope"))
+
+    def test_decomposition_field_is_typed(self, lib):
+        from repro.core.decompose import DecomposeResult
+
+        b = generate_design(preset("D4", scale=0.1), lib)
+        rep = run_flow(
+            b.design, b.timer, b.scan_model, FlowConfig(decompose_widths=(8,))
+        )
+        assert isinstance(rep.decomposition, DecomposeResult)
+        assert rep.decomposition.decomposed
 
     def test_skew_and_sizing_can_be_disabled(self, lib):
         b = generate_design(preset("D2", scale=0.1), lib)

@@ -5,10 +5,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.ilp import (
     SetPartitionProblem,
+    scipy_available,
     solve_set_partition,
     solve_set_partition_scipy,
 )
 from repro.ilp.branch_bound import solve_binary_program
+
+needs_scipy = pytest.mark.skipif(not scipy_available(), reason="SciPy not installed")
 
 
 def problem(n, subsets, weights):
@@ -93,6 +96,7 @@ def random_instances(draw):
 class TestAgainstReferenceSolvers:
     @settings(max_examples=40, deadline=None)
     @given(random_instances())
+    @needs_scipy
     def test_matches_scipy_milp(self, p):
         ours = solve_set_partition(p)
         ref = solve_set_partition_scipy(p)
@@ -141,5 +145,6 @@ class TestScale:
         p = problem(n, subsets, weights)
         sol = solve_set_partition(p)
         assert sol.feasible
-        ref = solve_set_partition_scipy(p)
-        assert sol.objective == pytest.approx(ref.objective, abs=1e-6)
+        if scipy_available():
+            ref = solve_set_partition_scipy(p)
+            assert sol.objective == pytest.approx(ref.objective, abs=1e-6)

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ilp import LPStatus, solve_lp, solve_lp_scipy
+from repro.ilp import LPStatus, scipy_available, solve_lp, solve_lp_scipy
+
+needs_scipy = pytest.mark.skipif(not scipy_available(), reason="SciPy not installed")
 
 
 class TestBasics:
@@ -67,6 +69,7 @@ class TestBasics:
 class TestAgainstScipy:
     @settings(max_examples=60, deadline=None)
     @given(st.data())
+    @needs_scipy
     def test_random_lps_match_highs(self, data):
         n = data.draw(st.integers(2, 5))
         m = data.draw(st.integers(1, 5))
@@ -86,6 +89,7 @@ class TestAgainstScipy:
 
     @settings(max_examples=30, deadline=None)
     @given(st.data())
+    @needs_scipy
     def test_random_equality_lps_match_highs(self, data):
         n = data.draw(st.integers(2, 4))
         coef = st.floats(min_value=-3, max_value=3, allow_nan=False)

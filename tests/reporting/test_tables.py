@@ -1,0 +1,48 @@
+"""Tests for the stage-runtime report table."""
+
+from repro.core.composer import CompositionResult
+from repro.engine import StageTrace
+from repro.flow import FlowReport
+from repro.metrics import DesignMetrics
+from repro.reporting import format_stage_runtimes
+
+
+def _report(name: str, stages: dict[str, float]) -> FlowReport:
+    trace = StageTrace()
+    for stage_name, seconds in stages.items():
+        trace.record(stage_name, seconds)
+    return FlowReport(
+        design_name=name,
+        base=DesignMetrics(),
+        final=DesignMetrics(),
+        composition=CompositionResult(),
+        skew=None,
+        sizing=None,
+        runtime_seconds=sum(stages.values()),
+        trace=trace,
+    )
+
+
+class TestStageRuntimes:
+    def test_one_column_per_stage_plus_total(self):
+        rep = _report("D1", {"base-metrics": 0.5, "compose": 2.0, "skew": 0.25})
+        text = format_stage_runtimes([rep])
+        lines = text.splitlines()
+        assert "base-metrics" in lines[0]
+        assert "compose" in lines[0]
+        assert "Total(s)" in lines[0]
+        assert "D1" in text and "2.00" in text and "2.75" in text
+
+    def test_union_of_stage_names_across_reports(self):
+        a = _report("D1", {"compose": 1.0})
+        b = _report("D2", {"compose": 1.0, "sizing": 0.5})
+        text = format_stage_runtimes([a, b])
+        # D1 has no sizing stage: its cell renders as 0.00, not a crash.
+        assert "sizing" in text
+        assert "0.00" in text
+
+    def test_traceless_report_renders(self):
+        rep = _report("D1", {"compose": 1.0})
+        rep.trace = None
+        text = format_stage_runtimes([rep])
+        assert "D1" in text

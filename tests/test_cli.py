@@ -46,6 +46,23 @@ class TestCli:
         assert out_prefix.with_suffix(".v").exists()
         assert out_prefix.with_suffix(".def").exists()
 
+    def test_compose_trace_and_workers(self, generated, capsys):
+        rc = main([
+            "compose",
+            "--lib", str(generated) + ".lib",
+            "--verilog", str(generated) + ".v",
+            "--def", str(generated) + ".def",
+            "--period", "0.5",
+            "--workers", "2",
+            "--trace",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The stage-runtime table and the nested trace both print.
+        assert "Total(s)" in out
+        assert "base-metrics" in out and "compose" in out
+        assert "solve" in out and "workers=2" in out
+
     def test_compose_heuristic_mode(self, generated, capsys):
         rc = main([
             "compose",
