@@ -1,0 +1,107 @@
+"""Incremental STA benchmark: dirty-cone retime vs full propagation.
+
+The mutation path (compose -> skew -> sizing) queries timing after every
+edit; with ``Timer.apply_change`` each query re-propagates only the edit's
+fan-in/fan-out cones.  This benchmark merges one register pair on D1 and
+checks the acceptance criterion: the retime touches well under 20% of the
+graph's nodes while producing bit-identical summaries, and is measurably
+faster than rebuilding from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench import generate_design, preset
+from repro.geometry import Point
+from repro.netlist.edit import ComposeError, compose_mbr
+from repro.sta import Timer
+
+
+def _first_merge_record(design):
+    """Compose the first mergeable same-class 1-bit pair (by name order)."""
+    singles = sorted(
+        (
+            c
+            for c in design.registers()
+            if c.width_bits == 1 and not (c.dont_touch or c.fixed)
+        ),
+        key=lambda c: c.name,
+    )
+    for i, a in enumerate(singles):
+        for b in singles[i + 1 :]:
+            if b.register_cell.func_class is not a.register_cell.func_class:
+                continue
+            targets = design.library.register_cells(a.register_cell.func_class, 2)
+            if not targets:
+                continue
+            mid = Point((a.origin.x + b.origin.x) / 2, (a.origin.y + b.origin.y) / 2)
+            try:
+                return compose_mbr(design, [a, b], targets[0], mid)
+            except ComposeError:
+                continue
+    raise AssertionError("no mergeable register pair in D1")
+
+
+def test_single_merge_retimes_under_20_percent_of_graph(lib):
+    bundle = generate_design(preset("D1", scale=BENCH_SCALE), lib)
+    design, timer = bundle.design, bundle.timer
+    baseline = timer.summary()  # warm: full propagation
+    assert timer.stats.full_timings == 1
+
+    record = _first_merge_record(design)
+    timer.apply_change(record)
+
+    t0 = time.perf_counter()
+    incremental = timer.summary()
+    t_retime = time.perf_counter() - t0
+
+    stats = timer.stats
+    assert stats.incremental_timings == 1
+    assert stats.graph_nodes > 0
+    touched_frac = stats.last_retimed_nodes / stats.graph_nodes
+    assert touched_frac < 0.20, (
+        f"retimed {stats.last_retimed_nodes}/{stats.graph_nodes} nodes "
+        f"({touched_frac:.1%}) — dirty cone is not scoped"
+    )
+
+    # Bit-identical against a from-scratch timer over the mutated design.
+    fresh = Timer(design, clock_period=bundle.clock_period, skew=dict(timer.skew))
+    t0 = time.perf_counter()
+    full = fresh.summary()
+    t_full = time.perf_counter() - t0
+    assert incremental == full
+    assert {e.name: e.slack for e in timer.endpoint_slacks()} == {
+        e.name: e.slack for e in fresh.endpoint_slacks()
+    }
+    assert incremental.total_endpoints == baseline.total_endpoints
+
+    print(
+        f"\nD1 scale={BENCH_SCALE}: retimed {stats.last_retimed_nodes}/"
+        f"{stats.graph_nodes} nodes ({touched_frac:.1%}) in {t_retime * 1e3:.2f} ms "
+        f"vs full rebuild {t_full * 1e3:.2f} ms"
+    )
+
+
+def test_retime_beats_full_rebuild(benchmark, lib):
+    """pytest-benchmark view of one merge-then-query incremental cycle."""
+    bundle = generate_design(preset("D1", scale=BENCH_SCALE), lib)
+    design, timer = bundle.design, bundle.timer
+    timer.summary()
+    record = _first_merge_record(design)
+    timer.apply_change(record)
+    timer.summary()
+
+    # Steady-state skew nudges on the merged MBR: each run dirties the new
+    # cell's cones and re-queries — the flow's inner-loop workload.
+    offsets = [0.01, 0.02]
+
+    def cycle():
+        offsets[0], offsets[1] = offsets[1], offsets[0]
+        timer.set_skew(record.new_cell.name, offsets[0])
+        return timer.summary()
+
+    result = benchmark(cycle)
+    assert result.total_endpoints > 0
+    assert timer.stats.full_timings == 1  # never fell back to a full pass

@@ -73,6 +73,14 @@ def cmd_compose(args) -> int:
         print(format_stage_runtimes([report]))
         print()
         print(report.trace.format())
+        stats = timer.stats
+        print()
+        print(
+            f"incremental timing: {stats.changes_applied} changes, "
+            f"{stats.incremental_timings} incremental / {stats.full_timings} full "
+            f"propagations; {stats.retimed_nodes} nodes retimed total, "
+            f"last cone {stats.last_retimed_nodes}/{stats.graph_nodes} nodes"
+        )
     if args.out_prefix:
         write_verilog(design, f"{args.out_prefix}.v")
         write_def(design, f"{args.out_prefix}.def")
@@ -135,7 +143,8 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument(
         "--trace",
         action="store_true",
-        help="print per-stage runtimes (the pipeline's StageTrace)",
+        help="print per-stage runtimes (the pipeline's StageTrace) and "
+        "incremental-timing effort (retimed-node counts vs graph size)",
     )
     comp.add_argument("--out-prefix", help="write the composed design here")
     comp.set_defaults(func=cmd_compose)

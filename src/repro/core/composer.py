@@ -198,18 +198,19 @@ def _stage_solve(state: ComposeState):
 @stage("apply")
 def _stage_apply(state: ComposeState):
     """Map, place, and commit the selected candidates (mutates the design)."""
-    state.pass_cells = _apply_candidates(
-        state.design,
-        state.chosen,
-        state.infos,
-        state.scan_model,
-        state.config,
-        state.result,
-    )
+    with state.design.track() as tracker:
+        state.pass_cells = _apply_candidates(
+            state.design,
+            state.chosen,
+            state.infos,
+            state.scan_model,
+            state.config,
+            state.result,
+        )
     state.new_cells = [
         c for c in state.new_cells if c.name in state.design.cells
     ] + state.pass_cells
-    state.timer.dirty()
+    state.timer.apply_change(tracker.record())
     return {"composed": len(state.pass_cells)}
 
 
@@ -219,7 +220,9 @@ def _stage_scan(state: ComposeState):
     if state.scan_model is None:
         return {"chains": 0}
     state.scan_model.reorder_chains(state.design)
-    state.scan_model.restitch(state.design)
+    with state.design.track() as tracker:
+        state.scan_model.restitch(state.design)
+    state.timer.apply_change(tracker.record())
     return {"chains": len(state.scan_model.chains)}
 
 
@@ -234,12 +237,14 @@ def _stage_legalize(state: ComposeState):
         state.design.library.technology.row_height,
         state.design.library.technology.site_width,
     )
-    state.result.legalization = legalize(
-        state.design,
-        rows,
-        movable=live,
-        max_displacement=state.config.legalize_max_displacement,
-    )
+    with state.design.track() as tracker:
+        state.result.legalization = legalize(
+            state.design,
+            rows,
+            movable=live,
+            max_displacement=state.config.legalize_max_displacement,
+        )
+    state.timer.apply_change(tracker.record())
     return {"moved": len(state.result.legalization.moved)}
 
 
@@ -266,8 +271,9 @@ def compose_design(
 ) -> CompositionResult:
     """Run the full placement-aware ILP composition on a placed design.
 
-    The design is edited in place; ``timer`` is invalidated at the end.
-    ``workers`` overrides ``config.workers`` (process-pool width of the
+    The design is edited in place; ``timer`` absorbs every edit through
+    scoped :meth:`~repro.sta.timer.Timer.apply_change` calls (dirty-cone
+    retiming instead of full invalidation).  ``workers`` overrides ``config.workers`` (process-pool width of the
     solve stage; any value returns bit-identical results).  Returns the
     :class:`CompositionResult` record, including its stage
     :class:`~repro.engine.StageTrace`.
@@ -293,7 +299,6 @@ def compose_design(
 
     FINALIZE_PIPELINE.run(state, trace)
 
-    timer.dirty()
     result.registers_after = design.total_register_count()
     result.runtime_seconds = time.perf_counter() - t0
     result.trace = trace
@@ -354,7 +359,7 @@ def _apply_candidates(
                 target,
                 origin,
                 bit_order=bit_order,
-            )
+            ).new_cell
         except ComposeError as exc:
             result.rejected.append((cand.members, str(exc)))
             continue

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.geometry.point import Point
 from repro.library.cells import RegisterCell
 from repro.library.functional import ScanStyle
+from repro.netlist.change import ChangeRecord
 from repro.netlist.db import Cell
 from repro.netlist.design import Design
 from repro.netlist.registers import RegisterView
@@ -73,14 +74,16 @@ def decompose_mbr(
     design: Design,
     cell: Cell,
     scan_model: ScanModel | None = None,
-) -> list[Cell]:
+) -> ChangeRecord:
     """Split ``cell`` (a multi-bit register) into 1-bit registers.
 
     The new cells line up row-wise starting at the MBR's origin (the caller
     legalizes); each takes over its bit's D/Q nets and the shared control
     nets.  Internal scan chains expand into external per-bit stitches, and
     ``scan_model`` (when given) has the MBR's chain entry replaced by the
-    new cell sequence.  Returns the new cells in bit order.
+    new cell sequence.  Returns the edit's
+    :class:`~repro.netlist.change.ChangeRecord`; ``record.new_cells`` holds
+    the new cells in bit order.
     """
     view = RegisterView(cell)
     original = view.libcell
@@ -96,40 +99,41 @@ def decompose_mbr(
     si_net = view.scan_in_net() if original.func_class.is_scan else None
     so_net = view.scan_out_net() if original.func_class.is_scan else None
 
-    new_cells: list[Cell] = []
-    for k, bit in enumerate(bits):
-        new_cell = design.add_cell(
-            design.unique_name(f"{cell.name}_bit"),
-            target,
-            Point(cell.origin.x + k * target.width, cell.origin.y),
-        )
-        if clock_net is not None:
-            design.connect(new_cell.pin(target.clock_pin_name), clock_net)
-        for ctrl, net in control_nets.items():
-            if net is not None and target.has_pin(ctrl):
-                design.connect(new_cell.pin(ctrl), net)
-        if bit.d_net is not None:
-            design.connect(new_cell.pin(target.d_pin(0)), bit.d_net)
-        if bit.q_net is not None:
-            design.connect(new_cell.pin(target.q_pin(0)), bit.q_net)
-        new_cells.append(new_cell)
+    with design.track() as tracker:
+        new_cells: list[Cell] = []
+        for k, bit in enumerate(bits):
+            new_cell = design.add_cell(
+                design.unique_name(f"{cell.name}_bit"),
+                target,
+                Point(cell.origin.x + k * target.width, cell.origin.y),
+            )
+            if clock_net is not None:
+                design.connect(new_cell.pin(target.clock_pin_name), clock_net)
+            for ctrl, net in control_nets.items():
+                if net is not None and target.has_pin(ctrl):
+                    design.connect(new_cell.pin(ctrl), net)
+            if bit.d_net is not None:
+                design.connect(new_cell.pin(target.d_pin(0)), bit.d_net)
+            if bit.q_net is not None:
+                design.connect(new_cell.pin(target.q_pin(0)), bit.q_net)
+            new_cells.append(new_cell)
 
-    if original.func_class.is_scan and new_cells:
-        # Expand the internal chain: old SI feeds the first bit, new stitch
-        # nets link the middle, old SO leaves from the last bit.
-        if si_net is not None:
-            design.connect(new_cells[0].pin(target.si_pin()), si_net)
-        for a, b in zip(new_cells[:-1], new_cells[1:]):
-            stitch = design.add_net(design.unique_name("scan_stitch"))
-            design.connect(a.pin(target.so_pin()), stitch)
-            design.connect(b.pin(target.si_pin()), stitch)
-        if so_net is not None:
-            design.connect(new_cells[-1].pin(target.so_pin()), so_net)
+        if original.func_class.is_scan and new_cells:
+            # Expand the internal chain: old SI feeds the first bit, new
+            # stitch nets link the middle, old SO leaves from the last bit.
+            if si_net is not None:
+                design.connect(new_cells[0].pin(target.si_pin()), si_net)
+            for a, b in zip(new_cells[:-1], new_cells[1:]):
+                stitch = design.add_net(design.unique_name("scan_stitch"))
+                design.connect(a.pin(target.so_pin()), stitch)
+                design.connect(b.pin(target.si_pin()), stitch)
+            if so_net is not None:
+                design.connect(new_cells[-1].pin(target.so_pin()), so_net)
 
-    if scan_model is not None:
-        scan_model.expand_cell(cell.name, [c.name for c in new_cells])
-    design.remove_cell(cell)
-    return new_cells
+        if scan_model is not None:
+            scan_model.expand_cell(cell.name, [c.name for c in new_cells])
+        design.remove_cell(cell)
+    return tracker.record()
 
 
 def decompose_registers(
@@ -147,8 +151,8 @@ def decompose_registers(
         if cell.width_bits not in widths:
             continue
         try:
-            new_cells = decompose_mbr(design, cell, scan_model)
+            record = decompose_mbr(design, cell, scan_model)
         except DecomposeError:
             continue
-        result.decomposed[cell.name] = [c.name for c in new_cells]
+        result.decomposed[cell.name] = [c.name for c in record.new_cells]
     return result

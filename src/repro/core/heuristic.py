@@ -118,38 +118,43 @@ def _stage_merge(state: HeuristicState):
     """Place and commit every planned pair merge (mutates the design)."""
     design, infos, scan_model = state.design, state.infos, state.scan_model
     merged = []
-    for plan in state.planned:
-        a, b = infos[plan.u], infos[plan.v]
-        bit_order = _bit_order([a, b], scan_model)
-        window = _placement_window(design, plan.region.rect, plan.choice.cell)
-        origin = place_mbr(
-            window, plan.choice.cell, bit_order, state.config.placement_method
-        )
-        try:
-            new_cell = compose_mbr(
-                design, [a.cell, b.cell], plan.choice.cell, origin, bit_order=bit_order
+    with design.track() as tracker:
+        for plan in state.planned:
+            a, b = infos[plan.u], infos[plan.v]
+            bit_order = _bit_order([a, b], scan_model)
+            window = _placement_window(design, plan.region.rect, plan.choice.cell)
+            origin = place_mbr(
+                window, plan.choice.cell, bit_order, state.config.placement_method
             )
-        except ComposeError as exc:
-            state.result.rejected.append(((plan.u, plan.v), str(exc)))
-            continue
-        if scan_model is not None:
-            scan_model.replace_group(
-                [plan.u, plan.v], new_cell.name, bit_map=_bit_map(bit_order)
+            try:
+                new_cell = compose_mbr(
+                    design,
+                    [a.cell, b.cell],
+                    plan.choice.cell,
+                    origin,
+                    bit_order=bit_order,
+                ).new_cell
+            except ComposeError as exc:
+                state.result.rejected.append(((plan.u, plan.v), str(exc)))
+                continue
+            if scan_model is not None:
+                scan_model.replace_group(
+                    [plan.u, plan.v], new_cell.name, bit_map=_bit_map(bit_order)
+                )
+            merged.append(new_cell)
+            state.result.composed.append(
+                ComposedGroup(
+                    new_cell=new_cell.name,
+                    libcell=plan.choice.cell.name,
+                    members=(plan.u, plan.v),
+                    bits=plan.width,
+                    weight=0.0,
+                    incomplete=False,
+                )
             )
-        merged.append(new_cell)
-        state.result.composed.append(
-            ComposedGroup(
-                new_cell=new_cell.name,
-                libcell=plan.choice.cell.name,
-                members=(plan.u, plan.v),
-                bits=plan.width,
-                weight=0.0,
-                incomplete=False,
-            )
-        )
     state.new_cells.extend(merged)
     state.pass_cells = merged
-    state.timer.dirty()
+    state.timer.apply_change(tracker.record())
     return {"composed": len(merged)}
 
 
@@ -187,7 +192,6 @@ def compose_design_heuristic(
 
     FINALIZE_PIPELINE.run(state, trace)
 
-    timer.dirty()
     result.registers_after = design.total_register_count()
     result.runtime_seconds = time.perf_counter() - t0
     result.trace = trace

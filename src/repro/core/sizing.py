@@ -44,12 +44,12 @@ def size_registers(
     Q slack minus that increase stays above ``margin``.  Candidates are
     tried weakest-first, so each register lands on the weakest safe drive.
 
-    All decisions read one timing state and commit as a batch (a single
-    invalidation at the end): this is safe for setup because a swap only
-    slows the swapped register's own launch segment, and every affected
-    path is individually required to retain ``margin`` — the arrival at a
-    shared endpoint is the max over independently-slowed paths, each of
-    which passed its own check.
+    All decisions read one timing state and commit as a batch (one change
+    record handed to the timer at the end): this is safe for setup because
+    a swap only slows the swapped register's own launch segment, and every
+    affected path is individually required to retain ``margin`` — the
+    arrival at a shared endpoint is the max over independently-slowed
+    paths, each of which passed its own check.
     """
     result = SizingResult()
     targets = cells if cells is not None else design.registers()
@@ -84,11 +84,12 @@ def size_registers(
                 swaps.append((cell, current, option))
                 break
 
-    for cell, current, option in swaps:
-        result.area_delta += option.area - current.area
-        result.clock_cap_delta += option.clock_pin_cap - current.clock_pin_cap
-        design.swap_libcell(cell, option)
-        result.swapped[cell.name] = (current.name, option.name)
+    with design.track() as tracker:
+        for cell, current, option in swaps:
+            result.area_delta += option.area - current.area
+            result.clock_cap_delta += option.clock_pin_cap - current.clock_pin_cap
+            design.swap_libcell(cell, option)
+            result.swapped[cell.name] = (current.name, option.name)
     if swaps:
-        timer.dirty()
+        timer.apply_change(tracker.record())
     return result

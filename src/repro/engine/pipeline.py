@@ -9,6 +9,43 @@ from typing import Generic
 from repro.engine.stage import Counters, CtxT, Stage, StageOutput, StageTrace
 
 
+def _timer_stats(ctx) -> "object | None":
+    """The context's ``timer.stats`` snapshot, when the context has one."""
+    timer = getattr(ctx, "timer", None)
+    stats = getattr(timer, "stats", None)
+    if stats is None:
+        return None
+    return stats.snapshot()
+
+
+def _merge_timing_counters(
+    counters: Counters | None, before, after
+) -> Counters | None:
+    """Fold the stage's timer-effort deltas into its counter dict.
+
+    Only nonzero deltas appear, so stages that never touched the timer keep
+    their trace lines clean; ``retimed_nodes`` vs ``graph_nodes`` is the
+    dirty-cone size the stage actually paid for.
+    """
+    if before is None or after is None:
+        return counters
+    deltas = {
+        "changes_applied": after.changes_applied - before.changes_applied,
+        "incr_timings": after.incremental_timings - before.incremental_timings,
+        "full_timings": after.full_timings - before.full_timings,
+        "retimed_nodes": after.retimed_nodes - before.retimed_nodes,
+    }
+    extra = {k: float(v) for k, v in deltas.items() if v}
+    if extra and (after.incremental_timings > before.incremental_timings):
+        extra["graph_nodes"] = float(after.graph_nodes)
+    if not extra:
+        return counters
+    merged = dict(counters or {})
+    for k, v in extra.items():
+        merged.setdefault(k, v)
+    return merged
+
+
 @dataclass(frozen=True)
 class Pipeline(Generic[CtxT]):
     """An ordered sequence of stages sharing one context.
@@ -28,6 +65,7 @@ class Pipeline(Generic[CtxT]):
     def run(self, ctx: CtxT, trace: StageTrace | None = None) -> StageTrace:
         trace = trace if trace is not None else StageTrace()
         for st in self.stages:
+            before = _timer_stats(ctx)
             t0 = time.perf_counter()
             out = st.run(ctx)
             seconds = time.perf_counter() - t0
@@ -37,6 +75,7 @@ class Pipeline(Generic[CtxT]):
                 counters, children = out.counters, out.children
             else:
                 counters = out
+            counters = _merge_timing_counters(counters, before, _timer_stats(ctx))
             trace.record(st.name, seconds, counters=counters, children=children)
         return trace
 

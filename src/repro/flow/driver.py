@@ -117,19 +117,20 @@ def _stage_decompose(state: FlowState):
     """Optionally split pre-existing MBRs before composition."""
     if not state.config.decompose_widths:
         return {"decomposed": 0}
-    state.decomposition = decompose_registers(
-        state.design, state.scan_model, widths=state.config.decompose_widths
-    )
-    # Deliberately NOT legalized yet: the bit cells sit (overlapping) at
-    # their source MBR's location, so recomposition sees perfectly clean
-    # adjacent groups and can re-pack them; only the bits that survive
-    # composition as singles get legalized below.
-    state.pending_bit_cells = [
-        n for names in state.decomposition.decomposed.values() for n in names
-    ]
-    if state.scan_model is not None:
-        state.scan_model.restitch(state.design)
-    state.timer.dirty()
+    with state.design.track() as tracker:
+        state.decomposition = decompose_registers(
+            state.design, state.scan_model, widths=state.config.decompose_widths
+        )
+        # Deliberately NOT legalized yet: the bit cells sit (overlapping) at
+        # their source MBR's location, so recomposition sees perfectly clean
+        # adjacent groups and can re-pack them; only the bits that survive
+        # composition as singles get legalized below.
+        state.pending_bit_cells = [
+            n for names in state.decomposition.decomposed.values() for n in names
+        ]
+        if state.scan_model is not None:
+            state.scan_model.restitch(state.design)
+    state.timer.apply_change(tracker.record())
     return {"decomposed": len(state.decomposition.decomposed)}
 
 
@@ -178,8 +179,9 @@ def _stage_legalize_bits(state: FlowState):
         state.design.library.technology.row_height,
         state.design.library.technology.site_width,
     )
-    legalize(state.design, rows, movable=leftover)
-    state.timer.dirty()
+    with state.design.track() as tracker:
+        legalize(state.design, rows, movable=leftover)
+    state.timer.apply_change(tracker.record())
     return {"legalized": len(leftover)}
 
 

@@ -5,6 +5,7 @@ placement annotates cell origins, STA walks pins and nets, the composition
 engine rewires registers into MBRs through :mod:`repro.netlist.edit`.
 """
 
+from repro.netlist.change import ChangeRecord, ChangeTracker
 from repro.netlist.db import Cell, Net, Pin, Port
 from repro.netlist.design import Design
 from repro.netlist.registers import RegisterBit, RegisterView
@@ -13,6 +14,8 @@ from repro.netlist.validate import ValidationIssue, validate_design
 
 __all__ = [
     "Cell",
+    "ChangeRecord",
+    "ChangeTracker",
     "Net",
     "Pin",
     "Port",

@@ -1,0 +1,219 @@
+"""Typed change records for netlist edits.
+
+Every structural edit of a :class:`~repro.netlist.design.Design` — MBR
+composition, decomposition, sizing swaps, scan restitching, legalization
+moves — is summarized by a :class:`ChangeRecord`: which cells appeared,
+disappeared, moved, or were re-pinned, and which nets were rewired.  The
+incremental timer (:meth:`repro.sta.timer.Timer.apply_change`) consumes the
+record to patch its timing graph and re-propagate only the affected cones
+instead of rebuilding from scratch.
+
+Records are produced by a :class:`ChangeTracker` installed on the design
+(``with design.track() as tracker:``): the design's editing primitives
+notify every active tracker, so compound edits built from primitives —
+including code that never heard of change tracking, like the scan
+restitcher — are captured without instrumentation of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netlist.db import Cell, Net, Terminal
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One netlist edit, summarized for incremental consumers.
+
+    ``added`` holds live :class:`~repro.netlist.db.Cell` handles (creation
+    order); removed cells are names only — their objects are already
+    detached.  ``touched`` lists surviving cells whose pin connectivity
+    changed (a pin joined or left a net) without the cell itself being
+    added, removed, or resized.  ``rewired_nets`` are nets whose terminal
+    set or geometry changed and that still exist; ``removed_nets`` are
+    gone.  ``resized`` cells swapped library cells (all pin objects were
+    replaced); ``moved`` cells changed origin (every attached net's wire
+    delays changed).
+    """
+
+    added: tuple["Cell", ...] = ()
+    removed: tuple[str, ...] = ()
+    resized: tuple[str, ...] = ()
+    moved: tuple[str, ...] = ()
+    touched: tuple[str, ...] = ()
+    ports_touched: tuple[str, ...] = ()
+    rewired_nets: tuple[str, ...] = ()
+    removed_nets: tuple[str, ...] = ()
+
+    @property
+    def cells_added(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.added)
+
+    @property
+    def cells_removed(self) -> tuple[str, ...]:
+        return self.removed
+
+    @property
+    def new_cell(self) -> "Cell":
+        """The single cell this edit created (compose_mbr's result)."""
+        if len(self.added) != 1:
+            raise ValueError(
+                f"change record has {len(self.added)} added cells, not exactly 1"
+            )
+        return self.added[0]
+
+    @property
+    def new_cells(self) -> tuple["Cell", ...]:
+        return self.added
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.added
+            or self.removed
+            or self.resized
+            or self.moved
+            or self.touched
+            or self.ports_touched
+            or self.rewired_nets
+            or self.removed_nets
+        )
+
+    @classmethod
+    def merge(cls, records: Iterable["ChangeRecord"]) -> "ChangeRecord":
+        """Fold several records into one (later records win on conflicts:
+        a cell added in one record and removed in a later one vanishes)."""
+        added: dict[str, Cell] = {}
+        removed: dict[str, None] = {}
+        resized: dict[str, None] = {}
+        moved: dict[str, None] = {}
+        touched: dict[str, None] = {}
+        ports: dict[str, None] = {}
+        rewired: dict[str, None] = {}
+        removed_nets: dict[str, None] = {}
+        for rec in records:
+            for c in rec.added:
+                added[c.name] = c
+                removed.pop(c.name, None)
+            for n in rec.removed:
+                if added.pop(n, None) is None:
+                    removed[n] = None
+            for n in rec.resized:
+                resized[n] = None
+            for n in rec.moved:
+                moved[n] = None
+            for n in rec.touched:
+                touched[n] = None
+            for n in rec.ports_touched:
+                ports[n] = None
+            for n in rec.rewired_nets:
+                rewired[n] = None
+                removed_nets.pop(n, None)
+            for n in rec.removed_nets:
+                rewired.pop(n, None)
+                removed_nets[n] = None
+        gone = set(removed) | set(added)
+        return cls(
+            added=tuple(added.values()),
+            removed=tuple(removed),
+            resized=tuple(n for n in resized if n not in gone),
+            moved=tuple(n for n in moved if n not in gone),
+            touched=tuple(
+                n for n in touched if n not in gone and n not in resized
+            ),
+            ports_touched=tuple(ports),
+            rewired_nets=tuple(rewired),
+            removed_nets=tuple(removed_nets),
+        )
+
+
+@dataclass(eq=False)  # identity equality: nested trackers must stay distinct
+class ChangeTracker:
+    """Accumulates design-edit notifications into a :class:`ChangeRecord`.
+
+    Installed via ``with design.track() as tracker:``; every editing
+    primitive of the design notifies all active trackers, so trackers nest
+    (an outer tracker sees everything inner scopes did).
+    """
+
+    _added: dict[str, "Cell"] = field(default_factory=dict)
+    _removed: dict[str, None] = field(default_factory=dict)
+    _resized: dict[str, None] = field(default_factory=dict)
+    _moved: dict[str, None] = field(default_factory=dict)
+    _touched: dict[str, None] = field(default_factory=dict)
+    _ports: dict[str, None] = field(default_factory=dict)
+    _rewired: dict[str, None] = field(default_factory=dict)
+    _removed_nets: dict[str, None] = field(default_factory=dict)
+    _added_nets: set[str] = field(default_factory=set)
+
+    # -- notifications (called by Design primitives) -----------------------
+
+    def on_add_cell(self, cell: "Cell") -> None:
+        self._added[cell.name] = cell
+        self._removed.pop(cell.name, None)
+
+    def on_remove_cell(self, cell: "Cell") -> None:
+        if self._added.pop(cell.name, None) is None:
+            self._removed[cell.name] = None
+
+    def on_swap_libcell(self, cell: "Cell") -> None:
+        self._resized[cell.name] = None
+
+    def on_move_cell(self, cell: "Cell") -> None:
+        self._moved[cell.name] = None
+
+    def on_add_net(self, net: "Net") -> None:
+        self._added_nets.add(net.name)
+        self._removed_nets.pop(net.name, None)
+        self._rewired[net.name] = None
+
+    def on_remove_net(self, net: "Net") -> None:
+        # Terminals still attached at notification time: their cells' pin
+        # connectivity is about to change with the net's death.
+        for t in net.terminals:
+            self._record_terminal(t)
+        self._rewired.pop(net.name, None)
+        if net.name in self._added_nets:
+            self._added_nets.discard(net.name)
+        else:
+            self._removed_nets[net.name] = None
+
+    def on_connect(self, terminal: "Terminal", net: "Net") -> None:
+        self._rewired[net.name] = None
+        self._record_terminal(terminal)
+
+    def on_disconnect(self, terminal: "Terminal", net: "Net") -> None:
+        self._rewired[net.name] = None
+        self._record_terminal(terminal)
+
+    def _record_terminal(self, terminal: "Terminal") -> None:
+        cell = getattr(terminal, "cell", None)
+        if cell is not None:
+            self._touched[cell.name] = None
+        else:  # a design port
+            self._ports[terminal.name] = None
+
+    # -- finalization -------------------------------------------------------
+
+    def record(self) -> ChangeRecord:
+        """The net effect of everything tracked so far."""
+        gone = set(self._removed) | set(self._added)
+        return ChangeRecord(
+            added=tuple(self._added.values()),
+            removed=tuple(self._removed),
+            resized=tuple(n for n in self._resized if n not in gone),
+            moved=tuple(n for n in self._moved if n not in gone),
+            touched=tuple(
+                n
+                for n in self._touched
+                if n not in gone and n not in self._resized
+            ),
+            ports_touched=tuple(self._ports),
+            rewired_nets=tuple(
+                n for n in self._rewired if n not in self._removed_nets
+            ),
+            removed_nets=tuple(self._removed_nets),
+        )

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterator
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.library.cells import LibCell, PinDirection, RegisterCell
+from repro.library.cells import LibCell, PinDirection
 from repro.library.library import CellLibrary
+from repro.netlist.change import ChangeTracker
 from repro.netlist.db import Cell, Net, Pin, Port, Terminal
 
 
@@ -18,6 +20,12 @@ class Design:
     pin/net cross-references stay consistent.  The MBR composition flow
     edits designs exclusively via these primitives (plus
     :func:`repro.netlist.edit.compose_mbr` built on top of them).
+
+    Edits can be observed: ``with design.track() as tracker:`` installs a
+    :class:`~repro.netlist.change.ChangeTracker` that every primitive
+    notifies, and ``tracker.record()`` yields the
+    :class:`~repro.netlist.change.ChangeRecord` the incremental timer
+    consumes.  Trackers nest; with none installed the hooks are free.
     """
 
     def __init__(self, name: str, library: CellLibrary, die: Rect) -> None:
@@ -28,6 +36,23 @@ class Design:
         self.nets: dict[str, Net] = {}
         self.ports: dict[str, Port] = {}
         self._uniq = 0
+        self._trackers: list[ChangeTracker] = []
+
+    # -- change tracking --------------------------------------------------------
+
+    @contextmanager
+    def track(self) -> Iterator[ChangeTracker]:
+        """Record every edit made inside the ``with`` block."""
+        tracker = ChangeTracker()
+        self._trackers.append(tracker)
+        try:
+            yield tracker
+        finally:
+            self._trackers.remove(tracker)
+
+    def _notify(self, event: str, *args) -> None:
+        for tracker in self._trackers:
+            getattr(tracker, event)(*args)
 
     # -- naming ---------------------------------------------------------------
 
@@ -55,6 +80,8 @@ class Design:
             libcell = self.library.cell(libcell)
         cell = Cell(name, libcell, origin, fixed=fixed, dont_touch=dont_touch)
         self.cells[name] = cell
+        if self._trackers:
+            self._notify("on_add_cell", cell)
         return cell
 
     def remove_cell(self, cell: Cell | str) -> None:
@@ -65,6 +92,19 @@ class Design:
             if pin.net is not None:
                 self.disconnect(pin)
         del self.cells[cell.name]
+        if self._trackers:
+            self._notify("on_remove_cell", cell)
+
+    def move_cell(self, cell: Cell | str, origin: Point) -> None:
+        """Move a cell, notifying change trackers (pin locations shift, so
+        every attached net's wire delays change)."""
+        if isinstance(cell, str):
+            cell = self.cells[cell]
+        if cell.origin == origin:
+            return
+        cell.move_to(origin)
+        if self._trackers:
+            self._notify("on_move_cell", cell)
 
     def cell(self, name: str) -> Cell:
         try:
@@ -95,6 +135,8 @@ class Design:
         cell.pins = {d.name: Pin(cell, d) for d in new_libcell.pins}
         for pin_name, net in saved:
             self.connect(cell.pin(pin_name), net)
+        if self._trackers:
+            self._notify("on_swap_libcell", cell)
 
     # -- nets --------------------------------------------------------------------
 
@@ -103,6 +145,8 @@ class Design:
             raise ValueError(f"duplicate net name {name!r}")
         net = Net(name, is_clock=is_clock)
         self.nets[name] = net
+        if self._trackers:
+            self._notify("on_add_net", net)
         return net
 
     def net(self, name: str) -> Net:
@@ -115,6 +159,8 @@ class Design:
         """Remove a net; all its terminals become unconnected."""
         if isinstance(net, str):
             net = self.nets[net]
+        if self._trackers:
+            self._notify("on_remove_net", net)  # terminals still attached
         for t in list(net.terminals):
             t.net = None
         del self.nets[net.name]
@@ -145,6 +191,8 @@ class Design:
             self.disconnect(terminal)
         net.terminals.append(terminal)
         terminal.net = net
+        if self._trackers:
+            self._notify("on_connect", terminal, net)
 
     def disconnect(self, terminal: Terminal) -> None:
         net = terminal.net
@@ -152,6 +200,8 @@ class Design:
             return
         net.terminals.remove(terminal)
         terminal.net = None
+        if self._trackers:
+            self._notify("on_disconnect", terminal, net)
 
     # -- views --------------------------------------------------------------------
 

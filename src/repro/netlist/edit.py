@@ -5,6 +5,10 @@ performs.  It replaces a group of compatible registers with one MBR library
 cell, carrying over per-bit data nets, shared control nets, and the scan
 chain, then removes the old cells and any nets that die with them (e.g. the
 scan-stitch nets between two registers that are now chained inside the MBR).
+
+It returns a :class:`~repro.netlist.change.ChangeRecord` describing the
+edit — the new cell is ``record.new_cell`` — so callers can hand it to
+:meth:`repro.sta.timer.Timer.apply_change` instead of blanket-invalidating.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ from __future__ import annotations
 from repro.geometry.point import Point
 from repro.library.cells import RegisterCell
 from repro.library.functional import ScanStyle
+from repro.netlist.change import ChangeRecord
 from repro.netlist.db import Cell, Net
 from repro.netlist.design import Design
 from repro.netlist.registers import RegisterBit, RegisterView
@@ -38,7 +43,7 @@ def compose_mbr(
     origin: Point,
     name: str | None = None,
     bit_order: list[RegisterBit] | None = None,
-) -> Cell:
+) -> ChangeRecord:
     """Replace ``group`` with a single instance of ``target`` at ``origin``.
 
     ``bit_order`` fixes the mapping of old bits onto the new cell's bit
@@ -46,8 +51,9 @@ def compose_mbr(
     internal scan order for ``ScanStyle.INTERNAL`` targets.  Bits beyond
     ``len(bit_order)`` are left unconnected (incomplete MBR).
 
-    Returns the new cell.  Raises :class:`ComposeError` when the group's
-    control nets or bit count cannot map onto ``target``.
+    Returns the :class:`~repro.netlist.change.ChangeRecord` of the edit;
+    the new cell is ``record.new_cell``.  Raises :class:`ComposeError` when
+    the group's control nets or bit count cannot map onto ``target``.
     """
     if not group:
         raise ComposeError("cannot compose an empty register group")
@@ -78,28 +84,29 @@ def compose_mbr(
         )
 
     new_name = name or design.unique_name("mbr")
-    new_cell = design.add_cell(new_name, target, origin)
+    with design.track() as tracker:
+        new_cell = design.add_cell(new_name, target, origin)
 
-    if clock_net is not None:
-        design.connect(new_cell.pin(target.clock_pin_name), clock_net)
-    for ctrl, net in control_nets.items():
-        if net is not None:
-            design.connect(new_cell.pin(ctrl), net)
+        if clock_net is not None:
+            design.connect(new_cell.pin(target.clock_pin_name), clock_net)
+        for ctrl, net in control_nets.items():
+            if net is not None:
+                design.connect(new_cell.pin(ctrl), net)
 
-    # Per-bit data connections.  Capture the old nets first: removing the old
-    # cells later must not race with rewiring.
-    for new_index, old_bit in enumerate(bits):
-        if old_bit.d_net is not None:
-            design.connect(new_cell.pin(target.d_pin(new_index)), old_bit.d_net)
-        if old_bit.q_net is not None:
-            design.connect(new_cell.pin(target.q_pin(new_index)), old_bit.q_net)
+        # Per-bit data connections.  Capture the old nets first: removing the
+        # old cells later must not race with rewiring.
+        for new_index, old_bit in enumerate(bits):
+            if old_bit.d_net is not None:
+                design.connect(new_cell.pin(target.d_pin(new_index)), old_bit.d_net)
+            if old_bit.q_net is not None:
+                design.connect(new_cell.pin(target.q_pin(new_index)), old_bit.q_net)
 
-    _stitch_scan(design, views, new_cell, target, bits)
+        _stitch_scan(design, views, new_cell, target, bits)
 
-    for v in views:
-        design.remove_cell(v.cell)
-    _sweep_dead_nets(design)
-    return new_cell
+        for v in views:
+            design.remove_cell(v.cell)
+        _sweep_dead_nets(design)
+    return tracker.record()
 
 
 def _stitch_scan(

@@ -125,7 +125,7 @@ def legalize(
             _occupy_cell(spaces, rows, cell)  # stays put, still blocks others
             continue
         old = cell.origin
-        cell.origin = target
+        design.move_cell(cell, target)
         _occupy_cell(spaces, rows, cell)
         result.moved[cell.name] = (old, target)
     return result

@@ -16,13 +16,23 @@ Clocks are ideal plus an explicit per-register skew map: composition runs
 before CTS, exactly as in the paper's flow (Fig. 4).
 """
 
-from repro.sta.graph import TimingGraph
-from repro.sta.timer import EndpointSlack, RegisterSlack, Timer, TimingSummary
+from repro.sta.graph import GraphPatch, TimingGraph
+from repro.sta.timer import (
+    EndpointSlack,
+    RegisterSlack,
+    Timer,
+    TimerStats,
+    TimingAuditError,
+    TimingSummary,
+)
 from repro.sta.nldm import LookupTable2D, TimingTables, nldm_arrivals, synthesize_tables
 
 __all__ = [
+    "GraphPatch",
     "TimingGraph",
     "Timer",
+    "TimerStats",
+    "TimingAuditError",
     "TimingSummary",
     "EndpointSlack",
     "RegisterSlack",

@@ -1,4 +1,4 @@
-"""Timing graph construction from a placed design.
+"""Timing graph construction and in-place patching.
 
 Nodes are netlist terminals (cell pins and design ports); edges are
 
@@ -6,20 +6,30 @@ Nodes are netlist terminals (cell pins and design ports); edges are
 * *cell arcs* — input to output through combinational cells, delayed by the
   linear drive model (the output's load includes sink pin caps plus wire
   capacitance from the net's HPWL);
-* *launch arcs* — register CK to Q (clock-to-q plus drive delay).
+* *launch arcs* — register CK to Q (clock-to-q plus drive delay), realized
+  as arrival seeds rather than explicit edges.
 
 Register D pins, register control pins, and output ports terminate paths;
 register Q pins, input ports, and CK pins originate them.  Clock nets do not
 propagate as data: clock arrival at each register is modelled separately
 (ideal clock + per-register useful-skew offset).
+
+The graph is *patchable*: :meth:`TimingGraph.apply_change` consumes a
+:class:`~repro.netlist.change.ChangeRecord` and rebuilds only the arcs owned
+by the edited nets and cells, returning a :class:`GraphPatch` with the node
+ids whose timing became stale.  Ownership indexes (`net name -> arcs`,
+`cell name -> arcs/seed pins`) make each patch O(edited neighborhood), and
+node refcounts retire terminals exactly when their last arc or seed role
+disappears — the patched graph matches a fresh build arc-for-arc.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.library.cells import ClockBufferCell, ClockGateCell, CombCell, RegisterCell
 from repro.library.library import Technology
+from repro.netlist.change import ChangeRecord
 from repro.netlist.db import Cell, Net, Pin, Port, Terminal
 from repro.netlist.design import Design
 
@@ -33,13 +43,35 @@ class TimingArc:
     delay: float
 
 
+@dataclass
+class GraphPatch:
+    """The fallout of one :meth:`TimingGraph.apply_change`.
+
+    ``dirty`` holds node ids whose arrival/required values may have changed
+    (new seeds, re-delayed or re-routed arcs); the timer re-propagates their
+    forward and backward cones.  ``removed`` holds node ids that left the
+    graph — the timer must purge their cached state, both for correctness
+    and because ``id()`` values can be recycled by later allocations.
+    """
+
+    dirty: set[int] = field(default_factory=set)
+    removed: set[int] = field(default_factory=set)
+
+
+@dataclass
+class _NetEntry:
+    """Arcs owned by one net, plus the driver's node reference."""
+
+    driver: Terminal | None
+    arcs: list[TimingArc]
+
+
 class TimingGraph:
     """The levelized timing graph of a design.
 
-    Build is O(pins + nets); the graph is immutable once built — the
-    :class:`repro.sta.timer.Timer` rebuilds it after netlist edits (the
-    incremental flow re-times only at composition checkpoints, which keeps
-    full rebuilds cheap at benchmark scale).
+    Build is O(pins + nets).  After netlist edits the graph is either
+    rebuilt from scratch (:class:`repro.sta.timer.Timer.dirty`) or patched
+    in place via :meth:`apply_change`; both yield identical arcs and seeds.
     """
 
     def __init__(self, design: Design, technology: Technology | None = None) -> None:
@@ -47,26 +79,59 @@ class TimingGraph:
         self.tech = technology or design.library.technology
         self.fanout: dict[int, list[TimingArc]] = {}
         self.fanin: dict[int, list[TimingArc]] = {}
-        self.nodes: list[Terminal] = []
-        self.launch_q: list[tuple[Cell, Pin]] = []  # register (cell, Q pin)
-        self.capture_d: list[tuple[Cell, Pin]] = []  # register (cell, D pin)
+        self._nodes: dict[int, Terminal] = {}
+        self._refs: dict[int, int] = {}
+        self.launch_by_id: dict[int, tuple[Cell, Pin]] = {}
+        self.capture_by_id: dict[int, tuple[Cell, Pin]] = {}
         self.launch_delay: dict[int, float] = {}  # id(Q pin) -> ck->q delay
-        self.input_ports: list[Port] = []
-        self.output_ports: list[Port] = []
+        self.input_ports_by_id: dict[int, Port] = {}
+        self.output_ports_by_id: dict[int, Port] = {}
+        self._net_arcs: dict[str, _NetEntry] = {}
+        self._cell_arcs: dict[str, list[TimingArc]] = {}
+        self._cell_seeds: dict[str, list[Pin]] = {}
         self._topo: list[Terminal] | None = None
+        self._levels: dict[int, int] | None = None
         self._build()
 
-    # -- construction -------------------------------------------------------
+    # -- compatibility views ------------------------------------------------
 
-    def _add_arc(self, src: Terminal, dst: Terminal, delay: float) -> None:
-        arc = TimingArc(src, dst, delay)
-        self.fanout.setdefault(id(src), []).append(arc)
-        self.fanin.setdefault(id(dst), []).append(arc)
+    @property
+    def nodes(self) -> list[Terminal]:
+        return list(self._nodes.values())
 
-    def _node_seen(self, t: Terminal, seen: set[int]) -> None:
-        if id(t) not in seen:
-            seen.add(id(t))
-            self.nodes.append(t)
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def launch_q(self) -> list[tuple[Cell, Pin]]:
+        return list(self.launch_by_id.values())
+
+    @property
+    def capture_d(self) -> list[tuple[Cell, Pin]]:
+        return list(self.capture_by_id.values())
+
+    @property
+    def input_ports(self) -> list[Port]:
+        return list(self.input_ports_by_id.values())
+
+    @property
+    def output_ports(self) -> list[Port]:
+        return list(self.output_ports_by_id.values())
+
+    def contains(self, node_id: int) -> bool:
+        """True while the id names a live node or seeded terminal."""
+        return (
+            node_id in self._nodes
+            or node_id in self.input_ports_by_id
+            or node_id in self.output_ports_by_id
+        )
+
+    def seed_pins(self, cell_name: str) -> list[Pin]:
+        """The registered D/Q pins of a cell (empty if none connected)."""
+        return list(self._cell_seeds.get(cell_name, ()))
+
+    # -- delay model --------------------------------------------------------
 
     def output_load(self, pin: Terminal) -> float:
         """Capacitive load on a driver: sink pin caps + wire capacitance."""
@@ -79,41 +144,114 @@ class TimingGraph:
         """Manhattan-distance wire delay between two terminals."""
         return self.tech.wire_delay_per_um * src.location.manhattan_to(dst.location)
 
+    # -- node/arc bookkeeping ----------------------------------------------
+
+    def _ensure(self, t: Terminal) -> None:
+        nid = id(t)
+        refs = self._refs.get(nid)
+        if refs is None:
+            self._refs[nid] = 1
+            self._nodes[nid] = t
+            self._topo = None
+            self._levels = None
+        else:
+            self._refs[nid] = refs + 1
+
+    def _release(self, t: Terminal, patch: GraphPatch) -> None:
+        nid = id(t)
+        refs = self._refs.get(nid, 0)
+        if refs <= 1:
+            self._refs.pop(nid, None)
+            self._nodes.pop(nid, None)
+            patch.removed.add(nid)
+            self._topo = None
+            self._levels = None
+        else:
+            self._refs[nid] = refs - 1
+
+    def _add_arc(
+        self, src: Terminal, dst: Terminal, delay: float, patch: GraphPatch
+    ) -> TimingArc:
+        arc = TimingArc(src, dst, delay)
+        self._ensure(src)
+        self._ensure(dst)
+        self.fanout.setdefault(id(src), []).append(arc)
+        self.fanin.setdefault(id(dst), []).append(arc)
+        patch.dirty.add(id(src))
+        patch.dirty.add(id(dst))
+        self._topo = None
+        self._levels = None
+        return arc
+
+    def _unlink(self, arc: TimingArc, patch: GraphPatch) -> None:
+        sid, did = id(arc.src), id(arc.dst)
+        fo = self.fanout[sid]
+        fo.remove(arc)
+        if not fo:
+            del self.fanout[sid]
+        fi = self.fanin[did]
+        fi.remove(arc)
+        if not fi:
+            del self.fanin[did]
+        patch.dirty.add(sid)
+        patch.dirty.add(did)
+        self._release(arc.src, patch)
+        self._release(arc.dst, patch)
+        self._topo = None
+        self._levels = None
+
+    # -- construction -------------------------------------------------------
+
     def _build(self) -> None:
-        seen: set[int] = set()
+        patch = GraphPatch()  # discarded: a fresh build has no stale state
         design = self.design
 
         # Net arcs (data nets only — the clock network is ideal here).
         for net in design.nets.values():
-            if net.is_clock:
-                continue
-            driver = net.driver
-            if driver is None:
-                continue
-            self._node_seen(driver, seen)
-            for sink in net.sinks:
-                self._node_seen(sink, seen)
-                self._add_arc(driver, sink, self.wire_delay(driver, sink))
+            self._add_net_arcs(net, patch)
 
-        # Cell arcs.
+        # Cell arcs and register launch/capture seeds.
         for cell in design.cells.values():
-            lc = cell.libcell
-            if isinstance(lc, RegisterCell):
-                self._register_arcs(cell, lc, seen)
-            elif isinstance(lc, (CombCell, ClockBufferCell, ClockGateCell)):
-                self._comb_arcs(cell, lc, seen)
+            self._add_cell_entries(cell, patch)
 
         for port in design.ports.values():
-            if port.net is None or port.net.is_clock:
-                continue
-            if port.is_input:
-                self.input_ports.append(port)
-            else:
-                self.output_ports.append(port)
+            self._register_port(port)
 
-    def _comb_arcs(self, cell: Cell, lc, seen: set[int]) -> None:
-        outs = [cell.pin(p.name) for p in lc.output_pins]
-        for out in outs:
+    def _add_net_arcs(self, net: Net, patch: GraphPatch) -> None:
+        if net.is_clock:
+            return
+        driver = net.driver
+        if driver is None:
+            return
+        self._ensure(driver)
+        patch.dirty.add(id(driver))
+        arcs = [
+            self._add_arc(driver, sink, self.wire_delay(driver, sink), patch)
+            for sink in net.sinks
+        ]
+        self._net_arcs[net.name] = _NetEntry(driver, arcs)
+
+    def _drop_net_arcs(self, name: str, patch: GraphPatch) -> None:
+        entry = self._net_arcs.pop(name, None)
+        if entry is None:
+            return
+        for arc in entry.arcs:
+            self._unlink(arc, patch)
+        if entry.driver is not None:
+            patch.dirty.add(id(entry.driver))
+            self._release(entry.driver, patch)
+
+    def _add_cell_entries(self, cell: Cell, patch: GraphPatch) -> None:
+        lc = cell.libcell
+        if isinstance(lc, RegisterCell):
+            self._register_entries(cell, lc, patch)
+        elif isinstance(lc, (CombCell, ClockBufferCell, ClockGateCell)):
+            self._comb_entries(cell, lc, patch)
+
+    def _comb_entries(self, cell: Cell, lc, patch: GraphPatch) -> None:
+        arcs: list[TimingArc] = []
+        for pout in lc.output_pins:
+            out = cell.pin(pout.name)
             if out.net is None or out.net.is_clock:
                 continue
             load = self.output_load(out)
@@ -122,23 +260,158 @@ class TimingGraph:
                 inp = cell.pin(pdesc.name)
                 if inp.net is None or inp.net.is_clock:
                     continue
-                self._node_seen(inp, seen)
-                self._node_seen(out, seen)
-                self._add_arc(inp, out, delay)
+                arcs.append(self._add_arc(inp, out, delay, patch))
+        if arcs:
+            self._cell_arcs[cell.name] = arcs
 
-    def _register_arcs(self, cell: Cell, lc: RegisterCell, seen: set[int]) -> None:
+    def _register_entries(self, cell: Cell, lc: RegisterCell, patch: GraphPatch) -> None:
+        seeds: list[Pin] = []
         for bit in range(lc.width_bits):
             d = cell.pin(lc.d_pin(bit))
             q = cell.pin(lc.q_pin(bit))
             if d.net is not None:
-                self._node_seen(d, seen)
-                self.capture_d.append((cell, d))
+                self._ensure(d)
+                seeds.append(d)
+                self.capture_by_id[id(d)] = (cell, d)
+                patch.dirty.add(id(d))
             if q.net is not None:
-                self._node_seen(q, seen)
+                self._ensure(q)
+                seeds.append(q)
                 load = self.output_load(q)
-                self.launch_q.append((cell, q))
+                self.launch_by_id[id(q)] = (cell, q)
                 # The Timer seeds arrival(Q) = clk_arrival + this delay.
                 self.launch_delay[id(q)] = lc.clk_to_q + lc.drive_resistance * load
+                patch.dirty.add(id(q))
+        if seeds:
+            self._cell_seeds[cell.name] = seeds
+
+    def _drop_cell_entries(self, name: str, patch: GraphPatch) -> None:
+        for arc in self._cell_arcs.pop(name, ()):
+            self._unlink(arc, patch)
+        for pin in self._cell_seeds.pop(name, ()):
+            nid = id(pin)
+            patch.dirty.add(nid)
+            self.capture_by_id.pop(nid, None)
+            if self.launch_by_id.pop(nid, None) is not None:
+                self.launch_delay.pop(nid, None)
+            self._release(pin, patch)
+
+    def _register_port(self, port: Port) -> None:
+        if port.net is None or port.net.is_clock:
+            return
+        if port.is_input:
+            self.input_ports_by_id[id(port)] = port
+        else:
+            self.output_ports_by_id[id(port)] = port
+
+    def _refresh_port(self, name: str, patch: GraphPatch) -> None:
+        port = self.design.ports.get(name)
+        if port is None:
+            return
+        pid = id(port)
+        self.input_ports_by_id.pop(pid, None)
+        self.output_ports_by_id.pop(pid, None)
+        self._register_port(port)
+        patch.dirty.add(pid)
+
+    # -- incremental patching ----------------------------------------------
+
+    def apply_change(self, record: ChangeRecord) -> GraphPatch:
+        """Patch the graph after a netlist edit, in place.
+
+        Only arcs owned by the edited nets/cells are rebuilt; drivers of
+        rewired nets have their delay model refreshed (their load changed
+        even when their own connectivity did not).  Returns the
+        :class:`GraphPatch` seeding the timer's dirty cones.
+        """
+        patch = GraphPatch()
+        design = self.design
+
+        # Nets whose arcs must be rebuilt: explicitly rewired ones, plus
+        # every net attached to a moved cell (all its wire delays and its
+        # drivers' loads shifted with the pin locations).
+        rebuild_nets: dict[str, Net] = {}
+        for name in record.rewired_nets:
+            net = design.nets.get(name)
+            if net is not None and not net.is_clock:
+                rebuild_nets[name] = net
+        for cname in record.moved:
+            cell = design.cells.get(cname)
+            if cell is None:
+                continue
+            for pin in cell.pins.values():
+                net = pin.net
+                if net is not None and not net.is_clock:
+                    rebuild_nets.setdefault(net.name, net)
+
+        # Cells whose arcs/seeds must be rebuilt.  Resized cells replaced
+        # every pin object; touched cells changed pin connectivity; moved
+        # cells changed their output loads; added cells are new.
+        rebuild_cells: dict[str, Cell] = {}
+        for cname in (*record.touched, *record.resized, *record.moved):
+            cell = design.cells.get(cname)
+            if cell is not None:
+                rebuild_cells[cname] = cell
+        for cell in record.added:
+            if design.cells.get(cell.name) is cell:
+                rebuild_cells[cell.name] = cell
+
+        # 1. Drop arcs owned by dead and rebuilt nets.
+        for name in record.removed_nets:
+            self._drop_net_arcs(name, patch)
+        for name in rebuild_nets:
+            self._drop_net_arcs(name, patch)
+
+        # 2. Drop entries of dead and rebuilt cells (retires stale pins).
+        for cname in record.removed:
+            self._drop_cell_entries(cname, patch)
+        for cname in rebuild_cells:
+            self._drop_cell_entries(cname, patch)
+
+        # 3. Rebuild cell entries against the current netlist.
+        for cell in rebuild_cells.values():
+            self._add_cell_entries(cell, patch)
+
+        # 4. Rebuild net arcs with fresh wire delays.
+        for net in rebuild_nets.values():
+            self._add_net_arcs(net, patch)
+
+        # 5. Refresh drivers whose load changed without their own rebuild.
+        for net in rebuild_nets.values():
+            self._refresh_driver(net, rebuild_cells, patch)
+
+        # 6. Re-register edited ports.
+        for pname in record.ports_touched:
+            self._refresh_port(pname, patch)
+
+        return patch
+
+    def _refresh_driver(
+        self, net: Net, rebuilt: dict[str, Cell], patch: GraphPatch
+    ) -> None:
+        """Re-derive the delay model of a rewired net's driver cell.
+
+        A net rewire changes the driver's output load (sink caps + HPWL),
+        which feeds the comb delay or the register clk->q launch delay.
+        """
+        driver = net.driver
+        if driver is None:
+            return
+        cell = getattr(driver, "cell", None)
+        if cell is None or cell.name in rebuilt:
+            return  # a port, or already rebuilt with fresh loads
+        lc = cell.libcell
+        if isinstance(lc, RegisterCell):
+            nid = id(driver)
+            if nid in self.launch_delay:
+                delay = lc.clk_to_q + lc.drive_resistance * self.output_load(driver)
+                if delay != self.launch_delay[nid]:
+                    self.launch_delay[nid] = delay
+                    patch.dirty.add(nid)
+        elif isinstance(lc, (CombCell, ClockBufferCell, ClockGateCell)):
+            self._drop_cell_entries(cell.name, patch)
+            self._add_cell_entries(cell, patch)
+            rebuilt[cell.name] = cell
 
     # -- topology --------------------------------------------------------------
 
@@ -146,11 +419,12 @@ class TimingGraph:
         """Kahn topological order over all graph nodes (cached)."""
         if self._topo is not None:
             return self._topo
-        indeg: dict[int, int] = {id(n): 0 for n in self.nodes}
+        nodes = list(self._nodes.values())
+        indeg: dict[int, int] = {nid: 0 for nid in self._nodes}
         for arcs in self.fanout.values():
             for arc in arcs:
                 indeg[id(arc.dst)] = indeg.get(id(arc.dst), 0) + 1
-        ready = [n for n in self.nodes if indeg[id(n)] == 0]
+        ready = [n for n in nodes if indeg[id(n)] == 0]
         order: list[Terminal] = []
         while ready:
             n = ready.pop()
@@ -159,10 +433,28 @@ class TimingGraph:
                 indeg[id(arc.dst)] -= 1
                 if indeg[id(arc.dst)] == 0:
                     ready.append(arc.dst)
-        if len(order) != len(self.nodes):
+        if len(order) != len(nodes):
             raise ValueError(
                 "combinational loop detected: "
-                f"{len(self.nodes) - len(order)} nodes unreachable in topological sort"
+                f"{len(nodes) - len(order)} nodes unreachable in topological sort"
             )
         self._topo = order
         return order
+
+    def levels(self) -> dict[int, int]:
+        """Longest-path level per node id (sources at 0, cached).
+
+        Levels order the dirty-cone worklists: every arc goes from a lower
+        to a strictly higher level, so draining a min-heap of levels visits
+        each dirty node after all of its dirty predecessors.
+        """
+        if self._levels is None:
+            order = self.topological_order()
+            levels = {id(n): 0 for n in order}
+            for n in order:
+                base = levels[id(n)] + 1
+                for arc in self.fanout.get(id(n), ()):
+                    if levels[id(arc.dst)] < base:
+                        levels[id(arc.dst)] = base
+            self._levels = levels
+        return self._levels

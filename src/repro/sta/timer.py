@@ -1,17 +1,42 @@
-"""The Timer: arrival/required propagation, slacks, and QoR summaries."""
+"""The Timer: arrival/required propagation, slacks, and QoR summaries.
+
+Timing is maintained *incrementally*: netlist edits hand the timer a
+:class:`~repro.netlist.change.ChangeRecord` via :meth:`Timer.apply_change`,
+which patches the cached timing graph in place and re-propagates only the
+dirty cones — arrivals forward from the changed nodes, required times
+backward — stopping at the frontier where recomputed values stop changing.
+Because the incremental pass recomputes each node with exactly the same
+arithmetic as a full pass, results are bit-identical; ``REPRO_STA_AUDIT=1``
+(or ``Timer.audit_mode``) shadow-checks that equivalence after every patch
+by rebuilding from scratch and comparing.  :meth:`Timer.dirty` remains the
+blanket full-rebuild fallback.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+import os
+from dataclasses import dataclass, field, replace
 
 from repro.library.cells import RegisterCell
 from repro.library.library import Technology
-from repro.netlist.db import Cell, Pin, Port, Terminal
+from repro.netlist.change import ChangeRecord
+from repro.netlist.db import Cell, Terminal
 from repro.netlist.design import Design
 from repro.sta.graph import TimingGraph
 
 _NEG_INF = float("-inf")
 _POS_INF = float("inf")
+
+AUDIT_ENV = "REPRO_STA_AUDIT"
+
+
+def _audit_env_enabled() -> bool:
+    return os.environ.get(AUDIT_ENV, "") not in ("", "0")
+
+
+class TimingAuditError(AssertionError):
+    """Incremental timing diverged from a from-scratch recompute."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +80,27 @@ class TimingSummary:
 
 
 @dataclass
+class TimerStats:
+    """Incremental-timing effort counters (surfaced by ``--trace``).
+
+    ``retimed_nodes`` accumulates across incremental passes;
+    ``last_retimed_nodes`` is the most recent pass alone.  ``graph_nodes``
+    is the graph size at the last propagation — the denominator that shows
+    how small the dirty cones are.
+    """
+
+    full_timings: int = 0
+    incremental_timings: int = 0
+    changes_applied: int = 0
+    retimed_nodes: int = 0
+    last_retimed_nodes: int = 0
+    graph_nodes: int = 0
+
+    def snapshot(self) -> "TimerStats":
+        return replace(self)
+
+
+@dataclass
 class _TimingState:
     arrival: dict[int, float] = field(default_factory=dict)
     required: dict[int, float] = field(default_factory=dict)
@@ -69,8 +115,10 @@ class Timer:
     skew of [5]: a positive offset delays the register's clock, relaxing its
     D-side check and tightening its Q-side launches.
 
-    The timer is lazily evaluated and invalidated explicitly: call
-    :meth:`dirty` after editing the netlist or moving cells, then query.
+    The timer is lazily evaluated.  Netlist edits should flow in through
+    :meth:`apply_change` (scoped invalidation + dirty-cone retime on the
+    next query); :meth:`dirty` is the coarse fallback that drops the graph
+    and state entirely.
     """
 
     def __init__(
@@ -81,6 +129,7 @@ class Timer:
         input_delay: float = 0.0,
         output_delay: float = 0.0,
         technology: Technology | None = None,
+        audit_mode: bool | None = None,
     ) -> None:
         self.design = design
         self.clock_period = clock_period
@@ -88,26 +137,90 @@ class Timer:
         self.input_delay = input_delay
         self.output_delay = output_delay
         self.tech = technology or design.library.technology
+        self.audit_mode = _audit_env_enabled() if audit_mode is None else audit_mode
+        self.stats = TimerStats()
         self._graph: TimingGraph | None = None
         self._state: _TimingState | None = None
+        self._dirty_fwd: set[int] = set()
+        self._dirty_bwd: set[int] = set()
+        self._audit_pending = False
 
     # -- lifecycle -------------------------------------------------------------
 
     def dirty(self) -> None:
-        """Invalidate cached timing after any netlist/placement change."""
+        """Invalidate cached timing entirely (full-rebuild fallback)."""
         self._graph = None
         self._state = None
+        self._dirty_fwd.clear()
+        self._dirty_bwd.clear()
+        self._audit_pending = False
+
+    def apply_change(self, record: ChangeRecord) -> None:
+        """Absorb a netlist edit: patch the graph, dirty the edit's cones.
+
+        Also the authoritative point where skew entries of removed cells
+        are purged — otherwise a stale offset could silently re-attach to
+        a future cell that reuses the name.
+        """
+        for name in record.cells_removed:
+            self.skew.pop(name, None)
+        if record.is_empty:
+            return
+        self.stats.changes_applied += 1
+        if self._graph is None:
+            return  # nothing cached; the next query builds fresh
+        patch = self._graph.apply_change(record)
+        self._audit_pending = True
+        if self._state is None:
+            return  # graph is current again; state recomputes fully on query
+        st = self._state
+        for nid in patch.removed:
+            st.arrival.pop(nid, None)
+            st.required.pop(nid, None)
+            if st.arrival_min is not None:
+                st.arrival_min.pop(nid, None)
+        self._dirty_fwd |= patch.dirty
+        self._dirty_bwd |= patch.dirty
 
     def set_skew(self, cell_name: str, offset: float) -> None:
-        """Assign a useful-skew clock offset to one register."""
+        """Assign a useful-skew clock offset to one register.
+
+        No-op when the offset equals the installed value (absent entries
+        count as 0.0), so speculative zero-assignments cost nothing.
+        """
+        if self.skew.get(cell_name, 0.0) == offset:
+            return
         self.skew[cell_name] = offset
-        self._state = None  # graph unchanged, timing stale
+        self._invalidate_skew(cell_name)
 
     def set_skews(self, offsets: dict[str, float]) -> None:
-        """Batch-assign skew offsets with a single timing invalidation."""
-        self.skew.update(offsets)
-        if offsets:
-            self._state = None
+        """Batch-assign skew offsets, skipping no-op entries."""
+        for name, offset in offsets.items():
+            self.set_skew(name, offset)
+
+    def _invalidate_skew(self, cell_name: str) -> None:
+        """Retime only the launch/capture cones of one register's skew."""
+        if self._state is None or self._graph is None:
+            return  # next query recomputes fully anyway
+        g = self._graph
+        pins = g.seed_pins(cell_name)
+        if not pins:
+            # Not in the graph: either the register has no connected bits
+            # (skew is then timing-neutral) or the graph is out of sync —
+            # fall back to a full recompute unless provably neutral.
+            cell = self.design.cells.get(cell_name)
+            if cell is not None and cell.is_register:
+                self._state = None
+                self._dirty_fwd.clear()
+                self._dirty_bwd.clear()
+            return
+        for pin in pins:
+            nid = id(pin)
+            if nid in g.launch_by_id:
+                self._dirty_fwd.add(nid)  # arrival seed at Q shifted
+            if nid in g.capture_by_id:
+                self._dirty_bwd.add(nid)  # required seed at D shifted
+        self._audit_pending = True
 
     @property
     def graph(self) -> TimingGraph:
@@ -120,16 +233,32 @@ class Timer:
 
     # -- propagation ----------------------------------------------------------
 
-    def _compute(self) -> _TimingState:
-        if self._state is not None:
-            return self._state
-        g = self.graph
+    def _arrival_seed(self, g: TimingGraph, nid: int) -> float | None:
+        entry = g.launch_by_id.get(nid)
+        if entry is not None:
+            return self._clock_arrival(entry[0]) + g.launch_delay[nid]
+        if nid in g.input_ports_by_id:
+            return self.input_delay
+        return None
+
+    def _required_seed(self, g: TimingGraph, nid: int) -> float | None:
+        entry = g.capture_by_id.get(nid)
+        if entry is not None:
+            cell = entry[0]
+            lc = cell.register_cell
+            return self.clock_period + self._clock_arrival(cell) - lc.setup
+        if nid in g.output_ports_by_id:
+            return self.clock_period - self.output_delay
+        return None
+
+    def _full_state(self, g: TimingGraph) -> _TimingState:
+        """From-scratch forward/backward propagation (also the audit oracle)."""
         st = _TimingState()
 
         # Forward: arrivals.
-        for cell, q in g.launch_q:
+        for cell, q in g.launch_by_id.values():
             st.arrival[id(q)] = self._clock_arrival(cell) + g.launch_delay[id(q)]
-        for port in g.input_ports:
+        for port in g.input_ports_by_id.values():
             st.arrival[id(port)] = self.input_delay
 
         for node in g.topological_order():
@@ -142,12 +271,12 @@ class Timer:
                     st.arrival[id(arc.dst)] = cand
 
         # Backward: required times.
-        for cell, d in g.capture_d:
+        for cell, d in g.capture_by_id.values():
             lc = cell.register_cell
             st.required[id(d)] = (
                 self.clock_period + self._clock_arrival(cell) - lc.setup
             )
-        for port in g.output_ports:
+        for port in g.output_ports_by_id.values():
             st.required[id(port)] = self.clock_period - self.output_delay
 
         for node in reversed(g.topological_order()):
@@ -159,8 +288,185 @@ class Timer:
             if r != _POS_INF:
                 st.required[id(node)] = r
 
-        self._state = st
         return st
+
+    def _compute(self) -> _TimingState:
+        if (
+            self._state is not None
+            and not self._dirty_fwd
+            and not self._dirty_bwd
+        ):
+            return self._state
+        g = self.graph
+        if self._state is None:
+            self._state = self._full_state(g)
+            self._dirty_fwd.clear()
+            self._dirty_bwd.clear()
+            self.stats.full_timings += 1
+            self.stats.graph_nodes = g.node_count
+        else:
+            self._retime(g)
+        if self._audit_pending:
+            if self.audit_mode:
+                self._audit(g)
+            self._audit_pending = False
+        return self._state
+
+    def _retime(self, g: TimingGraph) -> None:
+        """Drain the dirty sets: levelized re-propagation of both cones.
+
+        Each popped node is recomputed from its full fanin (arrival) or
+        fanout (required) plus its seed — the same max/min the batch pass
+        evaluates — so values match a full recompute bit for bit, and the
+        wave stops as soon as recomputed values equal the cached ones.
+        """
+        st = self._state
+        assert st is not None
+        levels = g.levels()
+        track_min = st.arrival_min is not None
+        touched: set[int] = set()
+
+        # Forward cone: arrivals ascend by level.
+        heap: list[tuple[int, int]] = []
+        queued: set[int] = set()
+
+        def push_fwd(nid: int) -> None:
+            if nid not in queued:
+                queued.add(nid)
+                heapq.heappush(heap, (levels.get(nid, 0), nid))
+
+        for nid in self._dirty_fwd:
+            if g.contains(nid):
+                push_fwd(nid)
+            else:  # node left the graph: drop any lingering state
+                st.arrival.pop(nid, None)
+                st.required.pop(nid, None)
+                if track_min:
+                    st.arrival_min.pop(nid, None)
+        while heap:
+            _, nid = heapq.heappop(heap)
+            queued.discard(nid)
+            touched.add(nid)
+            changed = False
+            seed = self._arrival_seed(g, nid)
+            best = seed
+            for arc in g.fanin.get(nid, ()):
+                a = st.arrival.get(id(arc.src))
+                if a is not None:
+                    cand = a + arc.delay
+                    if best is None or cand > best:
+                        best = cand
+            if best != st.arrival.get(nid):
+                if best is None:
+                    st.arrival.pop(nid, None)
+                else:
+                    st.arrival[nid] = best
+                changed = True
+            if track_min:
+                worst = seed
+                for arc in g.fanin.get(nid, ()):
+                    a = st.arrival_min.get(id(arc.src))
+                    if a is not None:
+                        cand = a + arc.delay
+                        if worst is None or cand < worst:
+                            worst = cand
+                if worst != st.arrival_min.get(nid):
+                    if worst is None:
+                        st.arrival_min.pop(nid, None)
+                    else:
+                        st.arrival_min[nid] = worst
+                    changed = True
+            if changed:
+                for arc in g.fanout.get(nid, ()):
+                    push_fwd(id(arc.dst))
+
+        # Backward cone: required times descend by level.
+        heap.clear()
+        queued.clear()
+
+        def push_bwd(nid: int) -> None:
+            if nid not in queued:
+                queued.add(nid)
+                heapq.heappush(heap, (-levels.get(nid, 0), nid))
+
+        for nid in self._dirty_bwd:
+            if g.contains(nid):
+                push_bwd(nid)
+            else:
+                st.arrival.pop(nid, None)
+                st.required.pop(nid, None)
+                if track_min:
+                    st.arrival_min.pop(nid, None)
+        while heap:
+            _, nid = heapq.heappop(heap)
+            queued.discard(nid)
+            touched.add(nid)
+            seed = self._required_seed(g, nid)
+            best = seed
+            for arc in g.fanout.get(nid, ()):
+                r = st.required.get(id(arc.dst))
+                if r is not None:
+                    cand = r - arc.delay
+                    if best is None or cand < best:
+                        best = cand
+            if best != st.required.get(nid):
+                if best is None:
+                    st.required.pop(nid, None)
+                else:
+                    st.required[nid] = best
+                for arc in g.fanin.get(nid, ()):
+                    push_bwd(id(arc.src))
+
+        self._dirty_fwd.clear()
+        self._dirty_bwd.clear()
+        self.stats.incremental_timings += 1
+        self.stats.retimed_nodes += len(touched)
+        self.stats.last_retimed_nodes = len(touched)
+        self.stats.graph_nodes = g.node_count
+
+    # -- audit ---------------------------------------------------------------
+
+    def _audit(self, g: TimingGraph) -> None:
+        """Shadow-run a from-scratch build+propagation and assert equality."""
+        fresh = TimingGraph(self.design, self.tech)
+
+        def arc_multiset(graph: TimingGraph) -> dict:
+            counts: dict[tuple[int, int, float], int] = {}
+            for arcs in graph.fanout.values():
+                for arc in arcs:
+                    key = (id(arc.src), id(arc.dst), arc.delay)
+                    counts[key] = counts.get(key, 0) + 1
+            return counts
+
+        mismatches: list[str] = []
+        if arc_multiset(g) != arc_multiset(fresh):
+            mismatches.append("arc set")
+        if g.launch_delay != fresh.launch_delay:
+            mismatches.append("launch delays")
+        if set(g.launch_by_id) != set(fresh.launch_by_id):
+            mismatches.append("launch pins")
+        if set(g.capture_by_id) != set(fresh.capture_by_id):
+            mismatches.append("capture pins")
+        if set(g.input_ports_by_id) != set(fresh.input_ports_by_id):
+            mismatches.append("input ports")
+        if set(g.output_ports_by_id) != set(fresh.output_ports_by_id):
+            mismatches.append("output ports")
+
+        st = self._state
+        assert st is not None
+        oracle = self._full_state(fresh)
+        if st.arrival != oracle.arrival:
+            mismatches.append("arrivals")
+        if st.required != oracle.required:
+            mismatches.append("required times")
+        if st.arrival_min is not None:
+            if st.arrival_min != self._min_arrivals(fresh):
+                mismatches.append("min arrivals")
+        if mismatches:
+            raise TimingAuditError(
+                "incremental timing diverged from full recompute: "
+                + ", ".join(mismatches)
+            )
 
     # -- queries ------------------------------------------------------------------
 
@@ -180,16 +486,19 @@ class Timer:
         """Slack at every constrained endpoint (register D bits, output ports)."""
         st = self._compute()
         out: list[EndpointSlack] = []
-        for _cell, d in self.graph.capture_d:
+        for _cell, d in self.graph.capture_by_id.values():
             a = st.arrival.get(id(d))
             if a is None:
                 continue  # D tied off / undriven: unconstrained
             out.append(EndpointSlack(d.full_name, st.required[id(d)] - a))
-        for port in self.graph.output_ports:
+        for port in self.graph.output_ports_by_id.values():
             a = st.arrival.get(id(port))
             if a is None:
                 continue
             out.append(EndpointSlack(port.name, st.required[id(port)] - a))
+        # Name order, not graph order: keeps TNS summation bit-identical
+        # between a fresh build and an incrementally patched graph.
+        out.sort(key=lambda e: e.name)
         return out
 
     def summary(self) -> TimingSummary:
@@ -204,16 +513,12 @@ class Timer:
 
     # -- hold (min-delay) analysis ------------------------------------------------------
 
-    def _compute_min_arrivals(self) -> dict[int, float]:
-        """Earliest arrivals (shortest paths), for hold checks."""
-        st = self._compute()
-        if st.arrival_min is not None:
-            return st.arrival_min
-        g = self.graph
+    def _min_arrivals(self, g: TimingGraph) -> dict[int, float]:
+        """Earliest arrivals (shortest paths) over one graph."""
         arrival_min: dict[int, float] = {}
-        for cell, q in g.launch_q:
+        for cell, q in g.launch_by_id.values():
             arrival_min[id(q)] = self._clock_arrival(cell) + g.launch_delay[id(q)]
-        for port in g.input_ports:
+        for port in g.input_ports_by_id.values():
             arrival_min[id(port)] = self.input_delay
         for node in g.topological_order():
             a = arrival_min.get(id(node))
@@ -224,8 +529,15 @@ class Timer:
                 prev = arrival_min.get(id(arc.dst))
                 if prev is None or cand < prev:
                     arrival_min[id(arc.dst)] = cand
-        st.arrival_min = arrival_min
         return arrival_min
+
+    def _compute_min_arrivals(self) -> dict[int, float]:
+        """Earliest arrivals, cached on the state (and retimed with it)."""
+        st = self._compute()
+        if st.arrival_min is not None:
+            return st.arrival_min
+        st.arrival_min = self._min_arrivals(self.graph)
+        return st.arrival_min
 
     def hold_slacks(self) -> list[EndpointSlack]:
         """Hold slack at every register D bit.
@@ -238,13 +550,14 @@ class Timer:
         """
         arrival_min = self._compute_min_arrivals()
         out: list[EndpointSlack] = []
-        for cell, d in self.graph.capture_d:
+        for cell, d in self.graph.capture_by_id.values():
             a = arrival_min.get(id(d))
             if a is None:
                 continue
             lc = cell.register_cell
             slack = a - self._clock_arrival(cell) - lc.hold
             out.append(EndpointSlack(d.full_name, slack))
+        out.sort(key=lambda e: e.name)  # order-independent TNS (see above)
         return out
 
     def hold_summary(self) -> TimingSummary:

@@ -28,7 +28,7 @@ def mbr_design(lib):
 
 class TestDecomposeMbr:
     def test_splits_into_singles(self, lib, mbr_design):
-        new = decompose_mbr(mbr_design, mbr_design.cell("mbr"))
+        new = decompose_mbr(mbr_design, mbr_design.cell("mbr")).new_cells
         assert len(new) == 4
         assert "mbr" not in mbr_design.cells
         assert mbr_design.width_histogram() == {1: 4}
@@ -37,13 +37,13 @@ class TestDecomposeMbr:
     def test_data_connectivity_preserved(self, lib, mbr_design):
         d_nets = [mbr_design.cell("mbr").pin(f"D{i}").net for i in range(4)]
         q_nets = [mbr_design.cell("mbr").pin(f"Q{i}").net for i in range(4)]
-        new = decompose_mbr(mbr_design, mbr_design.cell("mbr"))
+        new = decompose_mbr(mbr_design, mbr_design.cell("mbr")).new_cells
         for cell, dn, qn in zip(new, d_nets, q_nets):
             assert cell.pin("D").net is dn
             assert cell.pin("Q").net is qn
 
     def test_control_nets_shared(self, lib, mbr_design):
-        new = decompose_mbr(mbr_design, mbr_design.cell("mbr"))
+        new = decompose_mbr(mbr_design, mbr_design.cell("mbr")).new_cells
         clk = mbr_design.net("clk")
         rst = mbr_design.net("rst")
         for cell in new:
@@ -57,7 +57,7 @@ class TestDecomposeMbr:
 
     def test_drive_resistance_not_degraded(self, lib, mbr_design):
         original_res = mbr_design.cell("mbr").register_cell.drive_resistance
-        new = decompose_mbr(mbr_design, mbr_design.cell("mbr"))
+        new = decompose_mbr(mbr_design, mbr_design.cell("mbr")).new_cells
         for cell in new:
             assert cell.register_cell.drive_resistance <= original_res + 1e-12
 
@@ -81,9 +81,9 @@ class TestDecomposeMbr:
         mbr = compose_mbr(
             scan_row, [scan_row.cell(f"ff{i}") for i in range(4)], target, Point(12, 50),
             name="mbr",
-        )
+        ).new_cell
         model.replace_group(["ff0", "ff1", "ff2", "ff3"], "mbr")
-        new = decompose_mbr(scan_row, mbr, model)
+        new = decompose_mbr(scan_row, mbr, model).new_cells
         assert len(new) == 4
         assert model.chains["c0"].cells == [c.name for c in new]
         # Physically continuous: si port net -> bit0 -> ... -> bit3 -> so net.

@@ -22,7 +22,11 @@ class TestComposeBasic:
         d0_net, q0_net = flop_row.net("n_d0"), flop_row.net("n_q0")
         d1_net, q1_net = flop_row.net("n_d1"), flop_row.net("n_q1")
 
-        mbr = compose_mbr(flop_row, group, target, Point(11.0, 50.0), name="mbr0")
+        record = compose_mbr(flop_row, group, target, Point(11.0, 50.0), name="mbr0")
+        mbr = record.new_cell
+
+        assert set(record.cells_removed) == {"ff0", "ff1"}
+        assert record.cells_added == ("mbr0",)
 
         assert "ff0" not in flop_row.cells and "ff1" not in flop_row.cells
         assert mbr.pin("D0").net is d0_net
@@ -46,7 +50,7 @@ class TestComposeBasic:
         # treats the spare D as acceptable (Section 3: incomplete MBRs).
         target = lib.register_cells(DFF_R, 4)[0]
         group = [flop_row.cell(f"ff{i}") for i in range(3)]
-        mbr = compose_mbr(flop_row, group, target, Point(11.0, 50.0))
+        mbr = compose_mbr(flop_row, group, target, Point(11.0, 50.0)).new_cell
         assert mbr.pin("D3").net is None and mbr.pin("Q3").net is None
         assert not _errors(flop_row)
         view = RegisterView(mbr)
@@ -57,9 +61,9 @@ class TestComposeBasic:
         # the incremental re-composition the paper applies to MBR-rich designs.
         t2 = lib.register_cells(DFF_R, 2)[0]
         t4 = lib.register_cells(DFF_R, 4)[0]
-        m1 = compose_mbr(flop_row, [flop_row.cell("ff0"), flop_row.cell("ff1")], t2, Point(11, 50))
-        m2 = compose_mbr(flop_row, [flop_row.cell("ff2"), flop_row.cell("ff3")], t2, Point(19, 50))
-        m4 = compose_mbr(flop_row, [m1, m2], t4, Point(14, 50))
+        m1 = compose_mbr(flop_row, [flop_row.cell("ff0"), flop_row.cell("ff1")], t2, Point(11, 50)).new_cell
+        m2 = compose_mbr(flop_row, [flop_row.cell("ff2"), flop_row.cell("ff3")], t2, Point(19, 50)).new_cell
+        m4 = compose_mbr(flop_row, [m1, m2], t4, Point(14, 50)).new_cell
         assert flop_row.total_register_count() == 1
         assert m4.pin("D2").net is flop_row.net("n_d2")
         assert m4.pin("Q3").net is flop_row.net("n_q3")
@@ -69,7 +73,7 @@ class TestComposeBasic:
         target = lib.register_cells(DFF_R, 2)[0]
         mbr = compose_mbr(
             flop_row, [flop_row.cell("ff0"), flop_row.cell("ff1")], target, Point(11, 50)
-        )
+        ).new_cell
         assert mbr.name in flop_row.cells
 
 
@@ -131,9 +135,12 @@ class TestComposeScan:
         )
         stitch_in = scan_row.net("n_scan1")  # ff0.SO -> ff1.SI
         stitch_out = scan_row.net("n_scan3")  # ff2.SO -> ff3.SI
-        mbr = compose_mbr(
+        record = compose_mbr(
             scan_row, [scan_row.cell("ff1"), scan_row.cell("ff2")], target, Point(13, 50)
         )
+        mbr = record.new_cell
+        # The stitch net absorbed inside the MBR shows up as removed.
+        assert "n_scan2" in record.removed_nets
         assert mbr.pin("SI").net is stitch_in
         assert mbr.pin("SO").net is stitch_out
         assert mbr.pin("SE").net is scan_row.net("se")
@@ -150,7 +157,7 @@ class TestComposeScan:
         n3 = scan_row.net("n_scan3")
         mbr = compose_mbr(
             scan_row, [scan_row.cell("ff1"), scan_row.cell("ff2")], target, Point(13, 50)
-        )
+        ).new_cell
         # Bit 0 (old ff1): SI from n_scan1, SO to n_scan2; bit 1 (old ff2):
         # SI from n_scan2, SO to n_scan3 — both chains cross the MBR.
         assert mbr.pin("SI0").net is n1

@@ -90,7 +90,7 @@ class TestRestitch:
             if c.scan_style is ScanStyle.INTERNAL
         )
         group = [scan_row.cell("ff0"), scan_row.cell("ff2")]
-        mbr = compose_mbr(scan_row, group, target, Point(12, 50), name="mbr0")
+        mbr = compose_mbr(scan_row, group, target, Point(12, 50), name="mbr0").new_cell
         model.replace_group(["ff0", "ff2"], "mbr0")
         assert model.chains["c0"].cells == ["mbr0", "ff1", "ff3"]
 
@@ -119,7 +119,7 @@ class TestRestitch:
             c for c in lib.register_cells(DFF_R_S, 2) if c.scan_style is ScanStyle.MULTI
         )
         group = [scan_row.cell("ff1"), scan_row.cell("ff2")]
-        mbr = compose_mbr(scan_row, group, target, Point(12, 50), name="mbr0")
+        mbr = compose_mbr(scan_row, group, target, Point(12, 50), name="mbr0").new_cell
         model.replace_group(["ff1", "ff2"], "mbr0")
         model.restitch(scan_row)
         # The external chain passes through both bits.

@@ -1,0 +1,337 @@
+"""Incremental STA: change-driven graph patching and dirty-cone retiming.
+
+Every test compares the incremental timer (warm state + ``apply_change``)
+against a fresh full :class:`Timer` over the same design — the contract is
+bit-identical results, not approximate ones, because the dirty-cone retime
+recomputes each touched node with the same arithmetic as the batch pass.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.library.functional import DFF_R
+from repro.netlist import compose_mbr
+from repro.sta import Timer
+from repro.sta.timer import TimingAuditError
+
+
+def _slack_map(timer: Timer) -> dict[str, float]:
+    return {e.name: e.slack for e in timer.endpoint_slacks()}
+
+
+def _hold_map(timer: Timer) -> dict[str, float]:
+    return {e.name: e.slack for e in timer.hold_slacks()}
+
+
+def _assert_matches_fresh(timer: Timer, period: float) -> None:
+    """The warm timer's every query equals a from-scratch timer's."""
+    fresh = Timer(timer.design, clock_period=period, skew=dict(timer.skew))
+    assert _slack_map(timer) == _slack_map(fresh)
+    assert _hold_map(timer) == _hold_map(fresh)
+    assert timer.summary() == fresh.summary()
+    assert timer.hold_summary() == fresh.hold_summary()
+
+
+class TestApplyChange:
+    def test_compose_retimes_incrementally(self, lib, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.summary()  # warm: one full propagation
+        target = lib.register_cells(DFF_R, 2)[0]
+        record = compose_mbr(
+            flop_row, [flop_row.cell("ff0"), flop_row.cell("ff1")], target, Point(11, 50)
+        )
+        timer.apply_change(record)
+        _assert_matches_fresh(timer, 1.0)
+        assert timer.stats.full_timings == 1
+        assert timer.stats.incremental_timings == 1
+        assert timer.stats.changes_applied == 1
+        # The merge's cone is strictly smaller than the whole graph.
+        assert 0 < timer.stats.last_retimed_nodes < timer.stats.graph_nodes
+
+    def test_chained_composes_stay_consistent(self, lib, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.summary()
+        t2 = lib.register_cells(DFF_R, 2)[0]
+        t4 = lib.register_cells(DFF_R, 4)[0]
+        m1 = compose_mbr(flop_row, [flop_row.cell("ff0"), flop_row.cell("ff1")], t2, Point(11, 50))
+        timer.apply_change(m1)
+        timer.summary()
+        m2 = compose_mbr(flop_row, [flop_row.cell("ff2"), flop_row.cell("ff3")], t2, Point(19, 50))
+        timer.apply_change(m2)
+        timer.summary()
+        m4 = compose_mbr(flop_row, [m1.new_cell, m2.new_cell], t4, Point(14, 50))
+        timer.apply_change(m4)
+        _assert_matches_fresh(timer, 1.0)
+        assert timer.stats.incremental_timings == 3
+
+    def test_change_before_first_query_costs_nothing(self, lib, flop_row):
+        # No cached graph yet: apply_change must not build one just to patch it.
+        timer = Timer(flop_row, clock_period=1.0)
+        target = lib.register_cells(DFF_R, 2)[0]
+        record = compose_mbr(
+            flop_row, [flop_row.cell("ff0"), flop_row.cell("ff1")], target, Point(11, 50)
+        )
+        timer.apply_change(record)
+        assert timer.stats.incremental_timings == 0
+        _assert_matches_fresh(timer, 1.0)
+        assert timer.stats.full_timings == 1
+        assert timer.stats.incremental_timings == 0
+
+    def test_resize_retimes_incrementally(self, lib, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.summary()
+        ff = flop_row.cell("ff2")
+        current = ff.register_cell
+        options = [
+            c
+            for c in lib.register_cells(
+                current.func_class, 1, scan_styles=(current.scan_style,)
+            )
+            if c.name != current.name
+        ]
+        if not options:
+            pytest.skip("library has a single 1-bit drive for this class")
+        with flop_row.track() as tracker:
+            flop_row.swap_libcell(ff, options[0])
+        timer.apply_change(tracker.record())
+        _assert_matches_fresh(timer, 1.0)
+        assert timer.stats.incremental_timings == 1
+
+    def test_move_retimes_incrementally(self, lib, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        before = timer.register_slack(flop_row.cell("ff0")).d_slack
+        with flop_row.track() as tracker:
+            flop_row.move_cell(flop_row.cell("ff0"), Point(90.0, 90.0))
+        timer.apply_change(tracker.record())
+        _assert_matches_fresh(timer, 1.0)
+        assert timer.register_slack(flop_row.cell("ff0")).d_slack < before
+        assert timer.stats.incremental_timings >= 1
+
+    def test_empty_record_is_free(self, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.summary()
+        with flop_row.track() as tracker:
+            pass
+        timer.apply_change(tracker.record())
+        assert timer.stats.changes_applied == 0
+        timer.summary()
+        assert timer.stats.incremental_timings == 0
+
+
+class TestSkewLifecycle:
+    def test_removed_cell_skew_purged(self, lib, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.set_skew("ff0", 0.1)
+        timer.set_skew("ff2", 0.05)
+        target = lib.register_cells(DFF_R, 2)[0]
+        record = compose_mbr(
+            flop_row, [flop_row.cell("ff0"), flop_row.cell("ff1")], target, Point(11, 50)
+        )
+        timer.apply_change(record)
+        # ff0 died with the merge; its offset must not lie in wait for a
+        # future cell that reuses the name.  ff2 survives untouched.
+        assert "ff0" not in timer.skew
+        assert timer.skew == {"ff2": 0.05}
+        _assert_matches_fresh(timer, 1.0)
+
+    def test_zero_skew_on_unskewed_register_is_noop(self, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.summary()
+        timer.set_skew("ff0", 0.0)
+        assert "ff0" not in timer.skew
+        timer.summary()
+        assert timer.stats.full_timings == 1
+        assert timer.stats.incremental_timings == 0
+
+    def test_repeated_skew_is_noop(self, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.set_skew("ff1", 0.07)
+        timer.summary()
+        timer.set_skews({"ff1": 0.07, "ff0": 0.0})
+        timer.summary()
+        assert timer.stats.incremental_timings == 0
+
+    def test_skew_change_retimes_only_cones(self, flop_row):
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.summary()
+        timer.set_skew("ff0", 0.1)
+        _assert_matches_fresh(timer, 1.0)
+        assert timer.stats.incremental_timings == 1
+        assert 0 < timer.stats.last_retimed_nodes < timer.stats.graph_nodes
+
+    def test_skew_then_removal_then_reuse_of_name(self, lib, flop_row):
+        # The sharpest version of the stale-skew hazard: merge ff0+ff1, then
+        # name the *next* merge's cell "ff0".  Its timing must be skew-free.
+        timer = Timer(flop_row, clock_period=1.0)
+        timer.set_skew("ff0", 0.3)
+        timer.summary()
+        target = lib.register_cells(DFF_R, 2)[0]
+        timer.apply_change(
+            compose_mbr(
+                flop_row,
+                [flop_row.cell("ff0"), flop_row.cell("ff1")],
+                target,
+                Point(11, 50),
+            )
+        )
+        timer.apply_change(
+            compose_mbr(
+                flop_row,
+                [flop_row.cell("ff2"), flop_row.cell("ff3")],
+                target,
+                Point(19, 50),
+                name="ff0",
+            )
+        )
+        assert timer.skew == {}
+        _assert_matches_fresh(timer, 1.0)
+
+
+class TestAuditMode:
+    def test_audit_passes_on_tracked_edits(self, lib, flop_row):
+        timer = Timer(flop_row, clock_period=1.0, audit_mode=True)
+        timer.summary()
+        target = lib.register_cells(DFF_R, 2)[0]
+        timer.apply_change(
+            compose_mbr(
+                flop_row,
+                [flop_row.cell("ff0"), flop_row.cell("ff1")],
+                target,
+                Point(11, 50),
+            )
+        )
+        timer.set_skew("mbr_ff0" if "mbr_ff0" in flop_row.cells else "ff2", 0.05)
+        timer.summary()  # audits silently when incremental == full
+
+    def test_audit_catches_untracked_edit(self, flop_row):
+        # Mutate the design behind the timer's back, then make a legitimate
+        # tracked change: the audit's from-scratch rebuild sees the sneaky
+        # move, the patched graph doesn't, and the divergence is reported.
+        timer = Timer(flop_row, clock_period=1.0, audit_mode=True)
+        timer.summary()
+        flop_row.cell("ff3").move_to(Point(95.0, 95.0))  # untracked!
+        timer.set_skew("ff0", 0.1)
+        with pytest.raises(TimingAuditError):
+            timer.summary()
+
+    def test_env_var_enables_audit(self, flop_row, monkeypatch):
+        monkeypatch.setenv("REPRO_STA_AUDIT", "1")
+        assert Timer(flop_row, clock_period=1.0).audit_mode
+        monkeypatch.setenv("REPRO_STA_AUDIT", "0")
+        assert not Timer(flop_row, clock_period=1.0).audit_mode
+
+
+class TestRandomizedEditSequence:
+    """Satellite: a seeded D1 edit storm, equivalence-checked every step."""
+
+    def test_d1_edit_sequence_matches_fresh_timer(self, lib):
+        from repro.bench import generate_design, preset
+
+        bundle = generate_design(preset("D1", scale=0.1), lib)
+        design, timer = bundle.design, bundle.timer
+        period = bundle.clock_period
+        rng = random.Random(20170618)
+        timer.summary()  # warm
+
+        def registers():
+            return sorted(
+                (c for c in design.registers() if not (c.dont_touch or c.fixed)),
+                key=lambda c: c.name,
+            )
+
+        def try_merge() -> bool:
+            from repro.netlist.edit import ComposeError
+
+            singles = [c for c in registers() if c.width_bits == 1]
+            rng.shuffle(singles)
+            for i in range(len(singles) - 1):
+                a = singles[i]
+                partners = [
+                    b
+                    for b in singles[i + 1 :]
+                    if b.register_cell.func_class is a.register_cell.func_class
+                ]
+                if not partners:
+                    continue
+                b = min(
+                    partners,
+                    key=lambda c: abs(c.origin.x - a.origin.x)
+                    + abs(c.origin.y - a.origin.y),
+                )
+                targets = design.library.register_cells(
+                    a.register_cell.func_class, 2
+                )
+                if not targets:
+                    continue
+                mid = Point(
+                    (a.origin.x + b.origin.x) / 2, (a.origin.y + b.origin.y) / 2
+                )
+                try:
+                    record = compose_mbr(design, [a, b], targets[0], mid)
+                except ComposeError:
+                    continue
+                timer.apply_change(record)
+                return True
+            return False
+
+        def try_skew() -> bool:
+            regs = registers()
+            if not regs:
+                return False
+            cell = rng.choice(regs)
+            timer.set_skew(cell.name, rng.choice([0.0, 0.02, 0.05, -0.03, 0.1]))
+            return True
+
+        def try_resize() -> bool:
+            regs = registers()
+            rng.shuffle(regs)
+            for cell in regs:
+                current = cell.register_cell
+                options = [
+                    c
+                    for c in design.library.register_cells(
+                        current.func_class,
+                        current.width_bits,
+                        scan_styles=(current.scan_style,),
+                    )
+                    if c.name != current.name
+                ]
+                if not options:
+                    continue
+                with design.track() as tracker:
+                    design.swap_libcell(cell, rng.choice(options))
+                timer.apply_change(tracker.record())
+                return True
+            return False
+
+        def try_move() -> bool:
+            regs = registers()
+            if not regs:
+                return False
+            cell = rng.choice(regs)
+            die = design.die
+            target = Point(
+                rng.uniform(die.xlo + 1, die.xhi - 1),
+                rng.uniform(die.ylo + 1, die.yhi - 1),
+            )
+            with design.track() as tracker:
+                design.move_cell(cell, target)
+            timer.apply_change(tracker.record())
+            return True
+
+        ops = [try_merge, try_skew, try_resize, try_move]
+        applied = 0
+        for _ in range(14):
+            op = rng.choice(ops)
+            if op():
+                applied += 1
+            _assert_matches_fresh(timer, period)
+        assert applied >= 10  # the storm actually exercised the edit paths
+        # The whole sequence ran incrementally: one warm-up full propagation,
+        # every edit absorbed by dirty-cone retimes.
+        assert timer.stats.full_timings == 1
+        assert timer.stats.incremental_timings >= applied // 2
