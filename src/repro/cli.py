@@ -7,19 +7,28 @@ Usage::
         [--heuristic] [--workers 4] [--trace]
     python -m repro.cli generate --preset D1 --scale 0.25 --out-prefix d1
     python -m repro.cli report --lib repro28.lib --verilog d.v --def d.def --period 1.2
+    python -m repro.cli eco --preset D1 --moves 20 [--audit]
 
 ``generate`` writes a synthetic benchmark to disk; ``compose`` runs the
 paper's flow on files and writes the composed netlist/placement;
-``report`` prints the Table-1-style metrics of a placed design.
+``report`` prints the Table-1-style metrics of a placed design; ``eco``
+demonstrates incremental recomposition — a seeded storm of localized
+register moves, each followed by ``EcoSession.recompose()``, reporting
+how much cached work every edit reused (``--audit``, or
+``REPRO_ECO_AUDIT=1``, shadow-checks each recompose against a
+from-scratch compose).
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
+import time
 
 from repro.bench import generate_design, preset
-from repro.flow import FlowConfig, run_flow
+from repro.flow import EcoSession, FlowConfig, run_flow
+from repro.geometry.point import Point
 from repro.io import (
     read_def,
     read_liberty,
@@ -88,6 +97,79 @@ def cmd_compose(args) -> int:
     return 0
 
 
+def cmd_eco(args) -> int:
+    """Seeded ECO storm: localized register moves + incremental recompose."""
+    library = default_library()
+    bundle = generate_design(preset(args.preset, scale=args.scale), library)
+    design, timer = bundle.design, bundle.timer
+    session = EcoSession(
+        design,
+        timer,
+        bundle.scan_model,
+        audit_mode=True if args.audit else None,
+    )
+
+    t0 = time.perf_counter()
+    prime = session.recompose()
+    print(
+        f"prime: {design.name} composed {len(prime.result.composed)} groups, "
+        f"{prime.result.registers_before} -> {prime.result.registers_after} "
+        f"registers in {time.perf_counter() - t0:.2f}s"
+    )
+
+    rng = random.Random(args.seed)
+    totals: dict[str, list[float]] = {}
+    eco_seconds = 0.0
+    for move in range(args.moves):
+        movable = [
+            c for c in design.registers() if not c.fixed and not c.dont_touch
+        ]
+        if not movable:
+            print("no movable registers left")
+            break
+        cell = rng.choice(movable)
+        r = args.radius
+        x = min(
+            max(design.die.xlo, cell.origin.x + rng.uniform(-r, r)),
+            design.die.xhi - cell.libcell.width,
+        )
+        y = min(
+            max(design.die.ylo, cell.origin.y + rng.uniform(-r, r)),
+            design.die.yhi - cell.libcell.height,
+        )
+        with session.edit():
+            design.move_cell(cell, Point(x, y))
+        t0 = time.perf_counter()
+        stats = session.recompose()
+        dt = time.perf_counter() - t0
+        eco_seconds += dt
+        for key, (reused, recomputed) in stats.reuse.items():
+            slot = totals.setdefault(key, [0.0, 0.0])
+            slot[0] += reused
+            slot[1] += recomputed
+        line = (
+            f"move {move:>3}: {cell.name:<12} dirty={stats.dirty_registers:>4} "
+            f"composed={len(stats.result.composed)} {dt * 1e3:6.1f}ms"
+        )
+        if stats.audit_checked:
+            line += "  [audit ok]"
+        print(line)
+
+    summary = timer.summary()
+    print(
+        f"\n{args.moves} edits in {eco_seconds:.2f}s; "
+        f"WNS {summary.wns:.3f} TNS {summary.tns:.2f}"
+    )
+    for key, (reused, recomputed) in sorted(totals.items()):
+        whole = reused + recomputed
+        frac = (recomputed / whole) if whole else 0.0
+        print(
+            f"  {key:<12} reused {reused:>7.0f}  recomputed {recomputed:>7.0f}"
+            f"  ({frac:.1%} recomputed)"
+        )
+    return 0
+
+
 def cmd_report(args) -> int:
     _, design, scan_model, timer = _load(args)
     metrics = collect_metrics(design, timer, scan_model)
@@ -152,6 +234,24 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="print Table-1 metrics of a design")
     add_design_io(rep)
     rep.set_defaults(func=cmd_report)
+
+    eco = sub.add_parser(
+        "eco", help="incremental recomposition demo: edit storm on a session"
+    )
+    eco.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    eco.add_argument("--scale", type=float, default=0.4)
+    eco.add_argument("--moves", type=int, default=20, help="number of register moves")
+    eco.add_argument("--seed", type=int, default=11)
+    eco.add_argument(
+        "--radius", type=float, default=3.0, help="max move distance (um)"
+    )
+    eco.add_argument(
+        "--audit",
+        action="store_true",
+        help="shadow-check every incremental recompose against a "
+        "from-scratch compose (also: REPRO_ECO_AUDIT=1)",
+    )
+    eco.set_defaults(func=cmd_eco)
     return parser
 
 

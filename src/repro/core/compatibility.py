@@ -173,6 +173,56 @@ def feasible_region(
     return FeasibleRegion(rect, pinned=pinned)
 
 
+def analyze_register(
+    design: Design,
+    cell: Cell,
+    timer: Timer,
+    config: CompatibilityConfig | None = None,
+) -> RegisterInfo:
+    """Build the :class:`RegisterInfo` of one register cell.
+
+    This is the per-register refresh unit of the incremental recompose path
+    (:class:`repro.flow.session.EcoSession`): feeding it only the registers
+    whose context changed is what keeps an ECO edit from paying a
+    whole-design re-analysis.  :func:`analyze_registers` is the loop over
+    every register of the design.
+    """
+    config = config or CompatibilityConfig()
+    lib = design.library
+    lc: RegisterCell = cell.register_cell
+    view = RegisterView(cell)
+    composable, reason = True, ""
+    if cell.dont_touch:
+        composable, reason = False, "designer excluded (dont_touch)"
+    elif cell.fixed:
+        composable, reason = False, "designer excluded (fixed)"
+    elif lib.max_width_for(lc.func_class) <= lc.width_bits:
+        if lib.max_width_for(lc.func_class) == 0:
+            composable, reason = False, "no equivalent MBR in library"
+        else:
+            composable, reason = False, "already largest MBR of its class"
+    elif view.clock_net is None:
+        composable, reason = False, "unclocked register"
+
+    center = cell.center
+    info = RegisterInfo(
+        cell=cell,
+        func_class=lc.func_class,
+        bits=view.connected_bit_count if composable else lc.width_bits,
+        composable=composable,
+        reason=reason,
+        clock_net=view.clock_net.name if view.clock_net else None,
+        control_key=_control_key(view),
+        center_xy=(center.x, center.y),
+    )
+    if composable:
+        rs = timer.register_slack(cell)
+        info.d_slack = rs.d_slack
+        info.q_slack = rs.q_slack
+        info.region = feasible_region(design, cell, timer, config)
+    return info
+
+
 def analyze_registers(
     design: Design,
     timer: Timer,
@@ -187,42 +237,39 @@ def analyze_registers(
     class — the three exclusion reasons of Section 5.
     """
     config = config or CompatibilityConfig()
-    infos: dict[str, RegisterInfo] = {}
-    lib = design.library
-    for cell in design.registers():
-        lc: RegisterCell = cell.register_cell
-        view = RegisterView(cell)
-        composable, reason = True, ""
-        if cell.dont_touch:
-            composable, reason = False, "designer excluded (dont_touch)"
-        elif cell.fixed:
-            composable, reason = False, "designer excluded (fixed)"
-        elif lib.max_width_for(lc.func_class) <= lc.width_bits:
-            if lib.max_width_for(lc.func_class) == 0:
-                composable, reason = False, "no equivalent MBR in library"
-            else:
-                composable, reason = False, "already largest MBR of its class"
-        elif view.clock_net is None:
-            composable, reason = False, "unclocked register"
+    return {
+        cell.name: analyze_register(design, cell, timer, config)
+        for cell in design.registers()
+    }
 
-        center = cell.center
-        info = RegisterInfo(
-            cell=cell,
-            func_class=lc.func_class,
-            bits=view.connected_bit_count if composable else lc.width_bits,
-            composable=composable,
-            reason=reason,
-            clock_net=view.clock_net.name if view.clock_net else None,
-            control_key=_control_key(view),
-            center_xy=(center.x, center.y),
-        )
-        if composable:
-            rs = timer.register_slack(cell)
-            info.d_slack = rs.d_slack
-            info.q_slack = rs.q_slack
-            info.region = feasible_region(design, cell, timer, config)
-        infos[cell.name] = info
-    return infos
+
+def info_signature(info: RegisterInfo) -> tuple:
+    """Identity-free content fingerprint of one register's analysis.
+
+    Two infos with equal signatures are interchangeable for everything
+    downstream of the analyze stage (graph edges, partitioning, candidate
+    enumeration, weights, placement windows): every field those consumers
+    read is included.  ``field_index`` is deliberately excluded — it is
+    per-pass bookkeeping of :class:`repro.core.weights.RegisterField`.
+    Floats go through :func:`repr` (exact round-trip), so the comparison is
+    bit-level.
+    """
+    r = info.region.rect
+    return (
+        info.cell.name,
+        info.cell.libcell.name,
+        info.func_class.name,
+        info.bits,
+        info.composable,
+        info.reason,
+        repr(info.d_slack),
+        repr(info.q_slack),
+        (repr(r.xlo), repr(r.ylo), repr(r.xhi), repr(r.yhi)),
+        info.region.pinned,
+        info.clock_net,
+        info.control_key,
+        (repr(info.center_xy[0]), repr(info.center_xy[1])),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -21,18 +21,25 @@ Every stage execution is timed into the :class:`CompositionResult.trace`
 
 from __future__ import annotations
 
+import hashlib
+import math
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
+
+import networkx as nx
 
 from repro.core.candidates import CandidateConfig, CandidateMBR, enumerate_candidates
 from repro.core.compatibility import (
     CompatibilityConfig,
     RegisterInfo,
+    analyze_register,
     analyze_registers,
+    info_signature,
 )
-from repro.core.graph import build_compatibility_graph
+from repro.core.graph import build_compatibility_graph, patch_compatibility_graph
 from repro.core.mbr_placement import place_mbr
-from repro.core.partition import DEFAULT_MAX_NODES, partition_graph
+from repro.core.partition import DEFAULT_MAX_NODES, partition_component
 from repro.core.subproblem import make_spec, solve_subproblems
 from repro.engine import FlowContext, Pipeline, StageTrace, stage
 from repro.geometry.rect import Rect
@@ -101,8 +108,125 @@ class CompositionResult:
 
 
 @dataclass
+class ComponentCache:
+    """Cached outcome of one connected component, keyed by content digest.
+
+    ``chosen`` is the solver's selection for the component (non-singleton
+    candidates only).  Enumeration and solving are deterministic functions
+    of the component's content, so a digest hit may replay ``chosen``
+    verbatim instead of re-partitioning/re-enumerating/re-solving.
+    """
+
+    digest: str
+    nodes: tuple[str, ...]
+    subgraphs: int
+    candidates: int
+    ilp_nodes: int
+    chosen: tuple[CandidateMBR, ...]
+
+
+@dataclass
+class CompositionCache:
+    """Cross-recompose memo of the composition pipeline.
+
+    Owned by a :class:`repro.flow.session.EcoSession`; ``compose_design``
+    itself runs cache-less (``ComposeState.cache is None``), which keeps the
+    one-shot path byte-identical to the pre-cache implementation.
+
+    ``infos`` and ``graph`` are the live analysis state (mutated in place by
+    the incremental analyze/graph stages); ``components`` maps content
+    digests (see :func:`component_digest`) to :class:`ComponentCache`
+    entries, LRU-bounded by ``max_components``.
+    """
+
+    infos: dict[str, RegisterInfo] = field(default_factory=dict)
+    graph: object | None = None
+    components: "OrderedDict[str, ComponentCache]" = field(
+        default_factory=OrderedDict
+    )
+    max_components: int = 8192
+
+    def get(self, digest: str) -> ComponentCache | None:
+        entry = self.components.get(digest)
+        if entry is not None:
+            self.components.move_to_end(digest)
+        return entry
+
+    def put(self, entry: ComponentCache) -> None:
+        self.components[entry.digest] = entry
+        self.components.move_to_end(entry.digest)
+        while len(self.components) > self.max_components:
+            self.components.popitem(last=False)
+
+
+def component_digest(
+    nodes: list[str],
+    graph: "nx.Graph",
+    infos: dict[str, RegisterInfo],
+    all_regs,
+    scan_model: ScanModel | None,
+) -> str:
+    """Content fingerprint of one connected component.
+
+    Covers everything partition/enumerate/solve read for the component:
+
+    * every member's :func:`~repro.core.compatibility.info_signature`
+      (slacks, region, center, class, bits — bit-exact);
+    * the member's scan context — partition, chain, ordered flag, and chain
+      position for *ordered* chains (unordered positions are free to change
+      without affecting enumeration, so they stay out of the key);
+    * the component's internal edges;
+    * the centers of *foreign* registers strictly inside the members'
+      footprint bounding box.  Candidate test polygons are subsets of that
+      box, and blockers are centers strictly inside a polygon — so these
+      centers are the only out-of-component state the placement weights can
+      observe, and freezing them makes weight reuse sound.
+
+    The library, die, and composer config are fixed per session and stay
+    out of the key.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    node_set = set(nodes)
+    xlo = ylo = math.inf
+    xhi = yhi = -math.inf
+    for name in nodes:
+        info = infos[name]
+        h.update(repr(info_signature(info)).encode())
+        fp = info.cell.footprint
+        xlo, ylo = min(xlo, fp.xlo), min(ylo, fp.ylo)
+        xhi, yhi = max(xhi, fp.xhi), max(yhi, fp.yhi)
+        if scan_model is not None:
+            chain = scan_model.chain_of(name)
+            if chain is None:
+                h.update(b"|scan:-")
+            else:
+                pos = chain.position(name) if chain.ordered else -1
+                h.update(
+                    f"|scan:{chain.partition}:{chain.name}:"
+                    f"{int(chain.ordered)}:{pos}".encode()
+                )
+    for a in nodes:
+        for b in sorted(graph.adj[a]):
+            if a < b:
+                h.update(f"|e:{a}~{b}".encode())
+    if all_regs is not None:
+        for cx, cy in all_regs.centers_in_box(xlo, ylo, xhi, yhi, node_set):
+            h.update(f"|f:{cx!r},{cy!r}".encode())
+    return h.hexdigest()
+
+
+@dataclass
 class ComposeState(FlowContext):
-    """Shared context of the composition pipeline (one run, all passes)."""
+    """Shared context of the composition pipeline (one run, all passes).
+
+    ``dirty`` is the stage work-set: ``None`` means "everything" (the
+    classic full compose — also the only mode when ``cache`` is ``None``),
+    a set of register names scopes the analyze/graph/partition stages to
+    those registers and their components.  ``removed`` names registers gone
+    from the design since the cache was last current.  ``change_log``
+    collects the ChangeRecords of every mutating stage so a session can
+    compute the next recompose's dirty set.
+    """
 
     config: ComposerConfig = field(default_factory=ComposerConfig)
     result: CompositionResult = field(default_factory=CompositionResult)
@@ -116,42 +240,151 @@ class ComposeState(FlowContext):
     chosen: list[CandidateMBR] = field(default_factory=list)
     new_cells: list = field(default_factory=list)
     pass_cells: list = field(default_factory=list)
+    dirty: set[str] | None = None
+    removed: set[str] = field(default_factory=set)
+    cache: CompositionCache | None = None
+    change_log: list = field(default_factory=list)
+    analysis_changed: set[str] | None = None
+    reused_chosen: list[CandidateMBR] = field(default_factory=list)
+    comp_work: list = field(default_factory=list)
 
 
 @stage("analyze")
 def _stage_analyze(state: ComposeState):
-    """Re-analyze every register's compatibility profile."""
-    state.infos = analyze_registers(
-        state.design, state.timer, state.scan_model, state.config.compatibility
+    """(Re-)analyze the work-set's compatibility profiles.
+
+    Full mode (``dirty is None`` or no primed cache): every register, as
+    always.  Incremental mode: only the dirty registers are re-analyzed;
+    a refreshed info replaces the cached one only when its *content*
+    changed (clean registers keep their exact objects, so graph node
+    attributes stay consistent), and the set of actually-changed names is
+    handed to the graph stage.
+    """
+    from repro.core.weights import RegisterField
+
+    incremental = (
+        state.dirty is not None
+        and state.cache is not None
+        and bool(state.cache.infos)
     )
+    if not incremental:
+        state.infos = analyze_registers(
+            state.design, state.timer, state.scan_model, state.config.compatibility
+        )
+        state.analysis_changed = None
+        if state.cache is not None:
+            state.cache.infos = state.infos
+        refreshed = len(state.infos)
+    else:
+        infos = state.cache.infos
+        changed: set[str] = set()
+        for name in state.removed:
+            if infos.pop(name, None) is not None:
+                changed.add(name)
+        refreshed = 0
+        for name in sorted(state.dirty):
+            cell = state.design.cells.get(name)
+            if cell is None or not cell.is_register:
+                if infos.pop(name, None) is not None:
+                    changed.add(name)
+                continue
+            refreshed += 1
+            fresh = analyze_register(
+                state.design, cell, state.timer, state.config.compatibility
+            )
+            old = infos.get(name)
+            if old is None or info_signature(old) != info_signature(fresh):
+                infos[name] = fresh
+                changed.add(name)
+        state.infos = infos
+        state.analysis_changed = changed
     if state.pass_index == 0:
         state.result.composable_registers = sum(
             1 for i in state.infos.values() if i.composable
         )
-    from repro.core.weights import RegisterField
-
     state.all_regs = RegisterField(list(state.infos.values()))
-    return {"registers": len(state.infos)}
+    return {
+        "registers": len(state.infos),
+        "registers_recomputed": refreshed,
+        "registers_reused": len(state.infos) - refreshed,
+    }
 
 
 @stage("graph")
 def _stage_graph(state: ComposeState):
-    """Build the compatibility graph."""
-    state.graph = build_compatibility_graph(
-        state.infos, state.scan_model, state.config.compatibility
-    )
+    """Build — or incrementally patch — the compatibility graph."""
+    if (
+        state.analysis_changed is None
+        or state.cache is None
+        or state.cache.graph is None
+    ):
+        state.graph = build_compatibility_graph(
+            state.infos, state.scan_model, state.config.compatibility
+        )
+        if state.cache is not None:
+            state.cache.graph = state.graph
+        retested = state.graph.number_of_nodes()
+    else:
+        state.graph = state.cache.graph
+        retested = patch_compatibility_graph(
+            state.graph,
+            state.infos,
+            state.analysis_changed,
+            state.scan_model,
+            state.config.compatibility,
+        )
     return {
         "nodes": state.graph.number_of_nodes(),
         "edges": state.graph.number_of_edges(),
+        "nodes_recomputed": retested,
+        "nodes_reused": state.graph.number_of_nodes() - retested,
     }
 
 
 @stage("partition")
 def _stage_partition(state: ComposeState):
-    """Cut the graph into independent ≤max_nodes subgraphs."""
-    state.parts = partition_graph(state.graph, state.config.max_subgraph_nodes)
-    state.result.subgraphs += len(state.parts)
-    return {"subgraphs": len(state.parts)}
+    """Cut the graph into independent ≤max_nodes subgraphs.
+
+    With a cache, every connected component is fingerprinted
+    (:func:`component_digest`); in incremental mode a digest hit replays the
+    cached solver selection and skips partition/enumerate/solve for that
+    component entirely.  Full mode never *reads* the cache (identical
+    behavior to the classic path) but still records digests for later reuse.
+    """
+    if state.config.max_subgraph_nodes < 2:
+        raise ValueError("max_nodes must be at least 2")
+    parts: list = []
+    state.reused_chosen = []
+    state.comp_work = []
+    reused = 0
+    n_components = 0
+    for component in nx.connected_components(state.graph):
+        n_components += 1
+        nodes = sorted(component)
+        digest = None
+        if state.cache is not None:
+            digest = component_digest(
+                nodes, state.graph, state.infos, state.all_regs, state.scan_model
+            )
+            if state.dirty is not None:
+                entry = state.cache.get(digest)
+                if entry is not None:
+                    reused += 1
+                    state.reused_chosen.extend(entry.chosen)
+                    continue
+        start = len(parts)
+        parts.extend(
+            partition_component(state.graph, nodes, state.config.max_subgraph_nodes)
+        )
+        state.comp_work.append((digest, tuple(nodes), start, len(parts)))
+    state.parts = parts
+    state.result.subgraphs += len(parts)
+    return {
+        "subgraphs": len(parts),
+        "components": n_components,
+        "components_reused": reused,
+        "components_recomputed": n_components - reused,
+    }
 
 
 @stage("enumerate")
@@ -174,23 +407,51 @@ def _stage_enumerate(state: ComposeState):
 
 @stage("solve")
 def _stage_solve(state: ComposeState):
-    """Solve every subgraph's set-partitioning ILP (pure; fans out)."""
+    """Solve every subgraph's set-partitioning ILP (pure; fans out).
+
+    Components replayed from the cache contribute their recorded selection
+    without a solve; freshly solved components write their outcome back to
+    the cache under the digest the partition stage computed.
+    """
     specs = [
         make_spec(i, part.nodes, cands, state.config.solver)
         for i, (part, cands) in enumerate(zip(state.parts, state.candidates))
     ]
     results = solve_subproblems(specs, workers=state.workers)
     chosen: list[CandidateMBR] = []
+    part_chosen: list[list[CandidateMBR]] = [[] for _ in state.parts]
     nodes = 0
-    for res, cands in zip(results, state.candidates):
+    for k, (res, cands) in enumerate(zip(results, state.candidates)):
         nodes += res.nodes_explored
-        chosen.extend(c for c in (cands[i] for i in res.chosen) if not c.is_singleton)
+        picked = [c for c in (cands[i] for i in res.chosen) if not c.is_singleton]
+        part_chosen[k] = picked
+        chosen.extend(picked)
+    if state.cache is not None:
+        for digest, comp_nodes, start, end in state.comp_work:
+            if digest is None:
+                continue
+            state.cache.put(
+                ComponentCache(
+                    digest=digest,
+                    nodes=comp_nodes,
+                    subgraphs=end - start,
+                    candidates=sum(
+                        len(state.candidates[k]) for k in range(start, end)
+                    ),
+                    ilp_nodes=sum(
+                        results[k].nodes_explored for k in range(start, end)
+                    ),
+                    chosen=tuple(
+                        c for k in range(start, end) for c in part_chosen[k]
+                    ),
+                )
+            )
     state.result.ilp_nodes += nodes
-    state.chosen = chosen
+    state.chosen = state.reused_chosen + chosen
     return {
         "subproblems": len(specs),
         "ilp_nodes": nodes,
-        "chosen": len(chosen),
+        "chosen": len(state.chosen),
         "workers": state.workers,
     }
 
@@ -210,7 +471,9 @@ def _stage_apply(state: ComposeState):
     state.new_cells = [
         c for c in state.new_cells if c.name in state.design.cells
     ] + state.pass_cells
-    state.timer.apply_change(tracker.record())
+    record = tracker.record()
+    state.change_log.append(record)
+    state.timer.apply_change(record)
     return {"composed": len(state.pass_cells)}
 
 
@@ -222,7 +485,9 @@ def _stage_scan(state: ComposeState):
     state.scan_model.reorder_chains(state.design)
     with state.design.track() as tracker:
         state.scan_model.restitch(state.design)
-    state.timer.apply_change(tracker.record())
+    record = tracker.record()
+    state.change_log.append(record)
+    state.timer.apply_change(record)
     return {"chains": len(state.scan_model.chains)}
 
 
@@ -244,7 +509,9 @@ def _stage_legalize(state: ComposeState):
             movable=live,
             max_displacement=state.config.legalize_max_displacement,
         )
-    state.timer.apply_change(tracker.record())
+    record = tracker.record()
+    state.change_log.append(record)
+    state.timer.apply_change(record)
     return {"moved": len(state.result.legalization.moved)}
 
 

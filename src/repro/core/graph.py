@@ -27,23 +27,31 @@ def _functional_group_key(info: RegisterInfo):
 
 def _spatial_pairs(infos: list[RegisterInfo], cell_size: float):
     """Candidate pairs whose region rectangles may overlap, via a uniform
-    grid hash over region bounding boxes."""
+    grid hash over region bounding boxes.
+
+    Two rectangles' shared bins form a rectangle of bins whose lowest-
+    indexed corner is the componentwise max of their lower bin bounds; each
+    pair is emitted from exactly that bin.  This keeps deduplication O(1)
+    per encounter with no pair-sized ``seen`` set — memory stays O(bins +
+    registers) however many bins a pair shares.
+    """
     buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
+    spans: list[tuple[int, int, int, int]] = []
     for idx, info in enumerate(infos):
         r = info.region.rect
         bx0, bx1 = int(r.xlo // cell_size), int(r.xhi // cell_size)
         by0, by1 = int(r.ylo // cell_size), int(r.yhi // cell_size)
+        spans.append((bx0, by0, bx1, by1))
         for bx in range(bx0, bx1 + 1):
             for by in range(by0, by1 + 1):
                 buckets[(bx, by)].append(idx)
-    seen: set[tuple[int, int]] = set()
-    for members in buckets.values():
+    for (bx, by), members in buckets.items():
         for i_pos, i in enumerate(members):
+            ix0, iy0, _, _ = spans[i]
             for j in members[i_pos + 1 :]:
-                pair = (i, j) if i < j else (j, i)
-                if pair not in seen:
-                    seen.add(pair)
-                    yield pair
+                jx0, jy0, _, _ = spans[j]
+                if bx == max(ix0, jx0) and by == max(iy0, jy0):
+                    yield (i, j) if i < j else (j, i)
 
 
 def build_compatibility_graph(
@@ -77,3 +85,54 @@ def build_compatibility_graph(
             if compatible(a, b, scan_model, config):
                 graph.add_edge(a.name, b.name)
     return graph
+
+
+def patch_compatibility_graph(
+    graph: "nx.Graph",
+    infos: dict[str, RegisterInfo],
+    changed: set[str],
+    scan_model: ScanModel | None = None,
+    config: CompatibilityConfig | None = None,
+) -> int:
+    """Incrementally patch a compatibility graph in place.
+
+    ``changed`` names registers whose :class:`RegisterInfo` content changed,
+    appeared, or disappeared since the graph was built over ``infos``
+    (clean nodes still hold the same info objects).  Mirrors
+    :meth:`repro.sta.graph.TimingGraph.apply_change`: changed nodes are
+    dropped with their edges, the still-composable ones re-added with their
+    fresh infos, and edges re-tested only between a changed node and its
+    functional group — the graph's invariant (nodes = composable registers,
+    edges = all compatible pairs) is restored without touching clean pairs,
+    whose predicate inputs are unchanged by construction.
+
+    Returns the number of re-tested (changed, live) nodes.
+    """
+    config = config or CompatibilityConfig()
+    changed = set(changed)
+    for name in changed:
+        if graph.has_node(name):
+            graph.remove_node(name)
+
+    groups: dict[object, list[RegisterInfo]] = defaultdict(list)
+    for info in infos.values():
+        if info.composable:
+            groups[_functional_group_key(info)].append(info)
+
+    live: list[RegisterInfo] = []
+    for name in sorted(changed):
+        info = infos.get(name)
+        if info is None or not info.composable:
+            continue
+        graph.add_node(name, info=info)
+        live.append(info)
+
+    for info in live:
+        for partner in groups[_functional_group_key(info)]:
+            if partner.name == info.name:
+                continue
+            if partner.name in changed and partner.name > info.name:
+                continue  # changed-changed pair: the higher name tests it
+            if compatible(info, partner, scan_model, config):
+                graph.add_edge(info.name, partner.name)
+    return len(live)

@@ -40,6 +40,25 @@ def _bisect_by_position(graph: nx.Graph, nodes: list[str], max_nodes: int) -> li
     )
 
 
+def partition_component(
+    graph: nx.Graph, nodes: list[str], max_nodes: int = DEFAULT_MAX_NODES
+) -> list["nx.Graph"]:
+    """Split one connected component (its sorted node list) into induced
+    subgraph copies of at most ``max_nodes`` nodes.
+
+    The per-component unit of :func:`partition_graph`, exposed so the
+    incremental recompose path can partition only dirty components.
+    """
+    if max_nodes < 2:
+        raise ValueError("max_nodes must be at least 2")
+    parts: list[nx.Graph] = []
+    for chunk in _bisect_by_position(graph, list(nodes), max_nodes):
+        sub = graph.subgraph(chunk).copy()
+        if sub.number_of_nodes() > 0:
+            parts.append(sub)
+    return parts
+
+
 def partition_graph(
     graph: nx.Graph, max_nodes: int = DEFAULT_MAX_NODES
 ) -> list["nx.Graph"]:
@@ -55,9 +74,5 @@ def partition_graph(
         raise ValueError("max_nodes must be at least 2")
     parts: list[nx.Graph] = []
     for component in nx.connected_components(graph):
-        nodes = sorted(component)
-        for chunk in _bisect_by_position(graph, nodes, max_nodes):
-            sub = graph.subgraph(chunk).copy()
-            if sub.number_of_nodes() > 0:
-                parts.append(sub)
+        parts.extend(partition_component(graph, sorted(component), max_nodes))
     return parts

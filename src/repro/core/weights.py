@@ -47,6 +47,30 @@ class RegisterField:
             self.xs = np.zeros(0)
             self.ys = np.zeros(0)
 
+    def centers_in_box(
+        self,
+        xlo: float,
+        ylo: float,
+        xhi: float,
+        yhi: float,
+        exclude: set[str],
+    ) -> list[tuple[float, float]]:
+        """Sorted centers of registers strictly inside a box, minus ``exclude``.
+
+        Uses the same strict-interior test as :meth:`blockers`' bounding-box
+        prefilter, so the result is exactly the set of registers that can
+        ever block a candidate polygon contained in the box — the
+        composition cache fingerprints components with it.
+        """
+        if not len(self.xs):
+            return []
+        mask = (self.xs > xlo) & (self.xs < xhi) & (self.ys > ylo) & (self.ys < yhi)
+        return sorted(
+            (float(self.xs[j]), float(self.ys[j]))
+            for j in np.flatnonzero(mask)
+            if self.registers[j].name not in exclude
+        )
+
     def blockers(self, members: list[RegisterInfo]) -> list[RegisterInfo]:
         """Registers strictly inside the members' test polygon.
 

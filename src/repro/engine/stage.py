@@ -119,6 +119,29 @@ class StageTrace:
     def stage_names(self) -> list[str]:
         return list(self.aggregated())
 
+    def reuse_summary(self) -> dict[str, tuple[float, float]]:
+        """Per-metric ``(reused, recomputed)`` totals.
+
+        Stages that support incremental operation report matched counter
+        pairs (``registers_reused``/``registers_recomputed``, ...); this
+        folds every such pair across all records, recursing into children —
+        the one-line answer to "how much work did the cache save".
+        """
+        totals: dict[str, list[float]] = {}
+
+        def visit(trace: "StageTrace") -> None:
+            for rec in trace.records:
+                for key, value in rec.counters.items():
+                    for suffix, slot in (("_reused", 0), ("_recomputed", 1)):
+                        if key.endswith(suffix):
+                            base = key[: -len(suffix)]
+                            totals.setdefault(base, [0.0, 0.0])[slot] += value
+                if rec.children is not None:
+                    visit(rec.children)
+
+        visit(self)
+        return {k: (v[0], v[1]) for k, v in totals.items()}
+
     def format(self, indent: int = 0) -> str:
         """Human-readable trace: one line per record, children indented."""
         lines: list[str] = []

@@ -7,5 +7,15 @@ from repro.flow.driver import (
     FlowState,
     run_flow,
 )
+from repro.flow.session import EcoAuditError, EcoSession, EcoStats
 
-__all__ = ["FLOW_PIPELINE", "FlowConfig", "FlowReport", "FlowState", "run_flow"]
+__all__ = [
+    "FLOW_PIPELINE",
+    "FlowConfig",
+    "FlowReport",
+    "FlowState",
+    "run_flow",
+    "EcoAuditError",
+    "EcoSession",
+    "EcoStats",
+]

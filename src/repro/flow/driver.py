@@ -29,11 +29,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.composer import ComposerConfig, CompositionResult, compose_design
+from repro.core.composer import ComposerConfig, CompositionResult
 from repro.core.decompose import DecomposeResult, decompose_registers
 from repro.core.heuristic import compose_design_heuristic
 from repro.core.sizing import SizingResult, size_registers
 from repro.engine import FlowContext, Pipeline, StageOutput, StageTrace, stage
+from repro.flow.session import EcoSession
 from repro.metrics.collect import DesignMetrics, collect_metrics, compare_metrics
 from repro.netlist.design import Design
 from repro.scan.model import ScanModel
@@ -72,6 +73,11 @@ class FlowReport:
     runtime_seconds: float
     decomposition: DecomposeResult | None = None
     trace: StageTrace | None = None
+    session: EcoSession | None = None
+    """The live composition session of an ILP run — feed it further
+    :class:`~repro.netlist.change.ChangeRecord` s and call
+    :meth:`~repro.flow.session.EcoSession.recompose` to continue ECOing the
+    flow's output without a from-scratch compose."""
 
     @property
     def savings(self) -> dict[str, float]:
@@ -92,6 +98,7 @@ class FlowState(FlowContext):
     decomposition: DecomposeResult | None = None
     pending_bit_cells: list[str] = field(default_factory=list)
     new_cells: list = field(default_factory=list)
+    session: EcoSession | None = None
 
 
 def _measure(state: FlowState) -> DesignMetrics:
@@ -139,9 +146,15 @@ def _stage_compose(state: FlowState):
     """Run the composition engine; nest its stage trace under this record."""
     config = state.config
     if config.algorithm == "ilp":
-        state.composition = compose_design(
-            state.design, state.timer, state.scan_model, config.composer
+        # The flow runs on a session so the caller can keep ECOing the
+        # result (FlowReport.session); passing the configured pass count
+        # requests exact compose_design semantics for this priming run.
+        state.session = EcoSession(
+            state.design, state.timer, state.scan_model, config=config.composer
         )
+        state.composition = state.session.recompose(
+            passes=config.composer.passes
+        ).result
     elif config.algorithm == "heuristic":
         state.composition = compose_design_heuristic(
             state.design, state.timer, state.scan_model, config.composer
@@ -181,7 +194,11 @@ def _stage_legalize_bits(state: FlowState):
     )
     with state.design.track() as tracker:
         legalize(state.design, rows, movable=leftover)
-    state.timer.apply_change(tracker.record())
+    record = tracker.record()
+    if state.session is not None:
+        state.session.absorb(record)
+    else:
+        state.timer.apply_change(record)
     return {"legalized": len(leftover)}
 
 
@@ -201,9 +218,24 @@ def _stage_sizing(state: FlowState):
     """Downsize drives where the improved slack allows."""
     if not (state.config.run_sizing and state.new_cells):
         return {"swapped": 0}
-    state.sizing = size_registers(
-        state.design, state.timer, state.new_cells, margin=state.config.sizing_margin
-    )
+    if state.session is not None:
+        # Sizing applies its own scoped changes to the timer; the session
+        # only needs the record to mark the swapped registers dirty.
+        with state.design.track() as tracker:
+            state.sizing = size_registers(
+                state.design,
+                state.timer,
+                state.new_cells,
+                margin=state.config.sizing_margin,
+            )
+        state.session.observe(tracker.record())
+    else:
+        state.sizing = size_registers(
+            state.design,
+            state.timer,
+            state.new_cells,
+            margin=state.config.sizing_margin,
+        )
     return {"swapped": state.sizing.num_swapped}
 
 
@@ -252,4 +284,5 @@ def run_flow(
         runtime_seconds=state.final.exec_time_s,
         decomposition=state.decomposition,
         trace=trace,
+        session=state.session,
     )

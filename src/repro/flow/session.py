@@ -1,0 +1,390 @@
+"""Long-lived ECO composition sessions.
+
+An :class:`EcoSession` owns a design, its timer, and its scan model, and
+keeps the composition engine's analysis state alive between runs: the
+per-register :class:`~repro.core.compatibility.RegisterInfo` map, the
+compatibility graph, and a digest-keyed memo of solved connected
+components (:class:`~repro.core.composer.CompositionCache`).
+
+Feeding the session :class:`~repro.netlist.change.ChangeRecord` s (via
+:meth:`EcoSession.edit` / :meth:`EcoSession.absorb` /
+:meth:`EcoSession.observe`) and calling :meth:`EcoSession.recompose`
+re-runs the analyze → graph → partition → enumerate → solve → apply →
+scan → legalize pipeline scoped to the *dirty* registers — the ones whose
+placement, connectivity, timing, or scan context changed — plus their
+graph neighborhoods.  Components whose content fingerprint
+(:func:`~repro.core.composer.component_digest`) is unchanged replay their
+cached solver outcome without re-partitioning, re-enumerating, or
+re-solving.
+
+Because enumeration and solving are deterministic functions of component
+content, an incremental recompose is *bit-identical* to running
+:func:`~repro.core.composer.compose_design` from scratch on the same
+netlist.  ``REPRO_ECO_AUDIT=1`` (or ``audit_mode=True``) shadow-checks
+that claim after every incremental recompose: the pre-recompose design is
+cloned, composed from scratch, and compared — groups, placements, nets,
+chains, and the timing summary must all agree, else
+:class:`EcoAuditError` is raised.
+
+Edits the session cannot see — direct mutations made outside a
+``session.edit()`` scope and never handed to ``absorb``/``observe`` —
+void the cache's warranty; :meth:`recompose(full=True) <EcoSession.recompose>`
+is the blanket resynchronization fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.composer import (
+    FINALIZE_PIPELINE,
+    PASS_PIPELINE,
+    ComposerConfig,
+    ComposeState,
+    CompositionCache,
+    CompositionResult,
+    compose_design,
+)
+from repro.engine import StageTrace
+from repro.netlist.change import ChangeRecord, ChangeTracker
+from repro.netlist.design import Design
+from repro.scan.model import ScanModel
+from repro.sta.timer import Timer
+
+AUDIT_ENV = "REPRO_ECO_AUDIT"
+
+
+def _audit_env_enabled() -> bool:
+    return os.environ.get(AUDIT_ENV, "") not in ("", "0")
+
+
+class EcoAuditError(AssertionError):
+    """An incremental recompose diverged from a from-scratch compose."""
+
+
+@dataclass
+class EcoStats:
+    """What one :meth:`EcoSession.recompose` call did.
+
+    ``incremental`` is whether the run was scoped to a dirty set (``False``
+    for the priming compose, ``full=True``, or explicit ``passes``);
+    ``dirty_registers`` is the initial work-set size.  The reuse counters
+    fold the trace's per-stage ``*_reused``/``*_recomputed`` pairs.
+    """
+
+    result: CompositionResult
+    incremental: bool
+    dirty_registers: int
+    audit_checked: bool = False
+
+    @property
+    def trace(self) -> StageTrace | None:
+        return self.result.trace
+
+    @property
+    def reuse(self) -> dict[str, tuple[float, float]]:
+        """Per-metric (reused, recomputed) totals of this recompose."""
+        return self.trace.reuse_summary() if self.trace is not None else {}
+
+
+@dataclass
+class _AuditReference:
+    design: Design
+    timer: Timer
+    scan_model: ScanModel | None
+
+
+class EcoSession:
+    """A persistent composition context over one design.
+
+    Parameters mirror :func:`~repro.core.composer.compose_design`;
+    ``max_passes`` caps the convergence loop of an incremental recompose
+    (default: ``config.passes``, the same bound the one-shot path uses) and
+    ``audit_mode`` arms the shadow equivalence check (default: the
+    ``REPRO_ECO_AUDIT`` environment variable).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        timer: Timer,
+        scan_model: ScanModel | None = None,
+        config: ComposerConfig | None = None,
+        max_passes: int | None = None,
+        audit_mode: bool | None = None,
+    ) -> None:
+        self.design = design
+        self.timer = timer
+        self.scan_model = scan_model
+        self.config = config or ComposerConfig()
+        self.max_passes = self.config.passes if max_passes is None else max_passes
+        self.audit_mode = _audit_env_enabled() if audit_mode is None else audit_mode
+        self.cache = CompositionCache()
+        self._primed = False
+        self._pending: list[ChangeRecord] = []
+        self._carry_records: list[ChangeRecord] = []
+        self._carry_changed: set[str] | None = set()
+
+    # -- feeding changes ----------------------------------------------------
+
+    @contextmanager
+    def edit(self) -> Iterator[ChangeTracker]:
+        """Scope a design edit: the tracked record is absorbed on exit."""
+        with self.design.track() as tracker:
+            yield tracker
+        self.absorb(tracker.record())
+
+    def absorb(self, record: ChangeRecord) -> None:
+        """Take ownership of an edit: patch the timer, queue for recompose."""
+        self.timer.apply_change(record)
+        if not record.is_empty:
+            self._pending.append(record)
+
+    def observe(self, record: ChangeRecord) -> None:
+        """Queue an edit whose producer already patched the timer itself
+        (e.g. sizing, which applies its own scoped changes)."""
+        if not record.is_empty:
+            self._pending.append(record)
+
+    # -- recomposition ------------------------------------------------------
+
+    def recompose(
+        self, passes: int | None = None, full: bool = False
+    ) -> EcoStats:
+        """Re-run the composition pipeline over everything that changed.
+
+        Incremental (the default once primed): the work-set is derived from
+        the queued change records plus the timer's changed-cell ripples, and
+        clean components replay their cached outcomes.  ``full=True`` — or an
+        explicit ``passes`` count, which requests the one-shot
+        :func:`~repro.core.composer.compose_design` semantics exactly —
+        refreshes everything.
+        """
+        records = self._carry_records + self._pending
+        self._pending = []
+        self._carry_records = []
+
+        incremental = self._primed and not full and passes is None
+        ripples: set[str] | None = None
+        if incremental:
+            ripples = self.timer.drain_changed_cells()
+            if ripples is None:
+                incremental = False  # a full propagation happened: resync
+            elif self._carry_changed is None:
+                incremental = False
+            else:
+                ripples |= self._carry_changed
+        self._carry_changed = set()
+
+        reference = self._audit_reference() if incremental and self.audit_mode else None
+
+        t0 = time.perf_counter()
+        trace = StageTrace()
+        state = ComposeState(
+            self.design,
+            self.timer,
+            self.scan_model,
+            config=self.config,
+            result=CompositionResult(
+                registers_before=self.design.total_register_count()
+            ),
+            workers=self.config.workers,
+            cache=self.cache,
+        )
+        if incremental:
+            state.dirty, state.removed = self._dirty_from(records, ripples)
+        dirty_count = len(state.dirty) if state.dirty is not None else len(
+            self.design.registers()
+        )
+
+        limit = max(1, self.max_passes if passes is None else passes)
+        consumed = 0
+        for pass_index in range(limit):
+            state.pass_index = pass_index
+            if state.dirty is None:
+                # The analysis refreshes every register against current
+                # timing anyway: retire the ripple log so the next
+                # incremental recompose starts a clean epoch.
+                self.timer.drain_changed_cells()
+            consumed = len(state.change_log)
+            PASS_PIPELINE.run(state, trace)
+            if not state.pass_cells or pass_index + 1 >= limit:
+                break
+            if state.dirty is not None:
+                next_ripples = self.timer.drain_changed_cells()
+                if next_ripples is None:
+                    state.dirty, state.removed = None, set()
+                else:
+                    state.dirty, state.removed = self._dirty_from(
+                        state.change_log[consumed:], next_ripples
+                    )
+
+        FINALIZE_PIPELINE.run(state, trace)
+
+        state.result.registers_after = self.design.total_register_count()
+        state.result.runtime_seconds = time.perf_counter() - t0
+        state.result.trace = trace
+
+        # Everything logged after the last analysis refresh feeds the next
+        # recompose's dirty set, together with the unclaimed timing ripples.
+        self._carry_records = [
+            r for r in state.change_log[consumed:] if not r.is_empty
+        ]
+        self._carry_changed = self.timer.drain_changed_cells()
+        self._primed = True
+
+        stats = EcoStats(
+            result=state.result,
+            incremental=incremental,
+            dirty_registers=dirty_count,
+        )
+        if reference is not None:
+            self._audit_compare(reference, limit, state.result)
+            stats.audit_checked = True
+        return stats
+
+    # -- dirty-set derivation ----------------------------------------------
+
+    def _dirty_from(
+        self, records: list[ChangeRecord], ripples: set[str]
+    ) -> tuple[set[str], set[str]]:
+        """The registers an edit batch can have affected.
+
+        Union of (a) registers whose timing moved (the timer's changed-cell
+        ripples — covers slack and feasible-region shifts, including skew
+        assignments that never touched the netlist), and (b) structural
+        candidates: registers added/moved/resized/re-pinned by the records,
+        plus every register sharing a net with such a cell or with a rewired
+        net — a neighbor's move can reshape a violating pin's net-bbox
+        region even when its own delays happen not to change.
+
+        Clock nets are excluded from the net expansion: compatibility only
+        reads the clock net's *name* (never its geometry), a re-clocked
+        register is itself in ``touched``, and clock-skew timing effects
+        arrive through the ripples — without the exclusion every edit would
+        dirty the whole clock domain.
+        """
+        merged = ChangeRecord.merge(records)
+        removed = set(merged.removed)
+        dirty: set[str] = set()
+        affected_nets: set[str] = set(merged.rewired_nets)
+
+        movers = (
+            list(merged.cells_added)
+            + list(merged.moved)
+            + list(merged.resized)
+            + list(merged.touched)
+        )
+        for name in movers:
+            cell = self.design.cells.get(name)
+            if cell is None:
+                continue
+            if cell.is_register:
+                dirty.add(name)
+            for pin in cell.pins.values():
+                if pin.net is not None:
+                    affected_nets.add(pin.net.name)
+
+        for name in ripples:
+            cell = self.design.cells.get(name)
+            if cell is not None and cell.is_register:
+                dirty.add(name)
+
+        for net_name in affected_nets:
+            net = self.design.nets.get(net_name)
+            if net is None or net.is_clock:
+                continue
+            for terminal in net.terminals:
+                cell = getattr(terminal, "cell", None)
+                if cell is not None and cell.is_register:
+                    dirty.add(cell.name)
+
+        dirty -= removed
+        return dirty, removed
+
+    # -- audit mode ---------------------------------------------------------
+
+    def _audit_reference(self) -> _AuditReference:
+        """Snapshot the pre-recompose world for the shadow check."""
+        ref_design = self.design.clone()
+        ref_timer = Timer(
+            ref_design,
+            self.timer.clock_period,
+            skew=dict(self.timer.skew),
+            input_delay=self.timer.input_delay,
+            output_delay=self.timer.output_delay,
+            technology=self.timer.tech,
+            audit_mode=False,
+        )
+        ref_scan = self.scan_model.clone() if self.scan_model is not None else None
+        return _AuditReference(ref_design, ref_timer, ref_scan)
+
+    def _audit_compare(
+        self, ref: _AuditReference, limit: int, result: CompositionResult
+    ) -> None:
+        """Compose the snapshot from scratch and demand exact agreement."""
+        ref_result = compose_design(
+            ref.design,
+            ref.timer,
+            ref.scan_model,
+            config=replace(self.config, passes=limit),
+        )
+
+        def groups(res: CompositionResult):
+            return [
+                (g.new_cell, g.libcell, tuple(g.members), g.bits)
+                for g in res.composed
+            ]
+
+        if groups(result) != groups(ref_result):
+            raise EcoAuditError(
+                "ECO audit: composed groups diverged from from-scratch compose\n"
+                f"  incremental: {groups(result)}\n"
+                f"  reference:   {groups(ref_result)}"
+            )
+
+        def placements(design: Design):
+            return {
+                name: (c.libcell.name, c.origin.x, c.origin.y)
+                for name, c in design.cells.items()
+            }
+
+        live, shadow = placements(self.design), placements(ref.design)
+        if live != shadow:
+            diff = {
+                k
+                for k in live.keys() | shadow.keys()
+                if live.get(k) != shadow.get(k)
+            }
+            raise EcoAuditError(
+                f"ECO audit: placements diverged on {sorted(diff)[:10]}"
+            )
+
+        if set(self.design.nets) != set(ref.design.nets):
+            raise EcoAuditError(
+                "ECO audit: net sets diverged: "
+                f"{set(self.design.nets) ^ set(ref.design.nets)}"
+            )
+
+        if self.scan_model is not None:
+
+            def chain_state(model: ScanModel):
+                return {
+                    name: (c.partition, c.ordered, tuple(c.cells))
+                    for name, c in model.chains.items()
+                }
+
+            if chain_state(self.scan_model) != chain_state(ref.scan_model):
+                raise EcoAuditError("ECO audit: scan chains diverged")
+
+        live_summary = self.timer.summary()
+        ref_summary = ref.timer.summary()
+        if live_summary != ref_summary:
+            raise EcoAuditError(
+                "ECO audit: timing summaries diverged: "
+                f"{live_summary} vs {ref_summary}"
+            )

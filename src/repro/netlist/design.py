@@ -54,6 +54,39 @@ class Design:
         for tracker in self._trackers:
             getattr(tracker, event)(*args)
 
+    # -- copying ----------------------------------------------------------------
+
+    def clone(self) -> "Design":
+        """A deep, independent copy of the design (same library objects).
+
+        Cells, nets (terminal order preserved), ports, placements, and the
+        unique-name counter all carry over, so edits replayed on the clone
+        generate the same generated names (``mbr_N``, stitch nets) as on the
+        original — the property the ECO audit mode relies on to compare an
+        incremental recompose against a from-scratch one.
+        """
+        other = Design(self.name, self.library, self.die)
+        for port in self.ports.values():
+            other.add_port(port.name, port.direction, port.location, cap=port.cap)
+        for cell in self.cells.values():
+            copy = other.add_cell(
+                cell.name,
+                cell.libcell,
+                cell.origin,
+                fixed=cell.fixed,
+                dont_touch=cell.dont_touch,
+            )
+            copy.attrs = dict(cell.attrs)
+        for net in self.nets.values():
+            copy_net = other.add_net(net.name, is_clock=net.is_clock)
+            for t in net.terminals:
+                if isinstance(t, Pin):
+                    other.connect(other.cells[t.cell.name].pin(t.name), copy_net)
+                else:
+                    other.connect(other.ports[t.name], copy_net)
+        other._uniq = self._uniq
+        return other
+
     # -- naming ---------------------------------------------------------------
 
     def unique_name(self, prefix: str) -> str:

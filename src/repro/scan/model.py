@@ -182,6 +182,32 @@ class ScanModel:
             chain_idx += 1
         return model
 
+    def clone(self) -> "ScanModel":
+        """An independent copy (same chain structure, fresh containers) —
+        the ECO audit replays composition on it without disturbing the
+        session's live model.
+
+        Copies the containers directly rather than via :meth:`add_chain`:
+        a composed multi-SI/SO MBR legitimately appears on several chains
+        (:meth:`replace_group`'s ordered branch), which the construction-
+        time one-chain check would reject.
+        """
+        other = ScanModel()
+        for chain in self.chains.values():
+            other.chains[chain.name] = ScanChain(
+                name=chain.name,
+                partition=chain.partition,
+                cells=list(chain.cells),
+                ordered=chain.ordered,
+                source_net=chain.source_net,
+                sink_net=chain.sink_net,
+                hop_bits=[
+                    tuple(h) if h is not None else None for h in chain.hop_bits
+                ],
+            )
+        other._chain_of = dict(self._chain_of)
+        return other
+
     def add_chain(self, chain: ScanChain) -> None:
         if chain.name in self.chains:
             raise ValueError(f"duplicate scan chain {chain.name!r}")

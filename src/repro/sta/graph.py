@@ -153,7 +153,8 @@ class TimingGraph:
             self._refs[nid] = 1
             self._nodes[nid] = t
             self._topo = None
-            self._levels = None
+            if self._levels is not None:
+                self._levels.setdefault(nid, 0)
         else:
             self._refs[nid] = refs + 1
 
@@ -165,7 +166,8 @@ class TimingGraph:
             self._nodes.pop(nid, None)
             patch.removed.add(nid)
             self._topo = None
-            self._levels = None
+            if self._levels is not None:
+                self._levels.pop(nid, None)
         else:
             self._refs[nid] = refs - 1
 
@@ -180,8 +182,42 @@ class TimingGraph:
         patch.dirty.add(id(src))
         patch.dirty.add(id(dst))
         self._topo = None
-        self._levels = None
+        self._bump_level(src, dst)
         return arc
+
+    def _bump_level(self, src: Terminal, dst: Terminal) -> None:
+        """Restore the level invariant after inserting arc src -> dst.
+
+        :meth:`levels` only needs a valid topological numbering (every arc
+        strictly ascends), not tight longest-path values — so insertions
+        push the destination (and, cascading, its fanout) up instead of
+        invalidating the whole cache, and removals cost nothing: deleting
+        an arc cannot break strict ascent on the arcs that remain.  The
+        cascade is bounded; a runaway (a cycle just formed, or levels
+        crept loose across many patches) drops the cache so the next
+        :meth:`levels` rebuilds tight values from scratch — and the full
+        topological sort is where real loops get diagnosed.
+        """
+        lv = self._levels
+        if lv is None:
+            return
+        ls = lv.setdefault(id(src), 0)
+        if lv.setdefault(id(dst), 0) > ls:
+            return
+        lv[id(dst)] = ls + 1
+        stack = [dst]
+        budget = 4 * len(self._nodes) + 64
+        while stack:
+            budget -= 1
+            if budget < 0:
+                self._levels = None
+                return
+            n = stack.pop()
+            base = lv[id(n)] + 1
+            for arc in self.fanout.get(id(n), ()):
+                if lv.setdefault(id(arc.dst), 0) < base:
+                    lv[id(arc.dst)] = base
+                    stack.append(arc.dst)
 
     def _unlink(self, arc: TimingArc, patch: GraphPatch) -> None:
         sid, did = id(arc.src), id(arc.dst)
@@ -198,7 +234,6 @@ class TimingGraph:
         self._release(arc.src, patch)
         self._release(arc.dst, patch)
         self._topo = None
-        self._levels = None
 
     # -- construction -------------------------------------------------------
 

@@ -144,6 +144,8 @@ class Timer:
         self._dirty_fwd: set[int] = set()
         self._dirty_bwd: set[int] = set()
         self._audit_pending = False
+        self._changed_cells: set[str] = set()
+        self._changed_all = True
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -154,6 +156,31 @@ class Timer:
         self._dirty_fwd.clear()
         self._dirty_bwd.clear()
         self._audit_pending = False
+        self._changed_all = True
+        self._changed_cells.clear()
+
+    def update(self) -> None:
+        """Force evaluation now: flush pending dirt into the cached state."""
+        self._compute()
+
+    def drain_changed_cells(self) -> set[str] | None:
+        """Cells with a pin whose arrival/required changed since the last drain.
+
+        Forces evaluation first, so pending dirt is realized before the
+        answer.  Returns ``None`` after any full (from-scratch) propagation —
+        "everything may have changed" — and resets that flag, so consumers
+        that react with their own full rebuild start a clean epoch.  The
+        composition cache (:class:`repro.flow.session.EcoSession`) drains
+        this to turn timing ripples into dirty registers.
+        """
+        self._compute()
+        if self._changed_all:
+            self._changed_all = False
+            self._changed_cells.clear()
+            return None
+        out = self._changed_cells
+        self._changed_cells = set()
+        return out
 
     def apply_change(self, record: ChangeRecord) -> None:
         """Absorb a netlist edit: patch the graph, dirty the edit's cones.
@@ -302,6 +329,8 @@ class Timer:
             self._state = self._full_state(g)
             self._dirty_fwd.clear()
             self._dirty_bwd.clear()
+            self._changed_all = True
+            self._changed_cells.clear()
             self.stats.full_timings += 1
             self.stats.graph_nodes = g.node_count
         else:
@@ -325,6 +354,13 @@ class Timer:
         levels = g.levels()
         track_min = st.arrival_min is not None
         touched: set[int] = set()
+
+        def note_changed(nid: int) -> None:
+            # Record the owning cell of a node whose value actually changed;
+            # drained by drain_changed_cells() for register-level consumers.
+            cell = getattr(g._nodes.get(nid), "cell", None)
+            if cell is not None:
+                self._changed_cells.add(cell.name)
 
         # Forward cone: arrivals ascend by level.
         heap: list[tuple[int, int]] = []
@@ -377,6 +413,7 @@ class Timer:
                         st.arrival_min[nid] = worst
                     changed = True
             if changed:
+                note_changed(nid)
                 for arc in g.fanout.get(nid, ()):
                     push_fwd(id(arc.dst))
 
@@ -414,6 +451,7 @@ class Timer:
                     st.required.pop(nid, None)
                 else:
                     st.required[nid] = best
+                note_changed(nid)
                 for arc in g.fanin.get(nid, ()):
                     push_bwd(id(arc.src))
 

@@ -111,3 +111,61 @@ class TestPartition:
         for p in parts:
             for u, v in p.edges:
                 assert graph.has_edge(u, v)
+
+
+class TestSpatialPairs:
+    """The grid hash emits each maybe-overlapping pair exactly once, from
+    the lowest-indexed bin the two rectangles share."""
+
+    @staticmethod
+    def _stub(rect):
+        # The only surface _spatial_pairs touches is ``.region.rect``.
+        from types import SimpleNamespace
+
+        return SimpleNamespace(region=SimpleNamespace(rect=rect))
+
+    def _pairs(self, rects, cell_size=4.0):
+        from repro.core.graph import _spatial_pairs
+
+        return list(_spatial_pairs([self._stub(r) for r in rects], cell_size))
+
+    def test_pair_spanning_many_bins_emitted_once(self):
+        from repro.geometry import Rect
+
+        # Two big overlapping rectangles share a 6x6 block of 4.0-unit bins;
+        # the pair must still come out exactly once.
+        pairs = self._pairs([Rect(0, 0, 20, 20), Rect(1, 1, 21, 21)])
+        assert pairs == [(0, 1)]
+
+    def test_matches_bruteforce_bbox_overlap(self):
+        import random
+
+        from repro.geometry import Rect
+
+        rng = random.Random(42)
+        rects = []
+        for _ in range(40):
+            x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+            rects.append(Rect(x, y, x + rng.uniform(0.5, 15), y + rng.uniform(0.5, 15)))
+        got = set(self._pairs(rects))
+        assert len(got) == len(self._pairs(rects))  # no duplicates
+
+        # Every genuinely overlapping bbox pair must be a candidate (the
+        # hash may add near-miss pairs sharing a bin; compatible() culls
+        # those later, so supersets are fine — misses are not).
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                a, b = rects[i], rects[j]
+                overlaps = (
+                    a.xlo <= b.xhi
+                    and b.xlo <= a.xhi
+                    and a.ylo <= b.yhi
+                    and b.ylo <= a.yhi
+                )
+                if overlaps:
+                    assert (i, j) in got
+
+    def test_disjoint_far_rectangles_skipped(self):
+        from repro.geometry import Rect
+
+        assert self._pairs([Rect(0, 0, 1, 1), Rect(40, 40, 41, 41)]) == []

@@ -83,6 +83,20 @@ class TestCli:
         ])
         assert rc == 0
 
+    def test_eco_storm(self, capsys):
+        rc = main([
+            "eco",
+            "--preset", "D1",
+            "--scale", "0.1",
+            "--moves", "3",
+            "--audit",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "prime:" in out
+        assert out.count("[audit ok]") == 3
+        assert "components" in out and "recomputed" in out
+
     def test_missing_required_args(self):
         with pytest.raises(SystemExit):
             main(["compose", "--period", "1.0"])
