@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_flow.json``: the flow's performance trajectory file.
+
+Runs the full composition flow on a set of synthetic presets (default:
+D1 and D2) under a fresh metrics registry + tracer per design, and
+writes one stable-schema JSON (``repro.bench.flow/1``, see
+:mod:`repro.obs.manifest`) that CI validates and archives per commit —
+so runtime, solver-effort, and QoR regressions show up as diffs of a
+single artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py --designs D1 --scale 0.25
+    PYTHONPATH=src python benchmarks/emit_bench.py --validate BENCH_flow.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import obs
+from repro.bench import generate_design, preset
+from repro.flow import FlowConfig, run_flow
+from repro.library import default_library
+
+
+def run_design(name: str, scale: float, workers: int = 1) -> dict:
+    """One flow run under a clean observability slate; returns the bench
+    entry (all :data:`repro.obs.BENCH_DESIGN_KEYS`)."""
+    obs.set_registry(obs.MetricsRegistry())
+    obs.install_tracer(enabled=True)
+    library = default_library()
+    bundle = generate_design(preset(name, scale=scale), library)
+    config = FlowConfig()
+    config.composer.workers = workers
+    report = run_flow(bundle.design, bundle.timer, bundle.scan_model, config)
+    stage_seconds = {r.name: round(r.seconds, 6) for r in report.trace.records}
+    return {
+        "runtime_seconds": round(report.runtime_seconds, 6),
+        "stage_seconds": stage_seconds,
+        "registers_before": report.composition.registers_before,
+        "registers_after": report.composition.registers_after,
+        "register_reduction": report.composition.register_reduction,
+        "wns": report.final.wns,
+        "tns": report.final.tns,
+        "metrics": obs.get_registry().snapshot(),
+    }
+
+
+def emit(designs: list[str], scale: float, out: str, workers: int = 1) -> dict:
+    data = {
+        "schema": obs.BENCH_SCHEMA,
+        "generated_unix": round(time.time(), 3),
+        "scale": scale,
+        "designs": {d: run_design(d, scale, workers) for d in designs},
+    }
+    problems = obs.validate_bench(data)
+    if problems:  # pragma: no cover - emit always satisfies its own schema
+        raise SystemExit("invalid bench payload: " + "; ".join(problems))
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--designs",
+        nargs="*",
+        default=["D1", "D2"],
+        choices=["D1", "D2", "D3", "D4", "D5"],
+    )
+    ap.add_argument("--scale", type=float, default=0.25)
+    ap.add_argument("--workers", type=int, default=1)
+    ap.add_argument("--out", default="BENCH_flow.json")
+    ap.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing bench file against the schema and exit",
+    )
+    args = ap.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate, encoding="utf-8") as fh:
+            data = json.load(fh)
+        problems = obs.validate_bench(data)
+        if problems:
+            print(f"{args.validate}: INVALID — " + "; ".join(problems))
+            return 1
+        print(f"{args.validate}: valid ({', '.join(sorted(data['designs']))})")
+        return 0
+
+    data = emit(args.designs, args.scale, args.out, args.workers)
+    for name, entry in data["designs"].items():
+        print(
+            f"{name}: {entry['runtime_seconds']:.2f}s, "
+            f"{entry['registers_before']} -> {entry['registers_after']} regs, "
+            f"TNS {entry['tns']:.2f}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Locks the observability acceptance bound: disabled tracing costs the
+flow < 2% of its runtime.
+
+A/B wall-clock comparison of two full flows is too noisy to gate CI on,
+so the bound is checked structurally: measure the per-call cost of a
+disabled instrumentation site (a module-global load, a truth test, and a
+shared no-op context manager), count how many spans a real traced D1
+flow actually opens, and require ``per_site_cost x span_count`` to stay
+under 2% of the untraced flow's wall time.  That is the exact overhead a
+disabled run pays relative to uninstrumented code.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.bench import generate_design, preset
+from repro.flow import FlowConfig, run_flow
+from repro.library import default_library
+
+from .conftest import BENCH_SCALE
+
+_SITE_CALLS = 200_000
+
+
+def _disabled_site_cost_s() -> float:
+    """Seconds one disabled ``with obs.span(...)`` site costs (median of 5)."""
+    assert obs.get_tracer() is None or not obs.get_tracer().enabled
+    samples = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(_SITE_CALLS):
+            with obs.span("bench.site", cat="bench"):
+                pass
+        samples.append((time.perf_counter() - t0) / _SITE_CALLS)
+    samples.sort()
+    return samples[2]
+
+
+class TestDisabledOverhead:
+    def test_disabled_flow_overhead_under_two_percent(self):
+        lib = default_library()
+
+        # Untraced flow: the wall time a user pays with observability off.
+        prev_tracer = obs.set_tracer(None)
+        prev_registry = obs.set_registry(obs.MetricsRegistry())
+        try:
+            bundle = generate_design(preset("D1", scale=BENCH_SCALE), lib)
+            t0 = time.perf_counter()
+            run_flow(bundle.design, bundle.timer, bundle.scan_model, FlowConfig())
+            flow_seconds = time.perf_counter() - t0
+            site_cost = _disabled_site_cost_s()
+
+            # Traced flow on a fresh bundle: how many spans the same run opens.
+            tracer = obs.install_tracer(enabled=True)
+            bundle = generate_design(preset("D1", scale=BENCH_SCALE), lib)
+            run_flow(bundle.design, bundle.timer, bundle.scan_model, FlowConfig())
+            span_count = len(tracer.records())
+        finally:
+            obs.set_tracer(prev_tracer)
+            obs.set_registry(prev_registry)
+
+        assert span_count > 10  # the flow is actually instrumented
+        overhead = site_cost * span_count
+        assert overhead < 0.02 * flow_seconds, (
+            f"disabled-observability overhead {overhead * 1e3:.3f}ms "
+            f"({span_count} spans x {site_cost * 1e9:.0f}ns) exceeds 2% of "
+            f"the {flow_seconds:.3f}s flow"
+        )
+
+    def test_disabled_span_is_shared_nullspan(self):
+        prev = obs.set_tracer(None)
+        try:
+            assert obs.span("a") is obs.span("b")
+        finally:
+            obs.set_tracer(prev)

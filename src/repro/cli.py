@@ -2,21 +2,31 @@
 
 Usage::
 
+    python -m repro.cli run --preset D1 --scale 0.25 \\
+        [--trace-out t.json] [--manifest-out m.json] [--workers 4]
     python -m repro.cli compose --lib repro28.lib --verilog design.v \\
         --def design.def --period 1.2 --out-prefix composed \\
-        [--heuristic] [--workers 4] [--trace]
+        [--heuristic] [--workers 4] [--trace] [--trace-out t.json]
+    python -m repro.cli trace out.json --preset D1
     python -m repro.cli generate --preset D1 --scale 0.25 --out-prefix d1
     python -m repro.cli report --lib repro28.lib --verilog d.v --def d.def --period 1.2
     python -m repro.cli eco --preset D1 --moves 20 [--audit]
 
-``generate`` writes a synthetic benchmark to disk; ``compose`` runs the
-paper's flow on files and writes the composed netlist/placement;
-``report`` prints the Table-1-style metrics of a placed design; ``eco``
-demonstrates incremental recomposition — a seeded storm of localized
-register moves, each followed by ``EcoSession.recompose()``, reporting
-how much cached work every edit reused (``--audit``, or
-``REPRO_ECO_AUDIT=1``, shadow-checks each recompose against a
-from-scratch compose).
+``run`` executes the full flow on a synthetic preset (no files needed)
+and can export the observability artifacts: ``--trace-out`` writes a
+Chrome ``trace_event`` JSON (open it in Perfetto / ``chrome://tracing``),
+``--manifest-out`` writes the validated run manifest (config + metrics
+registry + span roll-up).  ``trace OUT.json`` is shorthand for ``run
+--trace-out OUT.json``.  ``generate`` writes a synthetic benchmark to
+disk; ``compose`` runs the paper's flow on files and writes the composed
+netlist/placement; ``report`` prints the Table-1-style metrics of a
+placed design; ``eco`` demonstrates incremental recomposition — a seeded
+storm of localized register moves, each followed by
+``EcoSession.recompose()``, reporting how much cached work every edit
+reused (``--audit``, or ``REPRO_ECO_AUDIT=1``, shadow-checks each
+recompose against a from-scratch compose).  Structured run logs are
+available everywhere via ``REPRO_LOG=1`` (text) / ``REPRO_LOG_JSON=1``
+(JSON lines).
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import random
 import sys
 import time
 
+from repro import obs
 from repro.bench import generate_design, preset
 from repro.flow import EcoSession, FlowConfig, run_flow
 from repro.geometry.point import Point
@@ -39,7 +50,7 @@ from repro.io import (
 )
 from repro.library import default_library
 from repro.metrics import collect_metrics
-from repro.reporting import format_stage_runtimes, format_table1
+from repro.reporting import format_stage_counters, format_stage_runtimes, format_table1
 from repro.scan import ScanModel
 from repro.sta import Timer
 
@@ -51,6 +62,84 @@ def _load(args):
     scan_model = ScanModel.from_design(design)
     timer = Timer(design, clock_period=args.period)
     return library, design, scan_model, timer
+
+
+def _install_obs(args) -> None:
+    """Run-scoped observability: fresh registry always; tracer only when an
+    artifact that needs spans was requested (tracing off = near-zero cost)."""
+    obs.configure_logging()
+    obs.set_registry(obs.MetricsRegistry())
+    traced = bool(
+        getattr(args, "trace_out", None) or getattr(args, "manifest_out", None)
+    )
+    obs.install_tracer(enabled=traced)
+
+
+def _flow_summary(report) -> dict:
+    """The manifest's ``flow`` section: headline results of one run."""
+    comp = report.composition
+    return {
+        "design": report.design_name,
+        "runtime_seconds": round(report.runtime_seconds, 6),
+        "registers_before": comp.registers_before,
+        "registers_after": comp.registers_after,
+        "register_reduction": comp.register_reduction,
+        "composed_groups": len(comp.composed),
+        "ilp_nodes": comp.ilp_nodes,
+        "wns": report.final.wns,
+        "tns": report.final.tns,
+    }
+
+
+def _export_obs(args, design_name: str, config=None, flow: dict | None = None) -> None:
+    """Write ``--trace-out`` / ``--manifest-out`` artifacts if requested."""
+    tracer = obs.get_tracer()
+    trace_out = getattr(args, "trace_out", None)
+    manifest_out = getattr(args, "manifest_out", None)
+    if trace_out and tracer is not None:
+        tracer.write_chrome_trace(trace_out)
+        print(f"wrote Chrome trace: {trace_out} ({len(tracer.records())} spans)")
+    if manifest_out:
+        manifest = obs.build_manifest(
+            {"name": design_name}, config=config, flow=flow
+        )
+        obs.write_manifest(manifest_out, manifest)
+        print(f"wrote run manifest: {manifest_out}")
+
+
+def _print_trace(report, timer) -> None:
+    print()
+    print(format_stage_runtimes([report]))
+    print()
+    print(format_stage_counters([report]))
+    print()
+    print(report.trace.format())
+    stats = timer.stats
+    print()
+    print(
+        f"incremental timing: {stats.changes_applied} changes, "
+        f"{stats.incremental_timings} incremental / {stats.full_timings} full "
+        f"propagations; {stats.retimed_nodes} nodes retimed total, "
+        f"last cone {stats.last_retimed_nodes}/{stats.graph_nodes} nodes"
+    )
+
+
+def cmd_run(args) -> int:
+    """Run the full flow on a synthetic preset; export trace/manifest."""
+    _install_obs(args)
+    library = default_library()
+    bundle = generate_design(preset(args.preset, scale=args.scale), library)
+    config = FlowConfig(
+        algorithm="heuristic" if args.heuristic else "ilp",
+        decompose_widths=tuple(args.decompose) if args.decompose else (),
+    )
+    config.composer.workers = args.workers
+    report = run_flow(bundle.design, bundle.timer, bundle.scan_model, config)
+    print(format_table1([report]))
+    if args.trace:
+        _print_trace(report, bundle.timer)
+    _export_obs(args, report.design_name, config=config, flow=_flow_summary(report))
+    return 0
 
 
 def cmd_generate(args) -> int:
@@ -69,6 +158,7 @@ def cmd_generate(args) -> int:
 
 
 def cmd_compose(args) -> int:
+    _install_obs(args)
     _, design, scan_model, timer = _load(args)
     config = FlowConfig(
         algorithm="heuristic" if args.heuristic else "ilp",
@@ -78,18 +168,8 @@ def cmd_compose(args) -> int:
     report = run_flow(design, timer, scan_model, config)
     print(format_table1([report]))
     if args.trace:
-        print()
-        print(format_stage_runtimes([report]))
-        print()
-        print(report.trace.format())
-        stats = timer.stats
-        print()
-        print(
-            f"incremental timing: {stats.changes_applied} changes, "
-            f"{stats.incremental_timings} incremental / {stats.full_timings} full "
-            f"propagations; {stats.retimed_nodes} nodes retimed total, "
-            f"last cone {stats.last_retimed_nodes}/{stats.graph_nodes} nodes"
-        )
+        _print_trace(report, timer)
+    _export_obs(args, report.design_name, config=config, flow=_flow_summary(report))
     if args.out_prefix:
         write_verilog(design, f"{args.out_prefix}.v")
         write_def(design, f"{args.out_prefix}.def")
@@ -97,8 +177,15 @@ def cmd_compose(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """``repro trace OUT.json`` — shorthand for ``run --trace-out OUT.json``."""
+    args.trace_out = args.output
+    return cmd_run(args)
+
+
 def cmd_eco(args) -> int:
     """Seeded ECO storm: localized register moves + incremental recompose."""
+    _install_obs(args)
     library = default_library()
     bundle = generate_design(preset(args.preset, scale=args.scale), library)
     design, timer = bundle.design, bundle.timer
@@ -167,7 +254,32 @@ def cmd_eco(args) -> int:
             f"  {key:<12} reused {reused:>7.0f}  recomputed {recomputed:>7.0f}"
             f"  ({frac:.1%} recomputed)"
         )
+    print(_cache_efficiency_line())
     return 0
+
+
+def _cache_efficiency_line() -> str:
+    """One-line cache-efficiency summary, sourced from the metrics registry."""
+    counters = obs.get_registry().snapshot()["counters"]
+    hits = counters.get("compose.cache.hits", 0)
+    misses = counters.get("compose.cache.misses", 0)
+    lookups = hits + misses
+    rate = hits / lookups if lookups else 0.0
+    line = (
+        f"cache: {hits}/{lookups} component hits ({rate:.1%}), "
+        f"{counters.get('compose.cache.evictions', 0)} evictions"
+    )
+    incr_n = counters.get("eco.incremental_recomposes", 0)
+    full_n = counters.get("eco.full_recomposes", 0)
+    if incr_n and full_n:
+        incr_avg = counters.get("eco.incremental_seconds", 0.0) / incr_n
+        full_avg = counters.get("eco.full_seconds", 0.0) / full_n
+        saved = 1.0 - incr_avg / full_avg if full_avg > 0 else 0.0
+        line += (
+            f"; incremental recompose {incr_avg * 1e3:.1f}ms avg "
+            f"vs {full_avg * 1e3:.1f}ms full ({saved:.1%} runtime saved)"
+        )
+    return line
 
 
 def cmd_report(args) -> int:
@@ -207,27 +319,68 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--def", dest="def_file", required=True)
         p.add_argument("--period", type=float, required=True, help="clock period (ns)")
 
+    def add_flow_options(p):
+        p.add_argument("--heuristic", action="store_true", help="Fig. 6 baseline")
+        p.add_argument(
+            "--decompose",
+            type=int,
+            nargs="*",
+            help="MBR widths to decompose before composition (e.g. --decompose 8)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool width of the ILP solve stage (default: 1, serial)",
+        )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="print per-stage runtimes (the pipeline's StageTrace) and "
+            "incremental-timing effort (retimed-node counts vs graph size)",
+        )
+
+    def add_obs_outputs(p):
+        p.add_argument(
+            "--trace-out",
+            dest="trace_out",
+            help="write a Chrome trace_event JSON of the run's spans "
+            "(open in Perfetto / chrome://tracing)",
+        )
+        p.add_argument(
+            "--manifest-out",
+            dest="manifest_out",
+            help="write the validated run manifest JSON "
+            "(config + metrics registry + span roll-up)",
+        )
+
+    run = sub.add_parser(
+        "run", help="run the full flow on a synthetic preset (no files needed)"
+    )
+    run.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    run.add_argument("--scale", type=float, default=0.25)
+    add_flow_options(run)
+    add_obs_outputs(run)
+    run.set_defaults(func=cmd_run)
+
+    trc = sub.add_parser(
+        "trace", help="run a preset flow and write its Chrome trace JSON"
+    )
+    trc.add_argument("output", help="Chrome trace_event JSON output path")
+    trc.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    trc.add_argument("--scale", type=float, default=0.25)
+    add_flow_options(trc)
+    trc.add_argument(
+        "--manifest-out",
+        dest="manifest_out",
+        help="also write the validated run manifest JSON",
+    )
+    trc.set_defaults(func=cmd_trace)
+
     comp = sub.add_parser("compose", help="run the composition flow on files")
     add_design_io(comp)
-    comp.add_argument("--heuristic", action="store_true", help="Fig. 6 baseline")
-    comp.add_argument(
-        "--decompose",
-        type=int,
-        nargs="*",
-        help="MBR widths to decompose before composition (e.g. --decompose 8)",
-    )
-    comp.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="process-pool width of the ILP solve stage (default: 1, serial)",
-    )
-    comp.add_argument(
-        "--trace",
-        action="store_true",
-        help="print per-stage runtimes (the pipeline's StageTrace) and "
-        "incremental-timing effort (retimed-node counts vs graph size)",
-    )
+    add_flow_options(comp)
+    add_obs_outputs(comp)
     comp.add_argument("--out-prefix", help="write the composed design here")
     comp.set_defaults(func=cmd_compose)
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro import obs
 from repro.core.candidates import CandidateConfig, CandidateMBR, enumerate_candidates
 from repro.core.compatibility import (
     CompatibilityConfig,
@@ -150,13 +151,20 @@ class CompositionCache:
         entry = self.components.get(digest)
         if entry is not None:
             self.components.move_to_end(digest)
+            obs.get_registry().counter("compose.cache.hits").inc()
+        else:
+            obs.get_registry().counter("compose.cache.misses").inc()
         return entry
 
     def put(self, entry: ComponentCache) -> None:
         self.components[entry.digest] = entry
         self.components.move_to_end(entry.digest)
+        evicted = 0
         while len(self.components) > self.max_components:
             self.components.popitem(last=False)
+            evicted += 1
+        if evicted:
+            obs.get_registry().counter("compose.cache.evictions").inc(evicted)
 
 
 def component_digest(
@@ -379,6 +387,9 @@ def _stage_partition(state: ComposeState):
         state.comp_work.append((digest, tuple(nodes), start, len(parts)))
     state.parts = parts
     state.result.subgraphs += len(parts)
+    reg = obs.get_registry()
+    reg.counter("compose.components_reused").inc(reused)
+    reg.counter("compose.components_recomputed").inc(n_components - reused)
     return {
         "subgraphs": len(parts),
         "components": n_components,
@@ -558,17 +569,33 @@ def compose_design(
         workers=config.workers if workers is None else workers,
     )
 
-    for pass_index in range(max(1, config.passes)):
-        state.pass_index = pass_index
-        PASS_PIPELINE.run(state, trace)
-        if not state.pass_cells:
-            break
+    with obs.span(
+        "compose.run", cat="compose", registers=result.registers_before
+    ) as sp:
+        for pass_index in range(max(1, config.passes)):
+            state.pass_index = pass_index
+            with obs.span("compose.pass", cat="compose", index=pass_index):
+                PASS_PIPELINE.run(state, trace)
+            if not state.pass_cells:
+                break
 
-    FINALIZE_PIPELINE.run(state, trace)
+        FINALIZE_PIPELINE.run(state, trace)
 
-    result.registers_after = design.total_register_count()
+        result.registers_after = design.total_register_count()
+        sp.set(
+            registers_after=result.registers_after,
+            composed=len(result.composed),
+            ilp_nodes=result.ilp_nodes,
+        )
     result.runtime_seconds = time.perf_counter() - t0
     result.trace = trace
+    obs.log(
+        "compose.done",
+        registers_before=result.registers_before,
+        registers_after=result.registers_after,
+        composed=len(result.composed),
+        runtime_seconds=round(result.runtime_seconds, 6),
+    )
     return result
 
 

@@ -20,6 +20,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.ilp.setpart import (
     SetPartitionProblem,
     SetPartitionSolution,
@@ -109,23 +110,39 @@ def solve_subproblem(spec: SubproblemSpec) -> SubproblemResult:
     SciPy dependency.
     """
     problem = spec.to_problem()
-    if spec.solver == "scipy":
-        sol = _solve_scipy(problem)
-        nodes = 0
-    elif spec.solver == "exact":
-        sol = solve_set_partition(problem)
-        nodes = sol.nodes_explored
-        if not sol.optimal:
-            from repro.ilp.scipy_backend import scipy_available
+    with obs.span(
+        "ilp.solve",
+        cat="ilp",
+        subproblem=spec.index,
+        elements=len(spec.nodes),
+        candidates=len(spec.subsets),
+        solver=spec.solver,
+    ) as sp:
+        if spec.solver == "scipy":
+            sol = _solve_scipy(problem)
+            nodes = 0
+        elif spec.solver == "exact":
+            sol = solve_set_partition(problem)
+            nodes = sol.nodes_explored
+            if not sol.optimal:
+                from repro.ilp.scipy_backend import scipy_available
 
-            if scipy_available():
-                alt = _solve_scipy(problem)
-                if alt.feasible and alt.objective < sol.objective - 1e-9:
-                    sol = alt
-    else:
-        raise ValueError(f"unknown solver {spec.solver!r}")
-    if not sol.feasible:  # pragma: no cover - singletons guarantee feasibility
-        raise RuntimeError("composition ILP infeasible despite singleton candidates")
+                obs.log(
+                    "ilp.budget_exhausted",
+                    subproblem=spec.index,
+                    nodes=sol.nodes_explored,
+                )
+                if scipy_available():
+                    alt = _solve_scipy(problem)
+                    if alt.feasible and alt.objective < sol.objective - 1e-9:
+                        sol = alt
+        else:
+            raise ValueError(f"unknown solver {spec.solver!r}")
+        if not sol.feasible:  # pragma: no cover - singletons guarantee feasibility
+            raise RuntimeError(
+                "composition ILP infeasible despite singleton candidates"
+            )
+        sp.set(nodes=nodes, chosen=len(sol.chosen))
     return SubproblemResult(
         index=spec.index,
         chosen=tuple(sol.chosen),
@@ -133,6 +150,30 @@ def solve_subproblem(spec: SubproblemSpec) -> SubproblemResult:
         nodes_explored=nodes,
         optimal=sol.optimal,
     )
+
+
+def _solve_captured(
+    payload: tuple[SubproblemSpec, float, bool],
+) -> tuple[SubproblemResult, list, dict]:
+    """Worker-side entry: solve one spec under a fresh tracer/registry.
+
+    Returns ``(result, span records, metrics snapshot)`` so the parent can
+    merge the worker's observability signal back in.  The worker tracer
+    shares the parent's ``perf_counter`` epoch — on Linux that clock is
+    the system-wide ``CLOCK_MONOTONIC``, so worker spans land at the right
+    wall position on the merged timeline.
+    """
+    spec, epoch, traced = payload
+    tracer = obs.Tracer(enabled=traced, epoch=epoch)
+    registry = obs.MetricsRegistry()
+    prev_tracer = obs.set_tracer(tracer)
+    prev_registry = obs.set_registry(registry)
+    try:
+        result = solve_subproblem(spec)
+    finally:
+        obs.set_tracer(prev_tracer)
+        obs.set_registry(prev_registry)
+    return result, tracer.records(), registry.snapshot()
 
 
 def solve_subproblems(
@@ -143,11 +184,28 @@ def solve_subproblems(
     ``workers <= 1`` solves in-process (no pool, no pickling — the
     historical serial path).  ``workers > 1`` fans out over a process
     pool; ``map`` preserves input order, and each result is a pure
-    function of its spec, so the two paths return identical lists.
+    function of its spec, so the two paths return identical lists.  The
+    pooled path captures each worker's spans and metrics alongside its
+    result: spans are adopted into the parent tracer (re-parented under
+    the caller's current span, keyed by remapped span ids) and metric
+    snapshots merge into the parent registry, so ILP effort counters are
+    identical whichever path ran.
     """
     if workers <= 1 or len(specs) <= 1:
         return [solve_subproblem(s) for s in specs]
     n_workers = min(workers, len(specs))
     chunksize = max(1, len(specs) // (n_workers * 4))
+    tracer = obs.get_tracer()
+    traced = tracer is not None and tracer.enabled
+    epoch = tracer.epoch if traced else 0.0
+    payloads = [(s, epoch, traced) for s in specs]
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(solve_subproblem, specs, chunksize=chunksize))
+        captured = list(pool.map(_solve_captured, payloads, chunksize=chunksize))
+    registry = obs.get_registry()
+    results: list[SubproblemResult] = []
+    for result, records, snapshot in captured:
+        if traced and tracer is not None:
+            tracer.adopt(records)
+        registry.merge(snapshot)
+        results.append(result)
+    return results

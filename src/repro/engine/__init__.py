@@ -26,6 +26,7 @@ from repro.engine.stage import (
     StageOutput,
     StageRecord,
     StageTrace,
+    format_counter_value,
     stage,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "StageOutput",
     "StageRecord",
     "StageTrace",
+    "format_counter_value",
     "stage",
 ]

@@ -1,4 +1,14 @@
-"""The pipeline runner: timed, traced, sequential stage execution."""
+"""The pipeline runner: timed, traced, sequential stage execution.
+
+Every stage execution opens a ``repro.obs`` span (category ``"stage"``)
+carrying the stage's counters as args, and is recorded into the run's
+:class:`~repro.engine.stage.StageTrace`.  The tracer is the timing
+substrate — the trace records reuse the span's clock, and
+:meth:`StageTrace.from_spans <repro.engine.stage.StageTrace.from_spans>`
+can rebuild an equivalent trace from the tracer alone — while
+``StageTrace`` remains the in-process structured view stages and reports
+consume.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +16,7 @@ import time
 from dataclasses import dataclass
 from typing import Generic
 
+from repro import obs
 from repro.engine.stage import Counters, CtxT, Stage, StageOutput, StageTrace
 
 
@@ -25,19 +36,22 @@ def _merge_timing_counters(
 
     Only nonzero deltas appear, so stages that never touched the timer keep
     their trace lines clean; ``retimed_nodes`` vs ``graph_nodes`` is the
-    dirty-cone size the stage actually paid for.
+    dirty-cone size the stage actually paid for.  Counter names match the
+    :class:`~repro.sta.timer.TimerStats` field names exactly (asserted by
+    ``tests/engine/test_engine.py``), and the integer stats stay ints.
     """
     if before is None or after is None:
         return counters
     deltas = {
         "changes_applied": after.changes_applied - before.changes_applied,
-        "incr_timings": after.incremental_timings - before.incremental_timings,
+        "incremental_timings": after.incremental_timings
+        - before.incremental_timings,
         "full_timings": after.full_timings - before.full_timings,
         "retimed_nodes": after.retimed_nodes - before.retimed_nodes,
     }
-    extra = {k: float(v) for k, v in deltas.items() if v}
+    extra = {k: v for k, v in deltas.items() if v}
     if extra and (after.incremental_timings > before.incremental_timings):
-        extra["graph_nodes"] = float(after.graph_nodes)
+        extra["graph_nodes"] = after.graph_nodes
     if not extra:
         return counters
     merged = dict(counters or {})
@@ -66,16 +80,21 @@ class Pipeline(Generic[CtxT]):
         trace = trace if trace is not None else StageTrace()
         for st in self.stages:
             before = _timer_stats(ctx)
-            t0 = time.perf_counter()
-            out = st.run(ctx)
-            seconds = time.perf_counter() - t0
-            counters: Counters | None
-            children = None
-            if isinstance(out, StageOutput):
-                counters, children = out.counters, out.children
-            else:
-                counters = out
-            counters = _merge_timing_counters(counters, before, _timer_stats(ctx))
+            with obs.span(f"stage.{st.name}", cat="stage") as sp:
+                t0 = time.perf_counter()
+                out = st.run(ctx)
+                seconds = time.perf_counter() - t0
+                counters: Counters | None
+                children = None
+                if isinstance(out, StageOutput):
+                    counters, children = out.counters, out.children
+                else:
+                    counters = out
+                counters = _merge_timing_counters(
+                    counters, before, _timer_stats(ctx)
+                )
+                if counters:
+                    sp.set(**counters)
             trace.record(st.name, seconds, counters=counters, children=children)
         return trace
 

@@ -16,8 +16,18 @@ from typing import Callable, Generic, Protocol, TypeVar, runtime_checkable
 CtxT = TypeVar("CtxT", contravariant=True)
 
 #: Numeric side-facts a stage reports alongside its runtime
-#: (register counts, ILP nodes, worker counts, ...).
-Counters = dict[str, float]
+#: (register counts, ILP nodes, worker counts, ...).  Integer-valued
+#: counters stay ``int`` end-to-end — recording, totalling, and
+#: formatting never coerce them to ``float``.
+Counters = dict[str, int | float]
+
+
+def format_counter_value(value: int | float) -> str:
+    """Render one counter: ints exactly (``1500000``), floats compactly
+    (``0.25``) — the one place int-vs-float display policy lives."""
+    if isinstance(value, int):
+        return format(value, "d")
+    return format(value, "g")
 
 
 @dataclass
@@ -112,22 +122,26 @@ class StageTrace:
             out[rec.name] = out.get(rec.name, 0.0) + rec.seconds
         return out
 
-    def counter_total(self, name: str) -> float:
-        """Sum of one counter across all top-level records."""
-        return sum(r.counters.get(name, 0.0) for r in self.records)
+    def counter_total(self, name: str) -> int | float:
+        """Sum of one counter across all top-level records.
+
+        Int-preserving: a counter that every record reports as ``int``
+        totals to an ``int`` (the zero default is ``0``, not ``0.0``)."""
+        return sum(r.counters.get(name, 0) for r in self.records)
 
     def stage_names(self) -> list[str]:
         return list(self.aggregated())
 
-    def reuse_summary(self) -> dict[str, tuple[float, float]]:
+    def reuse_summary(self) -> dict[str, tuple[int | float, int | float]]:
         """Per-metric ``(reused, recomputed)`` totals.
 
         Stages that support incremental operation report matched counter
         pairs (``registers_reused``/``registers_recomputed``, ...); this
         folds every such pair across all records, recursing into children —
         the one-line answer to "how much work did the cache save".
+        Int counters total as ints.
         """
-        totals: dict[str, list[float]] = {}
+        totals: dict[str, list[int | float]] = {}
 
         def visit(trace: "StageTrace") -> None:
             for rec in trace.records:
@@ -135,7 +149,7 @@ class StageTrace:
                     for suffix, slot in (("_reused", 0), ("_recomputed", 1)):
                         if key.endswith(suffix):
                             base = key[: -len(suffix)]
-                            totals.setdefault(base, [0.0, 0.0])[slot] += value
+                            totals.setdefault(base, [0, 0])[slot] += value
                 if rec.children is not None:
                     visit(rec.children)
 
@@ -151,7 +165,7 @@ class StageTrace:
         pad = "  " * indent
         for rec in self.records:
             counters = " ".join(
-                f"{k}={v:g}" for k, v in rec.counters.items()
+                f"{k}={format_counter_value(v)}" for k, v in rec.counters.items()
             )
             lines.append(f"{pad + rec.name:<24} {rec.seconds:>9.4f}  {counters}")
             if rec.children is not None:
@@ -160,3 +174,59 @@ class StageTrace:
             lines.append(f"{'-' * 24} {'-' * 9}")
             lines.append(f"{'total':<24} {self.total_seconds:>9.4f}")
         return "\n".join(lines)
+
+    @classmethod
+    def from_spans(
+        cls, records, cat: str = "stage", prefix: str = "stage."
+    ) -> "StageTrace":
+        """Rebuild a stage trace as a *view* over tracer spans.
+
+        ``records`` is an iterable of :class:`repro.obs.SpanRecord`;
+        spans of category ``cat`` become stage records (the ``prefix`` the
+        pipeline adds to span names is stripped), nested by their span
+        parent links — so the tracer is the single source of timing truth
+        and a ``StageTrace`` can always be derived from it.  Counters are
+        recovered from numeric span args.
+        """
+        records = list(records)
+        stage_spans = [r for r in records if r.cat == cat]
+        stage_ids = {r.id for r in stage_spans}
+        parent_of = {r.id: r.parent_id for r in records}
+
+        def stage_ancestor(pid: int | None) -> int | None:
+            # Hop over intermediate non-stage spans (a compose stage runs
+            # its nested pipeline under an eco.recompose span, say) to the
+            # nearest enclosing stage span.
+            while pid is not None and pid not in stage_ids:
+                pid = parent_of.get(pid)
+            return pid
+
+        root = cls()
+        traces: dict[int, "StageTrace"] = {}
+        # Spans finish children-first; sort by start so records keep
+        # pipeline order within each nesting level, parents before children.
+        for rec in sorted(stage_spans, key=lambda r: r.start_us):
+            name = rec.name
+            if prefix and name.startswith(prefix):
+                name = name[len(prefix):]
+            counters: Counters = {
+                k: v
+                for k, v in rec.args.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+            own = traces[rec.id] = cls()
+            parent = stage_ancestor(rec.parent_id)
+            target = root if parent is None else traces.get(parent, root)
+            target.record(
+                name, rec.dur_us / 1e6, counters=counters or None, children=own
+            )
+
+        def prune(trace: "StageTrace") -> None:
+            for r in trace.records:
+                if r.children is not None:
+                    prune(r.children)
+                    if not r.children.records:
+                        r.children = None
+
+        prune(root)
+        return root

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.composer import ComposerConfig, CompositionResult
 from repro.core.decompose import DecomposeResult, decompose_registers
 from repro.core.heuristic import compose_design_heuristic
@@ -269,10 +270,23 @@ def run_flow(
     config = config or FlowConfig()
     t0 = time.perf_counter()
     state = FlowState(design, timer, scan_model, config=config)
-    trace = FLOW_PIPELINE.run(state)
+    obs.log("flow.start", design=design.name, algorithm=config.algorithm)
+    with obs.span(
+        "flow.run", cat="flow", design=design.name, algorithm=config.algorithm
+    ) as sp:
+        trace = FLOW_PIPELINE.run(state)
+        sp.set(
+            registers_before=state.base.total_regs if state.base else 0,
+            registers_after=state.final.total_regs if state.final else 0,
+        )
 
     state.base.exec_time_s = 0.0
     state.final.exec_time_s = time.perf_counter() - t0
+    obs.log(
+        "flow.done",
+        design=design.name,
+        runtime_seconds=round(state.final.exec_time_s, 6),
+    )
 
     return FlowReport(
         design_name=design.name,

@@ -40,6 +40,7 @@ from dataclasses import dataclass, replace
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro import obs
 from repro.core.composer import (
     FINALIZE_PIPELINE,
     PASS_PIPELINE,
@@ -203,31 +204,55 @@ class EcoSession:
 
         limit = max(1, self.max_passes if passes is None else passes)
         consumed = 0
-        for pass_index in range(limit):
-            state.pass_index = pass_index
-            if state.dirty is None:
-                # The analysis refreshes every register against current
-                # timing anyway: retire the ripple log so the next
-                # incremental recompose starts a clean epoch.
-                self.timer.drain_changed_cells()
-            consumed = len(state.change_log)
-            PASS_PIPELINE.run(state, trace)
-            if not state.pass_cells or pass_index + 1 >= limit:
-                break
-            if state.dirty is not None:
-                next_ripples = self.timer.drain_changed_cells()
-                if next_ripples is None:
-                    state.dirty, state.removed = None, set()
-                else:
-                    state.dirty, state.removed = self._dirty_from(
-                        state.change_log[consumed:], next_ripples
-                    )
+        with obs.span(
+            "eco.recompose",
+            cat="eco",
+            incremental=incremental,
+            dirty_registers=dirty_count,
+        ) as sp:
+            for pass_index in range(limit):
+                state.pass_index = pass_index
+                if state.dirty is None:
+                    # The analysis refreshes every register against current
+                    # timing anyway: retire the ripple log so the next
+                    # incremental recompose starts a clean epoch.
+                    self.timer.drain_changed_cells()
+                consumed = len(state.change_log)
+                PASS_PIPELINE.run(state, trace)
+                if not state.pass_cells or pass_index + 1 >= limit:
+                    break
+                if state.dirty is not None:
+                    next_ripples = self.timer.drain_changed_cells()
+                    if next_ripples is None:
+                        state.dirty, state.removed = None, set()
+                    else:
+                        state.dirty, state.removed = self._dirty_from(
+                            state.change_log[consumed:], next_ripples
+                        )
 
-        FINALIZE_PIPELINE.run(state, trace)
+            FINALIZE_PIPELINE.run(state, trace)
+            sp.set(composed=len(state.result.composed))
 
         state.result.registers_after = self.design.total_register_count()
         state.result.runtime_seconds = time.perf_counter() - t0
         state.result.trace = trace
+
+        reg = obs.get_registry()
+        if incremental:
+            reg.counter("eco.incremental_recomposes").inc()
+            reg.counter("eco.incremental_seconds").inc(
+                state.result.runtime_seconds
+            )
+        else:
+            reg.counter("eco.full_recomposes").inc()
+            reg.counter("eco.full_seconds").inc(state.result.runtime_seconds)
+        obs.log(
+            "eco.recompose",
+            incremental=incremental,
+            dirty_registers=dirty_count,
+            composed=len(state.result.composed),
+            runtime_seconds=round(state.result.runtime_seconds, 6),
+        )
 
         # Everything logged after the last analysis refresh feeds the next
         # recompose's dirty set, together with the unclaimed timing ripples.

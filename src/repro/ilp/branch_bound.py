@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.ilp.simplex import LPStatus, solve_lp
 
 
@@ -23,6 +24,11 @@ class BinaryProgramResult:
     x: np.ndarray | None
     objective: float | None
     nodes_explored: int = 0
+    nodes_pruned: int = 0
+    relaxation_gap: float | None = None
+    """Relative gap between the root LP relaxation bound and the integer
+    optimum, ``(z* - z_LP) / max(|z*|, 1)`` — 0.0 when the relaxation was
+    already integral."""
 
 
 def solve_binary_program(
@@ -46,6 +52,7 @@ def solve_binary_program(
     incumbent: np.ndarray | None = None
     incumbent_obj = float("inf")
     nodes = 0
+    pruned = 0
 
     root_bounds: dict[int, int] = {}
     heap: list[tuple[float, int, dict[int, int]]] = []
@@ -59,18 +66,22 @@ def solve_binary_program(
 
     root = relax(root_bounds)
     if root.status is LPStatus.INFEASIBLE:
+        _publish(1, 0, None)
         return BinaryProgramResult(False, None, None, 1)
+    root_bound = root.objective
     heapq.heappush(heap, (root.objective, next(counter), root_bounds))
 
     while heap:
         lower, _, fixed = heapq.heappop(heap)
         if lower >= incumbent_obj - 1e-9:
+            pruned += 1
             continue
         nodes += 1
         if nodes > max_nodes:
             raise RuntimeError("branch-and-bound node limit exceeded")
         res = relax(fixed)
         if not res.ok or res.objective >= incumbent_obj - 1e-9:
+            pruned += 1
             continue
         frac_j = _most_fractional(res.x, fixed)
         if frac_j is None:
@@ -85,8 +96,21 @@ def solve_binary_program(
             heapq.heappush(heap, (res.objective, next(counter), child))
 
     if incumbent is None:
-        return BinaryProgramResult(False, None, None, nodes)
-    return BinaryProgramResult(True, incumbent, incumbent_obj, nodes)
+        _publish(nodes, pruned, None)
+        return BinaryProgramResult(False, None, None, nodes, pruned)
+    gap = max(0.0, (incumbent_obj - root_bound) / max(abs(incumbent_obj), 1.0))
+    _publish(nodes, pruned, gap)
+    return BinaryProgramResult(True, incumbent, incumbent_obj, nodes, pruned, gap)
+
+
+def _publish(nodes: int, pruned: int, gap: float | None) -> None:
+    """One registry update per solve (never per node — hot-path rule)."""
+    reg = obs.get_registry()
+    reg.counter("ilp.bnb.solves").inc()
+    reg.counter("ilp.bnb.nodes_explored").inc(nodes)
+    reg.counter("ilp.bnb.nodes_pruned").inc(pruned)
+    if gap is not None:
+        reg.histogram("ilp.bnb.relaxation_gap", obs.FRACTION_BUCKETS).observe(gap)
 
 
 def _most_fractional(x: np.ndarray, fixed: dict[int, int]) -> int | None:

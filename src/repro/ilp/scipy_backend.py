@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.ilp.setpart import SetPartitionProblem, SetPartitionSolution
 from repro.ilp.simplex import LPResult, LPStatus
 
@@ -26,6 +27,7 @@ def solve_lp_scipy(c, A_ub=None, b_ub=None, A_eq=None, b_eq=None, bounds=None) -
     """:func:`repro.ilp.simplex.solve_lp`-compatible wrapper over HiGHS."""
     from scipy.optimize import linprog
 
+    obs.get_registry().counter("ilp.scipy.lp_solves").inc()
     n = np.asarray(c).size
     res = linprog(
         c,
@@ -49,6 +51,8 @@ def solve_set_partition_scipy(problem: SetPartitionProblem) -> SetPartitionSolut
     """Solve a set-partitioning instance with ``scipy.optimize.milp``."""
     from scipy.optimize import LinearConstraint, milp
     from scipy.sparse import lil_matrix
+
+    obs.get_registry().counter("ilp.scipy.milp_solves").inc()
 
     k = len(problem.subsets)
     A = lil_matrix((problem.n_elements, k))

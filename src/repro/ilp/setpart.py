@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class SetPartitionProblem:
@@ -47,6 +49,9 @@ class SetPartitionSolution:
     optimal: bool = True
     """False when the node budget ran out: ``chosen`` is the best incumbent
     found, feasible but not proven optimal."""
+    nodes_pruned: int = 0
+    """Subtrees cut before expansion: share-bound prunes, memo prunes, and
+    uncoverable-element prunes combined."""
 
 
 def solve_set_partition(
@@ -111,9 +116,11 @@ def solve_set_partition(
             return
         lb = bound(uncovered)
         if cost + lb >= sol.objective - 1e-12:
+            sol.nodes_pruned += 1
             return
         seen = memo.get(uncovered)
         if seen is not None and cost >= seen - 1e-12:
+            sol.nodes_pruned += 1
             return
         memo[uncovered] = cost
 
@@ -125,6 +132,7 @@ def solve_set_partition(
             if u & 1:
                 opts = [i for i in covers[e] if masks[i] & ~uncovered == 0]
                 if not opts:
+                    sol.nodes_pruned += 1
                     return  # element e cannot be covered disjointly
                 if branch_opts is None or len(opts) < len(branch_opts):
                     branch_e, branch_opts = e, opts
@@ -141,6 +149,15 @@ def solve_set_partition(
     search(full, 0.0, [])
     if not sol.feasible:
         sol.objective = 0.0
+    reg = obs.get_registry()
+    reg.counter("ilp.setpart.solves").inc()
+    reg.counter("ilp.setpart.nodes_explored").inc(sol.nodes_explored)
+    reg.counter("ilp.setpart.nodes_pruned").inc(sol.nodes_pruned)
+    if not sol.optimal:
+        reg.counter("ilp.setpart.budget_exhausted").inc()
+    reg.histogram("ilp.setpart.nodes", obs.COUNT_BUCKETS).observe(
+        sol.nodes_explored
+    )
     return sol
 
 

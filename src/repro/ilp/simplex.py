@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 _EPS = 1e-9
 
 
@@ -32,6 +34,8 @@ class LPResult:
     status: LPStatus
     x: np.ndarray | None
     objective: float | None
+    pivots: int = 0
+    """Simplex pivots performed across both phases (solver effort)."""
 
     @property
     def ok(self) -> bool:
@@ -120,20 +124,25 @@ def solve_lp(
         if v >= 0:
             c_x[v] = -c[j]
 
-    x_std = _two_phase_simplex(c_x, Aub_x, b_ub_s, Aeq_x, b_eq_s)
+    x_std, pivots = _two_phase_simplex(c_x, Aub_x, b_ub_s, Aeq_x, b_eq_s)
+    reg = obs.get_registry()
+    reg.counter("ilp.simplex.solves").inc()
+    reg.counter("ilp.simplex.pivots").inc(pivots)
     if isinstance(x_std, LPStatus):
-        return LPResult(x_std, None, None)
+        return LPResult(x_std, None, None, pivots)
 
     x = np.zeros(n)
     for j in range(n):
         u, shift, v = col_map[j]
         x[j] = shift + x_std[u] - (x_std[v] if v >= 0 else 0.0)
-    return LPResult(LPStatus.OPTIMAL, x, float(c @ x))
+    return LPResult(LPStatus.OPTIMAL, x, float(c @ x), pivots)
 
 
 def _two_phase_simplex(c, A_ub, b_ub, A_eq, b_eq):
-    """Simplex over standard-form data with x >= 0; returns a solution
-    vector over the expanded columns or an :class:`LPStatus` failure."""
+    """Simplex over standard-form data with x >= 0; returns ``(solution,
+    pivots)`` where the solution is a vector over the expanded columns or
+    an :class:`LPStatus` failure."""
+    pivots = 0
     m_ub, m_eq = A_ub.shape[0], A_eq.shape[0]
     n = c.size
     m = m_ub + m_eq
@@ -162,12 +171,13 @@ def _two_phase_simplex(c, A_ub, b_ub, A_eq, b_eq):
 
     # Phase 1.
     cost1 = np.concatenate([np.zeros(total), np.ones(m)])
-    sol = _iterate(T, b, cost1, basis)
+    sol, n_piv = _iterate(T, b, cost1, basis)
+    pivots += n_piv
     if sol is LPStatus.UNBOUNDED:  # pragma: no cover - phase 1 is bounded
-        return LPStatus.INFEASIBLE
+        return LPStatus.INFEASIBLE, pivots
     obj1 = sum(cost1[j] * v for j, v in zip(basis, sol))
     if obj1 > 1e-7:
-        return LPStatus.INFEASIBLE
+        return LPStatus.INFEASIBLE, pivots
 
     # Drive leftover artificials out of the basis when possible.
     for i, j in enumerate(basis):
@@ -185,14 +195,15 @@ def _two_phase_simplex(c, A_ub, b_ub, A_eq, b_eq):
     for i, j in enumerate(basis):
         if j >= total:
             T2[i, j] = 1.0  # keep degenerate artificial basic at zero
-    sol = _iterate(T2, b, cost2, basis)
+    sol, n_piv = _iterate(T2, b, cost2, basis)
+    pivots += n_piv
     if sol is LPStatus.UNBOUNDED:
-        return LPStatus.UNBOUNDED
+        return LPStatus.UNBOUNDED, pivots
 
     x = np.zeros(total + m)
     for i, j in enumerate(basis):
         x[j] = sol[i]
-    return x[:total]
+    return x[:total], pivots
 
 
 def _pivot(T, b, row, col, basis) -> None:
@@ -209,20 +220,22 @@ def _pivot(T, b, row, col, basis) -> None:
 
 def _iterate(T, b, cost, basis):
     """Run simplex iterations with Bland's rule until optimal/unbounded;
-    returns the basic-variable values."""
+    returns ``(basic-variable values, pivots performed)``."""
     m = T.shape[0]
+    pivots = 0
     while True:
         cb = cost[basis]
         reduced = cost - cb @ T
         entering = next((j for j in range(T.shape[1]) if reduced[j] < -1e-9), None)
         if entering is None:
-            return b.copy()
+            return b.copy(), pivots
         ratios = [
             (b[i] / T[i, entering], basis[i], i)
             for i in range(m)
             if T[i, entering] > _EPS
         ]
         if not ratios:
-            return LPStatus.UNBOUNDED
+            return LPStatus.UNBOUNDED, pivots
         _, _, leave_row = min(ratios, key=lambda t: (t[0], t[1]))
         _pivot(T, b, leave_row, entering, basis)
+        pivots += 1

@@ -36,14 +36,15 @@ class DesignMetrics:
     def wirelength_total(self) -> float:
         return self.wirelength_clk + self.wirelength_other
 
-    def as_counters(self) -> dict[str, float]:
+    def as_counters(self) -> dict[str, int | float]:
         """The headline numbers as stage-trace counters (see
-        :class:`repro.engine.StageTrace`)."""
+        :class:`repro.engine.StageTrace`).  Integer quantities stay ints so
+        the trace renders them without a spurious decimal point."""
         return {
-            "cells": float(self.total_cells),
-            "registers": float(self.total_regs),
-            "composable": float(self.comp_regs),
-            "clk_bufs": float(self.clk_bufs),
+            "cells": self.total_cells,
+            "registers": self.total_regs,
+            "composable": self.comp_regs,
+            "clk_bufs": self.clk_bufs,
         }
 
 

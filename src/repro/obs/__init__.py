@@ -1,0 +1,86 @@
+"""``repro.obs`` — the unified observability layer.
+
+One subsystem, three signals, one artifact:
+
+* :mod:`repro.obs.trace` — hierarchical **span tracing** (context-manager
+  API, thread/process-safe, near-zero overhead when disabled) with Chrome
+  ``trace_event`` export, so any run opens directly in Perfetto;
+* :mod:`repro.obs.metrics` — the **metrics registry** (counters, gauges,
+  fixed-bucket histograms) every subsystem reports into: ILP node/pivot
+  counts, cache hit rates, incremental-timing effort;
+* :mod:`repro.obs.logs` — **structured run logs** over stdlib
+  ``logging`` (JSON-lines via ``REPRO_LOG_JSON=1``);
+* :mod:`repro.obs.manifest` — the **run manifest**: config + metrics +
+  span roll-ups serialized to one validated JSON.
+
+Instrumentation sites call :func:`span`, :func:`get_registry`, and
+:func:`log`; runners (CLI, benchmarks, tests) install a tracer/registry
+pair via :func:`install_tracer` / :func:`set_registry` and export with
+:func:`build_manifest` / :meth:`Tracer.write_chrome_trace`.
+"""
+
+from repro.obs.logs import configure_logging, get_logger, log
+from repro.obs.manifest import (
+    BENCH_DESIGN_KEYS,
+    BENCH_REQUIRED_KEYS,
+    BENCH_SCHEMA,
+    MANIFEST_REQUIRED_KEYS,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    validate_bench,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    FRACTION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "BENCH_DESIGN_KEYS",
+    "BENCH_REQUIRED_KEYS",
+    "BENCH_SCHEMA",
+    "COUNT_BUCKETS",
+    "Counter",
+    "FRACTION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_REQUIRED_KEYS",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "SpanRecord",
+    "Tracer",
+    "build_manifest",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "install_tracer",
+    "log",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+    "validate_bench",
+    "validate_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,114 @@
+"""Structured run logs over the stdlib ``logging`` machinery.
+
+Library code logs through :func:`log` (or a logger from
+:func:`get_logger`) instead of writing to stdout: silent by default (a
+``NullHandler`` on the ``repro`` root logger), one flip away from
+machine-readable output.  ``REPRO_LOG_JSON=1`` attaches a JSON-lines
+handler on stderr — every record becomes one ``{"ts": ..., "level": ...,
+"logger": ..., "event": ..., **fields}`` object, ready for ingestion.
+``REPRO_LOG=1`` attaches a human-readable handler instead;
+``REPRO_LOG_LEVEL`` overrides the threshold (default ``INFO``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+JSON_ENV = "REPRO_LOG_JSON"
+TEXT_ENV = "REPRO_LOG"
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_ROOT = "repro"
+_configured = False
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record; extra fields ride in ``record.fields``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable line with the structured fields appended as k=v."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname:<7} {record.name}: {record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            base += " " + " ".join(f"{k}={v}" for k, v in fields.items())
+        return base
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+def configure_logging(
+    json_mode: bool | None = None, level: int | str | None = None, force: bool = False
+) -> None:
+    """Attach a handler to the ``repro`` root logger.
+
+    With no arguments the environment decides: ``REPRO_LOG_JSON=1`` →
+    JSON lines on stderr, ``REPRO_LOG=1`` → human lines on stderr,
+    neither → a ``NullHandler`` (library stays silent).  Idempotent
+    unless ``force``.
+    """
+    global _configured
+    if _configured and not force:
+        return
+    _configured = True
+    root = logging.getLogger(_ROOT)
+    if force:
+        for h in list(root.handlers):
+            root.removeHandler(h)
+    if json_mode is None:
+        json_mode = _env_truthy(JSON_ENV)
+    text_mode = _env_truthy(TEXT_ENV)
+    if level is None:
+        level = os.environ.get(LEVEL_ENV, "INFO")
+    if json_mode or text_mode:
+        handler = logging.StreamHandler()
+        handler.setFormatter(JsonLinesFormatter() if json_mode else TextFormatter())
+        root.addHandler(handler)
+        root.setLevel(level)
+    else:
+        root.addHandler(logging.NullHandler())
+    root.propagate = False
+
+
+def get_logger(name: str = _ROOT) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy, configured on first use."""
+    configure_logging()
+    if name != _ROOT and not name.startswith(_ROOT + "."):
+        name = f"{_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def log(event: str, *, level: int = logging.INFO, logger: str = _ROOT, **fields) -> None:
+    """Emit one structured record: a short event name plus k=v fields.
+
+    ``log("eco.recompose", dirty=12, composed=3)`` renders as JSON lines
+    under ``REPRO_LOG_JSON=1`` and as ``eco.recompose dirty=12
+    composed=3`` under ``REPRO_LOG=1``; with neither set it is a no-op
+    beyond an isEnabledFor check.
+    """
+    lg = get_logger(logger)
+    if lg.isEnabledFor(level):
+        lg.log(level, event, extra={"fields": fields})

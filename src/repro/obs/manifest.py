@@ -1,0 +1,145 @@
+"""Run manifests: one JSON per run with config, metrics, and span roll-ups.
+
+A manifest is the durable record of "what did this run do and where did
+the time go": the flow configuration, the full metrics-registry snapshot
+(ILP node/pivot counts, cache hit rates, timer retime stats, ...), the
+tracer's per-span-name roll-up, and the flow's headline results.  The
+schema is versioned and validated (:func:`validate_manifest`), so CI can
+track the perf trajectory across PRs — ``benchmarks/emit_bench.py``
+builds on this to emit ``BENCH_flow.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
+
+MANIFEST_SCHEMA = "repro.obs.manifest/1"
+BENCH_SCHEMA = "repro.bench.flow/1"
+
+#: Top-level keys every manifest must carry (CI fails the run otherwise).
+MANIFEST_REQUIRED_KEYS = (
+    "schema",
+    "generated_unix",
+    "environment",
+    "design",
+    "config",
+    "metrics",
+    "spans",
+    "flow",
+)
+
+#: Top-level keys of the ``BENCH_flow.json`` trajectory file.
+BENCH_REQUIRED_KEYS = ("schema", "generated_unix", "scale", "designs")
+
+#: Keys every per-design entry of a bench file must carry.
+BENCH_DESIGN_KEYS = (
+    "runtime_seconds",
+    "stage_seconds",
+    "registers_before",
+    "registers_after",
+    "register_reduction",
+    "wns",
+    "tns",
+    "metrics",
+)
+
+
+def _plain(value):
+    """Config objects → JSON-ready plain data (dataclasses recurse)."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _plain(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def build_manifest(
+    design: dict,
+    config: object = None,
+    flow: dict | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> dict:
+    """Assemble one run's manifest.
+
+    ``design`` names what ran (at least a ``name``); ``config`` is any
+    dataclass/dict describing the knobs; ``flow`` carries the headline
+    results (runtimes, register counts, QoR).  ``registry`` and
+    ``tracer`` default to the process-wide current ones.
+    """
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "generated_unix": round(time.time(), 3),
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "design": _plain(design),
+        "config": _plain(config) if config is not None else {},
+        "metrics": registry.snapshot(),
+        "spans": tracer.rollup() if tracer is not None else {},
+        "flow": _plain(flow) if flow is not None else {},
+    }
+
+
+def validate_manifest(manifest: dict) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(manifest, dict):
+        return [f"manifest must be an object, got {type(manifest).__name__}"]
+    for key in MANIFEST_REQUIRED_KEYS:
+        if key not in manifest:
+            errors.append(f"missing required key {key!r}")
+    if manifest.get("schema") not in (None, MANIFEST_SCHEMA):
+        errors.append(
+            f"schema mismatch: {manifest.get('schema')!r} != {MANIFEST_SCHEMA!r}"
+        )
+    metrics = manifest.get("metrics")
+    if metrics is not None:
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                errors.append(f"metrics missing section {section!r}")
+    return errors
+
+
+def validate_bench(data: dict) -> list[str]:
+    """Schema check of a ``BENCH_flow.json`` payload (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"bench file must be an object, got {type(data).__name__}"]
+    for key in BENCH_REQUIRED_KEYS:
+        if key not in data:
+            errors.append(f"missing required key {key!r}")
+    if data.get("schema") not in (None, BENCH_SCHEMA):
+        errors.append(f"schema mismatch: {data.get('schema')!r} != {BENCH_SCHEMA!r}")
+    designs = data.get("designs")
+    if not isinstance(designs, dict) or not designs:
+        errors.append("'designs' must be a non-empty object")
+        return errors
+    for name, entry in designs.items():
+        for key in BENCH_DESIGN_KEYS:
+            if key not in entry:
+                errors.append(f"design {name!r} missing key {key!r}")
+    return errors
+
+
+def write_manifest(path: str, manifest: dict) -> None:
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ValueError("refusing to write invalid manifest: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=False, default=str)
+        fh.write("\n")

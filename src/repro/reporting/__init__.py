@@ -3,6 +3,7 @@
 from repro.reporting.tables import (
     format_fig5_histograms,
     format_fig6_comparison,
+    format_stage_counters,
     format_stage_runtimes,
     format_table1,
 )
@@ -11,5 +12,6 @@ __all__ = [
     "format_table1",
     "format_fig5_histograms",
     "format_fig6_comparison",
+    "format_stage_counters",
     "format_stage_runtimes",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.engine import format_counter_value
 from repro.flow.driver import FlowReport
 
 _COLUMNS = [
@@ -73,6 +74,34 @@ def format_stage_runtimes(reports: list[FlowReport]) -> str:
             + [f"{rep.runtime_seconds:.2f}"]
         )
     return _render(headers, rows)
+
+
+def format_stage_counters(reports: list[FlowReport]) -> str:
+    """Per-design counter totals over the whole trace tree (nested compose
+    stages included), one line per design.
+
+    Integer counters render without a decimal point (``ilp_nodes=4420``),
+    floats compactly — the int-vs-float display policy lives in
+    :func:`repro.engine.format_counter_value`.
+    """
+    lines: list[str] = []
+    for rep in reports:
+        totals: dict[str, int | float] = {}
+
+        def visit(trace) -> None:
+            for rec in trace.records:
+                for key, value in rec.counters.items():
+                    totals[key] = totals.get(key, 0) + value
+                if rec.children is not None:
+                    visit(rec.children)
+
+        if rep.trace is not None:
+            visit(rep.trace)
+        body = " ".join(
+            f"{k}={format_counter_value(v)}" for k, v in sorted(totals.items())
+        )
+        lines.append(f"{rep.design_name}: {body}")
+    return "\n".join(lines)
 
 
 def format_fig5_histograms(reports: list[FlowReport]) -> str:

@@ -18,6 +18,7 @@ import heapq
 import os
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.library.cells import RegisterCell
 from repro.library.library import Technology
 from repro.netlist.change import ChangeRecord
@@ -98,6 +99,14 @@ class TimerStats:
 
     def snapshot(self) -> "TimerStats":
         return replace(self)
+
+    def publish(self) -> None:
+        """Fold this stats object into the ``repro.obs`` metrics registry
+        (gauges mirror the current values; the per-event counters are
+        incremented at the propagation sites)."""
+        reg = obs.get_registry()
+        reg.gauge("sta.graph_nodes").set(self.graph_nodes)
+        reg.gauge("sta.last_retimed_nodes").set(self.last_retimed_nodes)
 
 
 @dataclass
@@ -194,6 +203,7 @@ class Timer:
         if record.is_empty:
             return
         self.stats.changes_applied += 1
+        obs.get_registry().counter("sta.changes_applied").inc()
         if self._graph is None:
             return  # nothing cached; the next query builds fresh
         patch = self._graph.apply_change(record)
@@ -326,15 +336,24 @@ class Timer:
             return self._state
         g = self.graph
         if self._state is None:
-            self._state = self._full_state(g)
+            with obs.span("sta.full_timing", cat="sta") as sp:
+                self._state = self._full_state(g)
+                sp.set(graph_nodes=g.node_count)
             self._dirty_fwd.clear()
             self._dirty_bwd.clear()
             self._changed_all = True
             self._changed_cells.clear()
             self.stats.full_timings += 1
             self.stats.graph_nodes = g.node_count
+            obs.get_registry().counter("sta.full_timings").inc()
+            self.stats.publish()
         else:
-            self._retime(g)
+            with obs.span("sta.retime", cat="sta") as sp:
+                self._retime(g)
+                sp.set(
+                    retimed_nodes=self.stats.last_retimed_nodes,
+                    graph_nodes=self.stats.graph_nodes,
+                )
         if self._audit_pending:
             if self.audit_mode:
                 self._audit(g)
@@ -461,6 +480,14 @@ class Timer:
         self.stats.retimed_nodes += len(touched)
         self.stats.last_retimed_nodes = len(touched)
         self.stats.graph_nodes = g.node_count
+        reg = obs.get_registry()
+        reg.counter("sta.incremental_timings").inc()
+        reg.counter("sta.retimed_nodes").inc(len(touched))
+        if g.node_count:
+            reg.histogram(
+                "sta.retime.cone_fraction", obs.FRACTION_BUCKETS
+            ).observe(len(touched) / g.node_count)
+        self.stats.publish()
 
     # -- audit ---------------------------------------------------------------
 

@@ -1,15 +1,21 @@
 """Unit tests for the stage-pipeline engine."""
 
+import dataclasses
+
 import pytest
 
+from repro import obs
 from repro.engine import (
     FunctionStage,
     Pipeline,
     Stage,
     StageOutput,
     StageTrace,
+    format_counter_value,
     stage,
 )
+from repro.engine.pipeline import _merge_timing_counters
+from repro.sta.timer import TimerStats
 
 
 class TestStage:
@@ -133,3 +139,167 @@ class TestStageTrace:
         assert "solve" in text and "ilp_nodes=42" in text
         assert "inner" in text
         assert "total" in text and "2.0000" in text
+
+
+class TestIntCounters:
+    """Integer counters stay ints end-to-end: recording, totalling,
+    formatting."""
+
+    def test_format_counter_value(self):
+        assert format_counter_value(2) == "2"
+        assert format_counter_value(1500000) == "1500000"
+        assert format_counter_value(0.25) == "0.25"
+        assert format_counter_value(2.0) == "2"
+
+    def test_counter_total_preserves_int(self):
+        trace = StageTrace()
+        trace.record("a", 0.0, counters={"n": 2})
+        trace.record("b", 0.0, counters={"n": 3})
+        total = trace.counter_total("n")
+        assert total == 5 and isinstance(total, int)
+        missing = trace.counter_total("missing")
+        assert missing == 0 and isinstance(missing, int)
+
+    def test_format_renders_ints_without_decimal_point(self):
+        trace = StageTrace()
+        trace.record("solve", 0.1, counters={"workers": 2, "frac": 0.5})
+        text = trace.format()
+        assert "workers=2" in text and "workers=2.0" not in text
+        assert "frac=0.5" in text
+
+
+class TestTimingCounterNames:
+    """Satellite (a): the pipeline's timer-effort counters use the
+    canonical TimerStats field names — no drifted aliases like the old
+    ``incr_timings``."""
+
+    def test_merged_names_are_timerstats_fields(self):
+        before = TimerStats()
+        after = TimerStats(
+            full_timings=1,
+            incremental_timings=2,
+            changes_applied=3,
+            retimed_nodes=40,
+            graph_nodes=100,
+        )
+        merged = _merge_timing_counters(None, before, after)
+        field_names = {f.name for f in dataclasses.fields(TimerStats)}
+        assert set(merged) <= field_names
+        assert merged == {
+            "changes_applied": 3,
+            "incremental_timings": 2,
+            "full_timings": 1,
+            "retimed_nodes": 40,
+            "graph_nodes": 100,
+        }
+
+    def test_merged_deltas_stay_ints(self):
+        merged = _merge_timing_counters(
+            {"seconds": 0.5},
+            TimerStats(),
+            TimerStats(incremental_timings=1, retimed_nodes=7, graph_nodes=9),
+        )
+        for key in ("incremental_timings", "retimed_nodes", "graph_nodes"):
+            assert isinstance(merged[key], int)
+        assert merged["seconds"] == 0.5
+
+    def test_zero_deltas_keep_counters_untouched(self):
+        counters = {"n": 1}
+        stats = TimerStats(graph_nodes=50)
+        assert _merge_timing_counters(counters, stats, stats) is counters
+
+
+class TestReuseSummary:
+    """Satellite (c): reuse aggregation across flow -> compose -> solve
+    nesting."""
+
+    def _nested_trace(self):
+        solve = StageTrace()
+        solve.record(
+            "partition", 0.1,
+            counters={"components_reused": 4, "components_recomputed": 1},
+        )
+        compose = StageTrace()
+        compose.record(
+            "analyze", 0.2,
+            counters={"registers_reused": 30, "registers_recomputed": 5},
+        )
+        compose.record("solve", 0.3, children=solve)
+        flow = StageTrace()
+        flow.record("base-metrics", 0.1)
+        flow.record("compose", 0.6, children=compose)
+        return flow
+
+    def test_folds_pairs_across_all_nesting_levels(self):
+        summary = self._nested_trace().reuse_summary()
+        assert summary == {
+            "components": (4, 1),
+            "registers": (30, 5),
+        }
+        for reused, recomputed in summary.values():
+            assert isinstance(reused, int) and isinstance(recomputed, int)
+
+    def test_repeated_passes_accumulate(self):
+        trace = self._nested_trace()
+        trace.record(
+            "compose", 0.1,
+            counters={"registers_reused": 10, "registers_recomputed": 0},
+        )
+        assert trace.reuse_summary()["registers"] == (40, 5)
+
+    def test_unpaired_counters_ignored(self):
+        trace = StageTrace()
+        trace.record("a", 0.0, counters={"n": 3, "registers_reused": 1})
+        assert trace.reuse_summary() == {"registers": (1, 0)}
+
+
+class TestStageTraceFromSpans:
+    """StageTrace as a view over tracer spans."""
+
+    def _spans(self):
+        tracer = obs.Tracer()
+        prev = obs.set_tracer(tracer)
+        try:
+            with tracer.span("stage.compose", cat="stage", composed=3):
+                # An intermediate non-stage span (like eco.recompose) must
+                # not break the stage nesting chain.
+                with tracer.span("eco.recompose", cat="eco"):
+                    with tracer.span("stage.solve", cat="stage", workers=2):
+                        with tracer.span("ilp.solve", cat="ilp"):
+                            pass
+            with tracer.span("stage.final", cat="stage", ok=True, frac=0.5):
+                pass
+        finally:
+            obs.set_tracer(prev)
+        return tracer.records()
+
+    def test_rebuilds_nesting_and_strips_prefix(self):
+        trace = StageTrace.from_spans(self._spans())
+        assert [r.name for r in trace.records] == ["compose", "final"]
+        compose = trace.records[0]
+        assert compose.children is not None
+        assert [r.name for r in compose.children.records] == ["solve"]
+        # solve has no *stage* children: ilp.solve is cat="ilp".
+        assert compose.children.records[0].children is None
+
+    def test_counters_from_numeric_args_exclude_bools(self):
+        trace = StageTrace.from_spans(self._spans())
+        assert trace.records[0].counters == {"composed": 3}
+        assert trace.records[0].children.records[0].counters == {"workers": 2}
+        assert trace.records[1].counters == {"frac": 0.5}
+
+    def test_pipeline_spans_match_its_stagetrace(self):
+        tracer = obs.install_tracer()
+        try:
+            pipe = Pipeline(
+                (
+                    FunctionStage("a", lambda ctx: {"n": 1}),
+                    FunctionStage("b", lambda ctx: None),
+                )
+            )
+            direct = pipe.run({})
+        finally:
+            obs.set_tracer(None)
+        view = StageTrace.from_spans(tracer.records())
+        assert [r.name for r in view.records] == [r.name for r in direct.records]
+        assert view.records[0].counters == direct.records[0].counters

@@ -1,0 +1,89 @@
+"""Unit tests for the structured run logs."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs import logs as obs_logs
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    root = logging.getLogger("repro")
+    for h in list(root.handlers):
+        root.removeHandler(h)
+    obs_logs._configured = False
+    obs_logs.configure_logging(force=True)
+
+
+def _capture_handler(formatter):
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(formatter)
+    return stream, handler
+
+
+class TestJsonLines:
+    def test_record_is_one_json_object(self):
+        obs_logs.configure_logging(json_mode=True, force=True)
+        root = logging.getLogger("repro")
+        stream, handler = _capture_handler(obs_logs.JsonLinesFormatter())
+        root.addHandler(handler)
+        obs.log("eco.recompose", dirty=12, composed=3)
+        line = stream.getvalue().strip()
+        payload = json.loads(line)
+        assert payload["event"] == "eco.recompose"
+        assert payload["dirty"] == 12 and payload["composed"] == 3
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro"
+        assert isinstance(payload["ts"], float)
+
+    def test_sub_logger_name_is_namespaced(self):
+        lg = obs.get_logger("ilp")
+        assert lg.name == "repro.ilp"
+        assert obs.get_logger("repro.ilp").name == "repro.ilp"
+
+
+class TestTextMode:
+    def test_fields_appended_as_kv(self):
+        obs_logs.configure_logging(json_mode=False, force=True)
+        root = logging.getLogger("repro")
+        root.setLevel(logging.INFO)
+        stream, handler = _capture_handler(obs_logs.TextFormatter())
+        root.addHandler(handler)
+        obs.log("flow.start", design="D1")
+        out = stream.getvalue()
+        assert "flow.start" in out and "design=D1" in out
+
+
+class TestDefaults:
+    def test_silent_by_default(self, capsys, monkeypatch):
+        monkeypatch.delenv(obs_logs.JSON_ENV, raising=False)
+        monkeypatch.delenv(obs_logs.TEXT_ENV, raising=False)
+        obs_logs.configure_logging(force=True)
+        obs.log("quiet.event", x=1)
+        captured = capsys.readouterr()
+        assert "quiet.event" not in captured.out + captured.err
+
+    def test_env_enables_json(self, monkeypatch):
+        monkeypatch.setenv(obs_logs.JSON_ENV, "1")
+        obs_logs.configure_logging(force=True)
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(h.formatter, obs_logs.JsonLinesFormatter)
+            for h in root.handlers
+        )
+
+    def test_level_filter(self):
+        obs_logs.configure_logging(json_mode=True, level="WARNING", force=True)
+        root = logging.getLogger("repro")
+        stream, handler = _capture_handler(obs_logs.JsonLinesFormatter())
+        root.addHandler(handler)
+        obs.log("info.event")
+        obs.log("warn.event", level=logging.WARNING)
+        out = stream.getvalue()
+        assert "info.event" not in out and "warn.event" in out

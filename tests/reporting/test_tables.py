@@ -4,7 +4,7 @@ from repro.core.composer import CompositionResult
 from repro.engine import StageTrace
 from repro.flow import FlowReport
 from repro.metrics import DesignMetrics
-from repro.reporting import format_stage_runtimes
+from repro.reporting import format_stage_counters, format_stage_runtimes
 
 
 def _report(name: str, stages: dict[str, float]) -> FlowReport:
@@ -46,3 +46,31 @@ class TestStageRuntimes:
         rep.trace = None
         text = format_stage_runtimes([rep])
         assert "D1" in text
+
+
+class TestStageCounters:
+    def test_int_counters_render_without_decimal_point(self):
+        rep = _report("D1", {})
+        rep.trace.record("compose", 1.0, counters={"ilp_nodes": 4420, "workers": 2})
+        text = format_stage_counters([rep])
+        assert "ilp_nodes=4420" in text
+        assert "workers=2" in text
+        assert "2.0" not in text  # ints never grow a spurious decimal point
+
+    def test_float_counters_render_compactly(self):
+        rep = _report("D1", {})
+        rep.trace.record("solve", 0.5, counters={"gap": 0.25})
+        assert "gap=0.25" in format_stage_counters([rep])
+
+    def test_nested_children_are_summed(self):
+        rep = _report("D1", {})
+        inner = StageTrace()
+        inner.record("solve", 0.2, counters={"ilp_nodes": 3})
+        rep.trace.record("compose", 1.0, counters={"ilp_nodes": 4}, children=inner)
+        text = format_stage_counters([rep])
+        assert "ilp_nodes=7" in text
+
+    def test_traceless_report_renders(self):
+        rep = _report("D1", {})
+        rep.trace = None
+        assert format_stage_counters([rep]).startswith("D1:")

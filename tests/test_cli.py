@@ -1,8 +1,12 @@
 """Tests for the command-line driver."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import main
+from repro.obs.manifest import MANIFEST_REQUIRED_KEYS, validate_manifest
 
 
 @pytest.fixture(scope="module")
@@ -100,3 +104,88 @@ class TestCli:
     def test_missing_required_args(self):
         with pytest.raises(SystemExit):
             main(["compose", "--period", "1.0"])
+
+
+class TestObservability:
+    """The run/trace subcommands and their exported artifacts."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_obs(self):
+        yield
+        obs.set_tracer(None)
+        obs.set_registry(obs.MetricsRegistry())
+
+    def test_run_exports_trace_and_manifest(self, tmp_path, capsys):
+        trace_out = tmp_path / "t.json"
+        manifest_out = tmp_path / "m.json"
+        rc = main([
+            "run",
+            "--preset", "D1",
+            "--scale", "0.1",
+            "--workers", "2",
+            "--trace-out", str(trace_out),
+            "--manifest-out", str(manifest_out),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Base" in out and "Ours" in out
+
+        trace = json.loads(trace_out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert "flow.run" in names
+        assert "stage.solve" in names
+        assert "ilp.solve" in names
+        # Parallel ILP workers contribute spans from their own processes.
+        assert len({e["pid"] for e in events}) > 1
+        # Worker ilp.solve spans nest under the parent's timeline
+        # (adopted, not floating): every event has valid ts/dur.
+        assert all(e["dur"] >= 0 for e in spans)
+
+        manifest = json.loads(manifest_out.read_text())
+        assert validate_manifest(manifest) == []
+        assert set(MANIFEST_REQUIRED_KEYS) <= set(manifest)
+        counters = manifest["metrics"]["counters"]
+        # ILP effort and timer retime stats made it into the registry.
+        assert counters.get("ilp.setpart.solves", 0) > 0
+        assert counters.get("ilp.setpart.nodes_explored", 0) > 0
+        assert counters.get("sta.full_timings", 0) > 0
+        assert manifest["flow"]["registers_before"] > 0
+        assert manifest["spans"]["ilp.solve"]["count"] > 0
+
+    def test_run_without_artifacts_leaves_tracing_disabled(self, capsys):
+        rc = main(["run", "--preset", "D1", "--scale", "0.1"])
+        assert rc == 0
+        assert not obs.tracing_enabled()
+
+    def test_trace_subcommand_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        rc = main(["trace", str(out), "--preset", "D1", "--scale", "0.1"])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert any(e.get("name") == "flow.run" for e in data["traceEvents"])
+
+    def test_compose_accepts_trace_out(self, generated, tmp_path, capsys):
+        trace_out = tmp_path / "c.json"
+        rc = main([
+            "compose",
+            "--lib", str(generated) + ".lib",
+            "--verilog", str(generated) + ".v",
+            "--def", str(generated) + ".def",
+            "--period", "0.5",
+            "--trace-out", str(trace_out),
+        ])
+        assert rc == 0
+        assert json.loads(trace_out.read_text())["traceEvents"]
+
+    def test_eco_prints_cache_efficiency_line(self, capsys):
+        rc = main(["eco", "--preset", "D1", "--scale", "0.1", "--moves", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        cache_lines = [ln for ln in out.splitlines() if ln.startswith("cache:")]
+        assert len(cache_lines) == 1
+        line = cache_lines[0]
+        assert "component hits" in line and "evictions" in line
+        assert "runtime saved" in line
