@@ -1,0 +1,99 @@
+"""Hypothesis strategies for designs and edit sequences.
+
+The generators stay *shrink-friendly* by drawing plain data — spec
+parameters, ``(kind, seed)`` edit tuples — and resolving it through the
+deterministic bench generator and the fuzzer's concrete-op machinery.
+Hypothesis shrinks the data; the heavy objects are always derived, never
+drawn, so a shrunk failing example is a small seeded netlist plus a short
+edit list, both trivially replayable.
+
+Requires ``hypothesis`` (a dev extra); importing this module without it
+raises ImportError, but nothing else in :mod:`repro.check` depends on it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.bench.generator import BenchmarkSpec, DesignBundle, generate_design
+from repro.check.fuzz import OP_KINDS, EditWorld, apply_op, propose_op
+from repro.library import default_library
+
+#: One shared library instance: spec resolution is pure, the library is
+#: immutable in practice, and rebuilding it per example doubles runtime.
+_LIBRARY = default_library()
+
+#: Width mixes worth probing: single-bit heavy, MBR heavy, and mixed.
+_WIDTH_MIXES = (
+    {1: 1.0},
+    {1: 0.6, 2: 0.4},
+    {1: 0.45, 2: 0.25, 4: 0.20, 8: 0.10},
+    {2: 0.3, 4: 0.4, 8: 0.3},
+)
+
+
+@st.composite
+def design_specs(draw) -> BenchmarkSpec:
+    """Small, fully seeded :class:`BenchmarkSpec` instances.
+
+    Sizes stay in the 12–36 register range: big enough to form cliques,
+    partitions, and scan chains, small enough that a property running
+    dozens of examples (each of which composes the design more than once)
+    finishes in CI time.
+    """
+    return BenchmarkSpec(
+        name="hyp",
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        n_registers=draw(st.integers(min_value=12, max_value=36)),
+        width_mix=draw(st.sampled_from(_WIDTH_MIXES)),
+        cluster_size=draw(st.sampled_from((6, 10, 20))),
+        dont_touch_fraction=draw(st.sampled_from((0.0, 0.12))),
+        scan_fraction=draw(st.sampled_from((0.0, 0.5))),
+        chain_length=10,
+        failing_endpoint_fraction=draw(st.sampled_from((0.1, 0.38))),
+    )
+
+
+def build_bundle(spec: BenchmarkSpec) -> DesignBundle:
+    """Resolve a drawn spec into a placed, timed, scan-stitched world."""
+    return generate_design(spec, _LIBRARY)
+
+
+def edit_sequences(
+    min_size: int = 1, max_size: int = 8
+) -> st.SearchStrategy[list[tuple[str, int]]]:
+    """Sequences of ``(kind, seed)`` pairs describing edits abstractly.
+
+    Each pair resolves against the *current* world via
+    :func:`apply_edit_sequence`, so a sequence stays meaningful as the
+    netlist changes underneath it — and shrinking drops or simplifies
+    pairs without ever invalidating the rest of the list.
+    """
+    return st.lists(
+        st.tuples(
+            st.sampled_from(OP_KINDS),
+            st.integers(min_value=0, max_value=2**16),
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def apply_edit_sequence(
+    world: EditWorld, sequence: list[tuple[str, int]]
+) -> list[dict]:
+    """Resolve and apply an abstract edit sequence; returns concrete ops.
+
+    Each ``(kind, seed)`` pair proposes a concrete op with its own
+    ``random.Random(seed)``; kinds with no candidate in the current world
+    (e.g. ``decompose`` with no multi-bit register) resolve to nothing and
+    are skipped.
+    """
+    applied: list[dict] = []
+    for kind, seed in sequence:
+        op = propose_op(world, random.Random(seed), kind=kind)
+        if op is not None and apply_op(world, op):
+            applied.append(op)
+    return applied

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli generate --preset D1 --scale 0.25 --out-prefix d1
     python -m repro.cli report --lib repro28.lib --verilog d.v --def d.def --period 1.2
     python -m repro.cli eco --preset D1 --moves 20 [--audit]
+    python -m repro.cli check --preset D1 --storms 5 --seed 7 [--replay f.json]
 
 ``run`` executes the full flow on a synthetic preset (no files needed)
 and can export the observability artifacts: ``--trace-out`` writes a
@@ -24,9 +25,12 @@ placed design; ``eco`` demonstrates incremental recomposition — a seeded
 storm of localized register moves, each followed by
 ``EcoSession.recompose()``, reporting how much cached work every edit
 reused (``--audit``, or ``REPRO_ECO_AUDIT=1``, shadow-checks each
-recompose against a from-scratch compose).  Structured run logs are
-available everywhere via ``REPRO_LOG=1`` (text) / ``REPRO_LOG_JSON=1``
-(JSON lines).
+recompose against a from-scratch compose).  ``check`` runs seeded edit
+storms through an ``EcoSession`` with every invariant checker and
+differential oracle armed (``repro.check``): exit 0 when clean, else a
+violation report plus a deterministic reproducer JSON that ``--replay``
+re-executes.  Structured run logs are available everywhere via
+``REPRO_LOG=1`` (text) / ``REPRO_LOG_JSON=1`` (JSON lines).
 """
 
 from __future__ import annotations
@@ -282,6 +286,36 @@ def _cache_efficiency_line() -> str:
     return line
 
 
+def cmd_check(args) -> int:
+    """Edit-storm fuzzing with every invariant checker and oracle armed.
+
+    Exits 0 when every storm stays clean; on any violation, prints the
+    report and dumps a deterministic reproducer JSON (seed + concrete
+    edit trace) that ``repro check --replay FILE`` re-executes.
+    """
+    from repro.check.fuzz import replay, run_check, write_reproducer
+
+    _install_obs(args)
+    if args.replay:
+        report = replay(args.replay)
+    else:
+        report = run_check(
+            preset_name=args.preset,
+            scale=args.scale,
+            storms=args.storms,
+            seed=args.seed,
+            edits_per_storm=args.edits_per_storm,
+            inject_fault=args.inject_fault,
+        )
+    print(report.format())
+    _export_obs(args, f"check-{report.preset}")
+    if report.ok:
+        return 0
+    out = write_reproducer(report, args.reproducer_out)
+    print(f"wrote reproducer: {out} (replay with: repro check --replay {out})")
+    return 1
+
+
 def cmd_report(args) -> int:
     _, design, scan_model, timer = _load(args)
     metrics = collect_metrics(design, timer, scan_model)
@@ -405,6 +439,43 @@ def build_parser() -> argparse.ArgumentParser:
         "from-scratch compose (also: REPRO_ECO_AUDIT=1)",
     )
     eco.set_defaults(func=cmd_eco)
+
+    chk = sub.add_parser(
+        "check",
+        help="seeded edit-storm fuzzing with invariant checkers and "
+        "differential oracles; nonzero exit + reproducer JSON on violation",
+    )
+    chk.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    chk.add_argument("--scale", type=float, default=0.15)
+    chk.add_argument("--storms", type=int, default=5, help="edit storms to run")
+    chk.add_argument("--seed", type=int, default=7)
+    chk.add_argument(
+        "--edits-per-storm",
+        dest="edits_per_storm",
+        type=int,
+        default=8,
+        help="random edits per storm before recomposing (default: 8)",
+    )
+    chk.add_argument(
+        "--inject-fault",
+        dest="inject_fault",
+        action="store_true",
+        help="plant a deliberate multi-driver corruption in the first storm "
+        "(self-test: must exit nonzero and write a reproducer)",
+    )
+    chk.add_argument(
+        "--reproducer-out",
+        dest="reproducer_out",
+        default="repro_check_reproducer.json",
+        help="where to write the reproducer JSON on failure",
+    )
+    chk.add_argument(
+        "--replay",
+        help="re-execute a reproducer JSON instead of fuzzing "
+        "(deterministic: same violations every run)",
+    )
+    add_obs_outputs(chk)
+    chk.set_defaults(func=cmd_check)
     return parser
 
 

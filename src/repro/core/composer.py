@@ -44,6 +44,7 @@ from repro.core.partition import DEFAULT_MAX_NODES, partition_component
 from repro.core.subproblem import make_spec, solve_subproblems
 from repro.engine import FlowContext, Pipeline, StageTrace, stage
 from repro.geometry.rect import Rect
+from repro.library.functional import ScanStyle
 from repro.netlist.design import Design
 from repro.netlist.edit import ComposeError, compose_mbr
 from repro.netlist.registers import RegisterBit, RegisterView
@@ -659,7 +660,10 @@ def _apply_candidates(
             continue
         if scan_model is not None:
             scan_model.replace_group(
-                list(cand.members), new_cell.name, bit_map=_bit_map(bit_order)
+                list(cand.members),
+                new_cell.name,
+                bit_map=_bit_map(bit_order),
+                multi=target.scan_style is ScanStyle.MULTI,
             )
         new_cells.append(new_cell)
         result.composed.append(

@@ -77,9 +77,10 @@ def decompose_mbr(
 ) -> ChangeRecord:
     """Split ``cell`` (a multi-bit register) into 1-bit registers.
 
-    The new cells line up row-wise starting at the MBR's origin (the caller
-    legalizes); each takes over its bit's D/Q nets and the shared control
-    nets.  Internal scan chains expand into external per-bit stitches, and
+    The new cells line up row-wise anchored at the MBR's origin, shifted
+    left/down as needed so the whole row stays inside the die (the caller
+    fine-legalizes); each takes over its bit's D/Q nets and the shared
+    control nets.  Internal scan chains expand into external per-bit stitches, and
     ``scan_model`` (when given) has the MBR's chain entry replaced by the
     new cell sequence.  Returns the edit's
     :class:`~repro.netlist.change.ChangeRecord`; ``record.new_cells`` holds
@@ -99,13 +100,22 @@ def decompose_mbr(
     si_net = view.scan_in_net() if original.func_class.is_scan else None
     so_net = view.scan_out_net() if original.func_class.is_scan else None
 
+    # A row of 1-bit cells is wider than the MBR it replaces (that is the
+    # area an MBR saves), so an MBR flush against the right die edge would
+    # spill its bit row past die.xhi: anchor the row at the origin but pull
+    # it back on-die when needed.
+    die = design.die
+    row_width = len(bits) * target.width
+    x0 = max(die.xlo, min(cell.origin.x, die.xhi - row_width))
+    y0 = max(die.ylo, min(cell.origin.y, die.yhi - target.height))
+
     with design.track() as tracker:
         new_cells: list[Cell] = []
         for k, bit in enumerate(bits):
             new_cell = design.add_cell(
                 design.unique_name(f"{cell.name}_bit"),
                 target,
-                Point(cell.origin.x + k * target.width, cell.origin.y),
+                Point(x0 + k * target.width, y0),
             )
             if clock_net is not None:
                 design.connect(new_cell.pin(target.clock_pin_name), clock_net)

@@ -50,6 +50,18 @@ BENCH_DESIGN_KEYS = (
     "metrics",
 )
 
+#: Expected value shapes inside a bench design entry, enforced by
+#: :func:`validate_bench` — a present-but-mistyped value (a stringified
+#: runtime, a list where the metrics snapshot belongs) corrupts the
+#: trajectory diffs just as silently as a missing key.
+_BENCH_NUMBER_KEYS = ("runtime_seconds", "register_reduction", "wns", "tns")
+_BENCH_INT_KEYS = ("registers_before", "registers_after")
+_BENCH_DICT_KEYS = ("stage_seconds", "metrics")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
 
 def _plain(value):
     """Config objects → JSON-ready plain data (dataclasses recurse)."""
@@ -125,14 +137,44 @@ def validate_bench(data: dict) -> list[str]:
             errors.append(f"missing required key {key!r}")
     if data.get("schema") not in (None, BENCH_SCHEMA):
         errors.append(f"schema mismatch: {data.get('schema')!r} != {BENCH_SCHEMA!r}")
+    for key in ("generated_unix", "scale"):
+        if key in data and not _is_number(data[key]):
+            errors.append(
+                f"{key!r} must be a number, got {type(data[key]).__name__}"
+            )
     designs = data.get("designs")
     if not isinstance(designs, dict) or not designs:
         errors.append("'designs' must be a non-empty object")
         return errors
     for name, entry in designs.items():
+        if not isinstance(entry, dict):
+            errors.append(
+                f"design {name!r} must be an object, got {type(entry).__name__}"
+            )
+            continue
         for key in BENCH_DESIGN_KEYS:
             if key not in entry:
                 errors.append(f"design {name!r} missing key {key!r}")
+        for key in _BENCH_NUMBER_KEYS:
+            if key in entry and not _is_number(entry[key]):
+                errors.append(
+                    f"design {name!r} key {key!r} must be a number, "
+                    f"got {type(entry[key]).__name__}"
+                )
+        for key in _BENCH_INT_KEYS:
+            if key in entry and (
+                not isinstance(entry[key], int) or isinstance(entry[key], bool)
+            ):
+                errors.append(
+                    f"design {name!r} key {key!r} must be an integer, "
+                    f"got {type(entry[key]).__name__}"
+                )
+        for key in _BENCH_DICT_KEYS:
+            if key in entry and not isinstance(entry[key], dict):
+                errors.append(
+                    f"design {name!r} key {key!r} must be an object, "
+                    f"got {type(entry[key]).__name__}"
+                )
     return errors
 
 

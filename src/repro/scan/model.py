@@ -272,30 +272,36 @@ class ScanModel:
         group: list[str],
         new_cell: str,
         bit_map: dict[str, tuple[int, ...]] | None = None,
+        multi: bool = False,
     ) -> None:
         """Record that ``group`` merged into ``new_cell``.
 
         ``bit_map`` maps each member to the new cell's bit indices it
-        occupies (the composer derives it from the bit order it wired).
+        occupies (the composer derives it from the bit order it wired);
+        ``multi`` says the new cell is a multi-SI/SO register that several
+        chains may cross.
 
-        *Unordered* chains collapse the group onto the earliest member
-        position of the first affected chain — moving scan bits across
-        chains of a partition is what the paper allows for unordered
-        sections, and a later :meth:`reorder_chains` re-optimizes them.
+        A single-SI/SO cell occupies exactly one chain hop, so the group
+        collapses onto the earliest member position of one *host* chain —
+        an ordered affected chain when there is one (the MBR inherits the
+        ordered section's slot; its internal chain preserves member order
+        via the composer's bit order), else the first affected chain.
+        Moving the other chains' scan bits across chains is what the paper
+        allows for unordered sections, and a later :meth:`reorder_chains`
+        re-optimizes them.
 
-        When any affected chain is *ordered* (and ``bit_map`` is known),
-        every member is replaced **in place** by a per-bit visit of the new
-        cell, so each chain's relative order survives exactly: this is the
-        multi-SI/SO case where several chain segments cross one MBR.
-        Adjacent visits merge, so a consecutive run becomes a single hop.
+        When the new cell is ``multi`` (and ``bit_map`` is known), every
+        member is instead replaced **in place** by a per-bit visit of the
+        new cell, so each affected chain's relative order survives exactly:
+        this is the multi-SI/SO case where several chain segments cross one
+        MBR.  Adjacent visits merge, so a consecutive run becomes one hop.
         """
         group_set = set(group)
         affected = sorted({self._chain_of[g] for g in group if g in self._chain_of})
         if not affected:
             return
-        ordered_involved = any(self.chains[c].ordered for c in affected)
 
-        if ordered_involved and bit_map is not None:
+        if multi and bit_map is not None:
             for chain_name in affected:
                 chain = self.chains[chain_name]
                 cells: list[str] = []
@@ -317,7 +323,9 @@ class ScanModel:
                 c for c in affected if new_cell in self.chains[c].cells
             )
         else:
-            first = True
+            host = next(
+                (c for c in affected if self.chains[c].ordered), affected[0]
+            )
             for chain_name in affected:
                 chain = self.chains[chain_name]
                 cells = []
@@ -325,7 +333,7 @@ class ScanModel:
                 inserted = False
                 for cell_name, hop in zip(chain.cells, chain.hop_bits):
                     if cell_name in group_set:
-                        if first and not inserted:
+                        if chain_name == host and not inserted:
                             cells.append(new_cell)
                             bits.append(None)
                             inserted = True
@@ -336,7 +344,6 @@ class ScanModel:
                 chain.hop_bits = bits
                 if inserted:
                     self._chain_of[new_cell] = chain_name
-                    first = False
         for g in group:
             self._chain_of.pop(g, None)
 
@@ -402,6 +409,12 @@ class ScanModel:
             hops.sort(key=serpentine_key)
             new_cells = [c.name for c, _ in hops]
             if new_cells != chain.cells:
+                # Names filtered out above (cells gone from the design) must
+                # also leave the chain index, or chain_of()/partition_of()
+                # keep answering for dead cells — and clone() would copy the
+                # dangling entries into the audit's reference model.
+                for name in set(chain.cells) - set(new_cells):
+                    self._chain_of.pop(name, None)
                 chain.cells = new_cells
                 chain.hop_bits = [bits for _, bits in hops]
                 changed += 1

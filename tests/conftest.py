@@ -1,8 +1,42 @@
-"""Shared fixtures: a default library and small hand-built designs."""
+"""Shared fixtures: a default library and small hand-built designs.
+
+Also registers the Hypothesis example-budget profiles used by the
+property suite (``tests/check/test_properties.py``):
+
+``dev`` (default)
+    6 examples per property — keeps the tier-1 run fast locally.
+``ci``
+    30 examples, derandomized — the exhaustive, deterministic budget CI
+    selects with ``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - property tests skip without it
+    pass
+else:
+    _suppress = [
+        HealthCheck.too_slow,
+        HealthCheck.filter_too_much,
+        HealthCheck.data_too_large,
+    ]
+    settings.register_profile(
+        "ci",
+        max_examples=30,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=_suppress,
+    )
+    settings.register_profile(
+        "dev", max_examples=6, deadline=None, suppress_health_check=_suppress
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.geometry import Point, Rect
 from repro.library import CellLibrary, default_library

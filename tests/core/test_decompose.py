@@ -93,6 +93,19 @@ class TestDecomposeMbr:
         assert new[-1].pin("SO").net is scan_row.net("n_so")
         assert not _errors(scan_row)
 
+    def test_bit_row_stays_inside_die(self, lib, mbr_design):
+        # The 1-bit row is wider than the MBR; flush against the right die
+        # edge it must be anchored back on-die, not spilled past xhi.
+        die = mbr_design.die
+        mbr = mbr_design.cell("mbr")
+        mbr.move_to(Point(die.xhi - mbr.register_cell.width, die.yhi - mbr.register_cell.height))
+        new = decompose_mbr(mbr_design, mbr).new_cells
+        for cell in new:
+            c = cell.register_cell
+            assert cell.origin.x >= die.xlo and cell.origin.y >= die.ylo
+            assert cell.origin.x + c.width <= die.xhi + 1e-9
+            assert cell.origin.y + c.height <= die.yhi + 1e-9
+
     def test_decompose_then_retime(self, lib, mbr_design):
         timer = Timer(mbr_design, clock_period=1.0)
         before = timer.summary()

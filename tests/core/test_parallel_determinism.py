@@ -10,34 +10,17 @@ against nondeterministic scheduling artifacts.
 import pytest
 
 from repro.bench import generate_design, preset
+from repro.check import assert_clean, diff_serial_vs_parallel
 from repro.core.composer import ComposerConfig, compose_design
-
-
-def _compose(lib, name: str, scale: float, workers: int):
-    bundle = generate_design(preset(name, scale=scale), lib)
-    result = compose_design(
-        bundle.design, bundle.timer, bundle.scan_model, workers=workers
-    )
-    return bundle.design, result
 
 
 @pytest.mark.parametrize("name,scale", [("D1", 0.12), ("D2", 0.1)])
 def test_workers_4_bit_identical_to_serial(lib, name, scale):
-    design1, serial = _compose(lib, name, scale, workers=1)
-    design4, parallel = _compose(lib, name, scale, workers=4)
+    def make_world():
+        bundle = generate_design(preset(name, scale=scale), lib)
+        return bundle.design, bundle.timer, bundle.scan_model
 
-    def groups(result):
-        return [
-            (set(g.members), g.weight, g.bits, g.libcell, g.incomplete)
-            for g in result.composed
-        ]
-
-    assert groups(serial) == groups(parallel)
-    assert serial.registers_after == parallel.registers_after
-    assert serial.registers_before == parallel.registers_before
-    assert serial.ilp_nodes == parallel.ilp_nodes
-    assert design1.total_register_count() == design4.total_register_count()
-    assert design1.width_histogram() == design4.width_histogram()
+    assert_clean(diff_serial_vs_parallel(make_world, workers=4))
 
 
 def test_workers_override_beats_config(lib):

@@ -17,51 +17,18 @@ from dataclasses import replace
 import pytest
 
 from repro.bench import generate_design, preset
-from repro.core.composer import CompositionResult, compose_design
+from repro.check import (
+    assert_clean,
+    clone_world,
+    compare_session_to_reference,
+    scratch_compose,
+)
+from repro.core.composer import compose_design
 from repro.flow import EcoSession
 from repro.geometry import Point
 from repro.sta import Timer
 
 from tests.conftest import make_flop_row
-
-
-def _clone_world(session: EcoSession):
-    """An independent copy of the session's current design/timer/scan."""
-    design = session.design.clone()
-    timer = Timer(
-        design,
-        session.timer.clock_period,
-        skew=dict(session.timer.skew),
-        input_delay=session.timer.input_delay,
-        output_delay=session.timer.output_delay,
-        technology=session.timer.tech,
-        audit_mode=False,
-    )
-    scan = session.scan_model.clone() if session.scan_model is not None else None
-    return design, timer, scan
-
-
-def _scratch_compose(session: EcoSession) -> tuple:
-    """From-scratch compose of a clone; returns (result, design, timer)."""
-    design, timer, scan = _clone_world(session)
-    result = compose_design(
-        design,
-        timer,
-        scan,
-        config=replace(session.config, passes=session.max_passes),
-    )
-    return result, design, timer
-
-
-def _groups(result: CompositionResult):
-    return [(g.new_cell, g.libcell, tuple(g.members), g.bits) for g in result.composed]
-
-
-def _placements(design):
-    return {
-        name: (c.libcell.name, c.origin.x, c.origin.y)
-        for name, c in design.cells.items()
-    }
 
 
 def _random_move(design, rng, radius=3.0):
@@ -83,14 +50,16 @@ class TestEcoEquivalence:
     def test_priming_compose_matches_compose_design(self, lib):
         bundle = generate_design(preset("D1", scale=0.15), lib)
         session = EcoSession(bundle.design, bundle.timer, bundle.scan_model)
-        ref_result, ref_design, ref_timer = _scratch_compose(session)
+        ref_result, ref_design, ref_timer = scratch_compose(session)
 
         stats = session.recompose()
         assert not stats.incremental
 
-        assert _groups(stats.result) == _groups(ref_result)
-        assert _placements(session.design) == _placements(ref_design)
-        assert session.timer.summary() == ref_timer.summary()
+        assert_clean(
+            compare_session_to_reference(
+                session, stats.result, ref_result, ref_design, ref_timer
+            )
+        )
 
     def test_twenty_move_storm_stays_bit_identical(self, lib):
         bundle = generate_design(preset("D1", scale=0.15), lib)
@@ -106,7 +75,9 @@ class TestEcoEquivalence:
 
             # Snapshot the edited-but-not-yet-recomposed world; the shadow
             # compose runs from scratch on that clone.
-            design, timer, scan = _clone_world(session)
+            design, timer, scan = clone_world(
+                session.design, session.timer, session.scan_model
+            )
             stats = session.recompose()
             assert stats.incremental
             assert stats.dirty_registers > 0
@@ -116,13 +87,12 @@ class TestEcoEquivalence:
                 scan,
                 config=replace(session.config, passes=session.max_passes),
             )
-            ref_design, ref_timer = design, timer
 
-            assert _groups(stats.result) == _groups(ref_result)
-            assert _placements(session.design) == _placements(ref_design)
-            live, ref = session.timer.summary(), ref_timer.summary()
-            assert live.wns == ref.wns
-            assert live.tns == ref.tns
+            assert_clean(
+                compare_session_to_reference(
+                    session, stats.result, ref_result, design, timer
+                )
+            )
 
             r, c = stats.reuse.get("components", (0.0, 0.0))
             reused += r

@@ -1,0 +1,82 @@
+"""``emit_bench.py --validate``: the CI gate on the trajectory artifact.
+
+CI archives ``BENCH_flow.json`` per commit and diffs it across PRs; a
+corrupted file (truncated upload, hand-edited entry, schema drift) must
+fail validation loudly, not poison the perf history.  These tests drive
+the real CLI entry point against deliberately corrupted payloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.emit_bench import main
+from repro.obs.manifest import BENCH_SCHEMA
+
+
+def _valid_payload() -> dict:
+    entry = {
+        "runtime_seconds": 3.5,
+        "stage_seconds": {"analyze": 0.4, "solve": 2.0},
+        "registers_before": 120,
+        "registers_after": 70,
+        "register_reduction": 0.4167,
+        "wns": -0.05,
+        "tns": -0.8,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_unix": 1754000000.0,
+        "scale": 0.25,
+        "designs": {"D1": entry},
+    }
+
+
+def _write(tmp_path, payload) -> str:
+    path = tmp_path / "BENCH_flow.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return str(path)
+
+
+class TestValidateCli:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, _valid_payload())
+        assert main(["--validate", path]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_missing_design_key_exits_nonzero(self, tmp_path, capsys):
+        payload = _valid_payload()
+        del payload["designs"]["D1"]["tns"]
+        path = _write(tmp_path, payload)
+        assert main(["--validate", path]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "'tns'" in out
+
+    def test_missing_top_level_key_exits_nonzero(self, tmp_path, capsys):
+        payload = _valid_payload()
+        del payload["scale"]
+        path = _write(tmp_path, payload)
+        assert main(["--validate", path]) == 1
+        assert "'scale'" in capsys.readouterr().out
+
+    def test_wrong_typed_value_exits_nonzero(self, tmp_path, capsys):
+        payload = _valid_payload()
+        payload["designs"]["D1"]["runtime_seconds"] = "3.5s"
+        path = _write(tmp_path, payload)
+        assert main(["--validate", path]) == 1
+        out = capsys.readouterr().out
+        assert "'runtime_seconds'" in out and "number" in out
+
+    def test_wrong_schema_exits_nonzero(self, tmp_path, capsys):
+        payload = _valid_payload()
+        payload["schema"] = "repro.bench.flow/99"
+        path = _write(tmp_path, payload)
+        assert main(["--validate", path]) == 1
+        assert "schema mismatch" in capsys.readouterr().out
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["--validate", str(tmp_path / "missing.json")])

@@ -88,9 +88,54 @@ class TestWriteManifest:
         assert not (tmp_path / "bad.json").exists()
 
 
+class TestManifestRoundTrip:
+    def test_write_then_load_is_lossless_and_valid(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("compose.components_reused").inc(3)
+        reg.gauge("check.violations_total").set(0.0)
+        tracer = Tracer()
+        with tracer.span("stage.solve", cat="stage"):
+            with tracer.span("ilp.solve", cat="ilp"):
+                pass
+        manifest = build_manifest(
+            {"name": "D1", "scale": 0.25},
+            config=_Cfg(passes=3),
+            flow={"runtime_seconds": 2.25, "wns": -0.125},
+            registry=reg,
+            tracer=tracer,
+        )
+        path = tmp_path / "manifest.json"
+        write_manifest(str(path), manifest)
+
+        loaded = json.loads(path.read_text())
+        assert validate_manifest(loaded) == []
+        # JSON round-trip must not lose or reshape anything: every value
+        # the builder put in is a plain JSON value already.
+        assert loaded == manifest
+
+    def test_round_trip_survives_a_second_write(self, tmp_path):
+        manifest = build_manifest(
+            {"name": "x"}, registry=MetricsRegistry(), tracer=Tracer()
+        )
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_manifest(str(first), manifest)
+        write_manifest(str(second), json.loads(first.read_text()))
+        assert json.loads(second.read_text()) == json.loads(first.read_text())
+
+
 class TestValidateBench:
     def _entry(self):
-        return {k: 0 for k in BENCH_DESIGN_KEYS}
+        return {
+            "runtime_seconds": 1.25,
+            "stage_seconds": {"solve": 0.5},
+            "registers_before": 100,
+            "registers_after": 60,
+            "register_reduction": 0.4,
+            "wns": -0.1,
+            "tns": -1.0,
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
 
     def test_good_payload(self):
         data = {
@@ -116,3 +161,39 @@ class TestValidateBench:
     def test_empty_designs_rejected(self):
         data = {"schema": BENCH_SCHEMA, "generated_unix": 0, "scale": 1.0, "designs": {}}
         assert any("non-empty" in e for e in validate_bench(data))
+
+    def test_wrong_typed_design_values_rejected(self):
+        entry = self._entry()
+        entry["runtime_seconds"] = "1.25"  # stringified number
+        entry["registers_before"] = 99.5  # float where an int belongs
+        entry["metrics"] = []  # list where the snapshot object belongs
+        data = {
+            "schema": BENCH_SCHEMA,
+            "generated_unix": 0,
+            "scale": 0.25,
+            "designs": {"D1": entry},
+        }
+        errors = validate_bench(data)
+        assert any("'runtime_seconds'" in e and "number" in e for e in errors)
+        assert any("'registers_before'" in e and "integer" in e for e in errors)
+        assert any("'metrics'" in e and "object" in e for e in errors)
+
+    def test_wrong_typed_top_level_values_rejected(self):
+        data = {
+            "schema": BENCH_SCHEMA,
+            "generated_unix": "now",
+            "scale": "quarter",
+            "designs": {"D1": self._entry()},
+        }
+        errors = validate_bench(data)
+        assert any("'generated_unix'" in e for e in errors)
+        assert any("'scale'" in e for e in errors)
+
+    def test_non_object_design_entry_rejected(self):
+        data = {
+            "schema": BENCH_SCHEMA,
+            "generated_unix": 0,
+            "scale": 0.25,
+            "designs": {"D1": [1, 2, 3]},
+        }
+        assert any("must be an object" in e for e in validate_bench(data))

@@ -75,6 +75,57 @@ class TestReplaceGroup:
         model.replace_group(["nfa", "nfb"], "mbr")
         assert model.chain_of("mbr") is None
 
+    def test_ordered_chain_wins_as_host(self):
+        # A non-multi MBR occupies exactly one hop; when the group spans an
+        # ordered and an unordered chain, it must inherit the ordered
+        # section's slot (its internal chain preserves the member order).
+        m = ScanModel()
+        m.add_chain(ScanChain("u", partition="P", cells=["a", "b"]))
+        m.add_chain(ScanChain("o", partition="P", cells=["x", "y"], ordered=True))
+        m.replace_group(["b", "x"], "mbr")
+        assert m.chains["o"].cells == ["mbr", "y"]
+        assert m.chains["u"].cells == ["a"]
+        assert m.chain_of("mbr").name == "o"
+
+    def test_non_multi_never_lands_on_two_chains(self):
+        # Regression: the pre-``multi`` code inserted the new cell on every
+        # affected chain, so a single-SI/SO MBR appeared twice — breaking
+        # the one-chain invariant and double-visiting its scan bits.
+        from repro.check import check_scan
+
+        m = ScanModel()
+        m.add_chain(ScanChain("c1", partition="P", cells=["a", "b"]))
+        m.add_chain(ScanChain("c2", partition="P", cells=["x", "y"]))
+        m.replace_group(["b", "x"], "mbr")
+        carrying = [c.name for c in m.chains.values() if "mbr" in c.cells]
+        assert len(carrying) == 1
+        assert check_scan(m) == []
+
+    def test_multi_replaces_in_place_on_every_chain(self):
+        # multi=True: each affected chain keeps its relative order by
+        # visiting the new cell's bits where its members used to sit.
+        from repro.check import check_scan
+
+        m = ScanModel()
+        m.add_chain(ScanChain("c1", partition="P", cells=["a", "b", "c"]))
+        m.add_chain(ScanChain("c2", partition="P", cells=["x", "y"]))
+        m.replace_group(
+            ["b", "x"], "mbr", bit_map={"b": (0,), "x": (1,)}, multi=True
+        )
+        assert m.chains["c1"].cells == ["a", "mbr", "c"]
+        assert m.chains["c1"].hop_bits[1] == (0,)
+        assert m.chains["c2"].cells == ["mbr", "y"]
+        assert m.chains["c2"].hop_bits[0] == (1,)
+        assert m.chain_of("mbr") is not None
+        assert check_scan(m) == []
+
+    def test_multi_merges_adjacent_visits(self):
+        m = ScanModel()
+        m.add_chain(ScanChain("c", partition="P", cells=["a", "b", "z"]))
+        m.replace_group(["a", "b"], "mbr", bit_map={"a": (0,), "b": (1,)}, multi=True)
+        assert m.chains["c"].cells == ["mbr", "z"]
+        assert m.chains["c"].hop_bits[0] == (0, 1)
+
 
 class TestRestitch:
     def test_restitch_after_scattered_merge(self, lib, scan_row):
@@ -126,6 +177,26 @@ class TestRestitch:
         assert scan_row.cell("ff0").pin("SO").net is mbr.pin("SI0").net
         assert mbr.pin("SO0").net is mbr.pin("SI1").net
         assert mbr.pin("SO1").net is scan_row.cell("ff3").pin("SI").net
+
+
+class TestReorderChains:
+    def test_dropped_dead_cells_leave_the_index(self, lib, scan_row):
+        # A chain hop whose cell is gone from the design is dropped by
+        # reorder_chains; the chain index must drop it too, or chain_of()
+        # keeps answering for a dead cell and clone() copies the dangling
+        # entry into the ECO audit's reference model.
+        from repro.check import check_scan
+
+        model = ScanModel()
+        model.add_chain(
+            ScanChain("c0", partition="P0", cells=["ff0", "ghost", "ff1", "ff2", "ff3"])
+        )
+        assert model.chain_of("ghost") is not None
+        assert model.reorder_chains(scan_row) == 1
+        assert "ghost" not in model.chains["c0"].cells
+        assert model.chain_of("ghost") is None
+        assert check_scan(model) == []
+        assert check_scan(model.clone()) == []
 
 
 class TestFromDesign:

@@ -12,6 +12,7 @@ import random
 
 import pytest
 
+from repro.check import assert_clean, diff_timer_vs_fresh
 from repro.geometry import Point
 from repro.library.functional import DFF_R
 from repro.netlist import compose_mbr
@@ -19,21 +20,10 @@ from repro.sta import Timer
 from repro.sta.timer import TimingAuditError
 
 
-def _slack_map(timer: Timer) -> dict[str, float]:
-    return {e.name: e.slack for e in timer.endpoint_slacks()}
-
-
-def _hold_map(timer: Timer) -> dict[str, float]:
-    return {e.name: e.slack for e in timer.hold_slacks()}
-
-
 def _assert_matches_fresh(timer: Timer, period: float) -> None:
     """The warm timer's every query equals a from-scratch timer's."""
-    fresh = Timer(timer.design, clock_period=period, skew=dict(timer.skew))
-    assert _slack_map(timer) == _slack_map(fresh)
-    assert _hold_map(timer) == _hold_map(fresh)
-    assert timer.summary() == fresh.summary()
-    assert timer.hold_summary() == fresh.hold_summary()
+    assert period == timer.clock_period
+    assert_clean(diff_timer_vs_fresh(timer))
 
 
 class TestApplyChange:
@@ -226,110 +216,34 @@ class TestAuditMode:
 
 
 class TestRandomizedEditSequence:
-    """Satellite: a seeded D1 edit storm, equivalence-checked every step."""
+    """Satellite: a seeded D1 edit storm, equivalence-checked every step.
+
+    The edits come from the shared :mod:`repro.check.fuzz` proposers (the
+    same ops the ``repro check`` storm runner draws), applied through an
+    :class:`~repro.flow.session.EcoSession` so the timer is patched the
+    way the production flow patches it; after every op the shared
+    incremental-vs-fresh oracle must report nothing.
+    """
 
     def test_d1_edit_sequence_matches_fresh_timer(self, lib):
         from repro.bench import generate_design, preset
+        from repro.check.fuzz import EditWorld, apply_op, propose_op
+        from repro.flow.session import EcoSession
 
         bundle = generate_design(preset("D1", scale=0.1), lib)
-        design, timer = bundle.design, bundle.timer
-        period = bundle.clock_period
+        timer = bundle.timer
+        world = EditWorld(
+            EcoSession(bundle.design, timer, bundle.scan_model)
+        )
         rng = random.Random(20170618)
         timer.summary()  # warm
 
-        def registers():
-            return sorted(
-                (c for c in design.registers() if not (c.dont_touch or c.fixed)),
-                key=lambda c: c.name,
-            )
-
-        def try_merge() -> bool:
-            from repro.netlist.edit import ComposeError
-
-            singles = [c for c in registers() if c.width_bits == 1]
-            rng.shuffle(singles)
-            for i in range(len(singles) - 1):
-                a = singles[i]
-                partners = [
-                    b
-                    for b in singles[i + 1 :]
-                    if b.register_cell.func_class is a.register_cell.func_class
-                ]
-                if not partners:
-                    continue
-                b = min(
-                    partners,
-                    key=lambda c: abs(c.origin.x - a.origin.x)
-                    + abs(c.origin.y - a.origin.y),
-                )
-                targets = design.library.register_cells(
-                    a.register_cell.func_class, 2
-                )
-                if not targets:
-                    continue
-                mid = Point(
-                    (a.origin.x + b.origin.x) / 2, (a.origin.y + b.origin.y) / 2
-                )
-                try:
-                    record = compose_mbr(design, [a, b], targets[0], mid)
-                except ComposeError:
-                    continue
-                timer.apply_change(record)
-                return True
-            return False
-
-        def try_skew() -> bool:
-            regs = registers()
-            if not regs:
-                return False
-            cell = rng.choice(regs)
-            timer.set_skew(cell.name, rng.choice([0.0, 0.02, 0.05, -0.03, 0.1]))
-            return True
-
-        def try_resize() -> bool:
-            regs = registers()
-            rng.shuffle(regs)
-            for cell in regs:
-                current = cell.register_cell
-                options = [
-                    c
-                    for c in design.library.register_cells(
-                        current.func_class,
-                        current.width_bits,
-                        scan_styles=(current.scan_style,),
-                    )
-                    if c.name != current.name
-                ]
-                if not options:
-                    continue
-                with design.track() as tracker:
-                    design.swap_libcell(cell, rng.choice(options))
-                timer.apply_change(tracker.record())
-                return True
-            return False
-
-        def try_move() -> bool:
-            regs = registers()
-            if not regs:
-                return False
-            cell = rng.choice(regs)
-            die = design.die
-            target = Point(
-                rng.uniform(die.xlo + 1, die.xhi - 1),
-                rng.uniform(die.ylo + 1, die.yhi - 1),
-            )
-            with design.track() as tracker:
-                design.move_cell(cell, target)
-            timer.apply_change(tracker.record())
-            return True
-
-        ops = [try_merge, try_skew, try_resize, try_move]
         applied = 0
         for _ in range(14):
-            op = rng.choice(ops)
-            if op():
+            op = propose_op(world, rng)
+            if op is not None and apply_op(world, op):
                 applied += 1
-            _assert_matches_fresh(timer, period)
+            _assert_matches_fresh(timer, bundle.clock_period)
         assert applied >= 10  # the storm actually exercised the edit paths
         # The whole sequence ran incrementally: one warm-up full propagation,
         # every edit absorbed by dirty-cone retimes.
