@@ -478,8 +478,9 @@ def check_scan(scan_model: ScanModel, design: Design | None = None) -> list[Viol
                 )
             )
 
-        # Hamiltonian-path check over the chain's physical hops: each
-        # consecutive (SO, SI) pair must share a net driven by the SO pin.
+    # Hamiltonian-path check over each chain's physical hops: every
+    # consecutive (SO, SI) pair must share a net driven by the SO pin.
+    for chain in scan_model.chains.values():
         hops = scan_model._chain_hops(design, chain)
         for (so_pin, _), (_, si_pin) in zip(hops[:-1], hops[1:]):
             if si_pin.net is None or si_pin.net is not so_pin.net:
@@ -583,7 +584,7 @@ def check_composition(result, design: Design | None = None) -> list[Violation]:
 
     if design is not None:
         live = design.total_register_count()
-        if result.registers_after and result.registers_after != live:
+        if result.registers_after is not None and result.registers_after != live:
             out.append(
                 Violation(
                     "register-count-mismatch",

@@ -199,6 +199,46 @@ class TestReorderChains:
         assert check_scan(model.clone()) == []
 
 
+class TestCheckScanStitch:
+    def test_broken_stitch_on_non_last_chain_reported(self, lib):
+        # Regression: the stitch check once ran off a leaked loop variable,
+        # so only the last-iterated chain was ever verified and breaks on
+        # every earlier chain passed silently.
+        from repro.check import check_scan
+        from tests.conftest import make_flop_row
+
+        design = make_flop_row(lib, n_flops=8, func_class=DFF_R_S, name="two_chains")
+        model = ScanModel()
+        model.add_chain(
+            ScanChain("c0", partition="P0", cells=["ff0", "ff1", "ff2", "ff3"])
+        )
+        model.add_chain(
+            ScanChain("c1", partition="P1", cells=["ff4", "ff5", "ff6", "ff7"])
+        )
+        model.restitch(design)
+        assert check_scan(model, design) == []
+
+        design.disconnect(design.cell("ff1").pin("SI"))
+        broken = [
+            v
+            for v in check_scan(model, design)
+            if v.check == "scan-chain-broken-stitch"
+        ]
+        assert len(broken) == 1
+        assert "chain c0" in broken[0].subject
+
+    def test_clean_two_chain_design_has_no_stitch_violations(self, lib):
+        from repro.check import check_scan
+        from tests.conftest import make_flop_row
+
+        design = make_flop_row(lib, n_flops=6, func_class=DFF_R_S, name="clean2")
+        model = ScanModel()
+        model.add_chain(ScanChain("c0", partition="P0", cells=["ff0", "ff1", "ff2"]))
+        model.add_chain(ScanChain("c1", partition="P1", cells=["ff3", "ff4", "ff5"]))
+        model.restitch(design)
+        assert check_scan(model, design) == []
+
+
 class TestFromDesign:
     def test_extracts_generator_chains(self, lib):
         from repro.bench import generate_design, preset
