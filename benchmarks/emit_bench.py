@@ -3,28 +3,103 @@
 
 Runs the full composition flow on a set of synthetic presets (default:
 D1 and D2) under a fresh metrics registry + tracer per design, and
-writes one stable-schema JSON (``repro.bench.flow/1``, see
+writes one stable-schema JSON (``repro.bench.flow/2``, see
 :mod:`repro.obs.manifest`) that CI validates and archives per commit —
 so runtime, solver-effort, and QoR regressions show up as diffs of a
-single artifact.
+single artifact.  Each design entry also carries an ``eco`` block: a
+repeated :class:`~repro.flow.EcoSession` recompose whose ILP solves are
+warm-started from the first pass's incumbents.
+
+Every emit is stamped with the producing commit (``git_sha``) and
+appended as a one-line summary to ``BENCH_history.jsonl``, giving a
+grep-able per-commit trajectory next to the full per-commit snapshot.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py --designs D1 --scale 0.25
     PYTHONPATH=src python benchmarks/emit_bench.py --validate BENCH_flow.json
+    PYTHONPATH=src python benchmarks/emit_bench.py --validate BENCH_history.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import random
+import subprocess
 import sys
 import time
 
 from repro import obs
 from repro.bench import generate_design, preset
-from repro.flow import FlowConfig, run_flow
+from repro.flow import EcoSession, FlowConfig, run_flow
+from repro.geometry import Point
 from repro.library import default_library
+
+_REPO_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_sha() -> str:
+    """The producing commit, short form; ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=_REPO_DIR,
+            timeout=10,
+        )
+    except OSError:  # pragma: no cover - no git binary
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _eco_warmstart_demo(name: str, scale: float, library) -> dict:
+    """Repeated ``EcoSession.recompose`` over one session cache.
+
+    Primes a session (full compose), nudges a few registers, and
+    recomposes incrementally: the dirty components re-solve their ILPs
+    against warm-start bounds re-weighed from the first pass's
+    incumbents.  Returns the demo's headline numbers; the warm-start
+    counters also land in the design's metrics snapshot.
+    """
+    bundle = generate_design(preset(name, scale=scale), library)
+    session = EcoSession(bundle.design, bundle.timer, bundle.scan_model)
+    t0 = time.perf_counter()
+    session.recompose()
+    prime_seconds = time.perf_counter() - t0
+
+    counters = obs.get_registry().snapshot()["counters"]
+    before = counters.get("ilp.setpart.warmstart_hits", 0)
+
+    design = session.design
+    rng = random.Random(5)
+    registers = [c for c in design.cells.values() if c.is_register]
+    for cell in rng.sample(registers, min(4, len(registers))):
+        dx, dy = rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)
+        x = min(
+            max(design.die.xlo, cell.origin.x + dx),
+            design.die.xhi - cell.libcell.width,
+        )
+        y = min(
+            max(design.die.ylo, cell.origin.y + dy),
+            design.die.yhi - cell.libcell.height,
+        )
+        with session.edit():
+            design.move_cell(cell, Point(x, y))
+
+    t0 = time.perf_counter()
+    stats = session.recompose()
+    recompose_seconds = time.perf_counter() - t0
+    counters = obs.get_registry().snapshot()["counters"]
+    return {
+        "prime_seconds": round(prime_seconds, 6),
+        "recompose_seconds": round(recompose_seconds, 6),
+        "incremental": bool(stats.incremental),
+        "warmstart_hits": counters.get("ilp.setpart.warmstart_hits", 0) - before,
+    }
 
 
 def run_design(name: str, scale: float, workers: int = 1) -> dict:
@@ -38,6 +113,7 @@ def run_design(name: str, scale: float, workers: int = 1) -> dict:
     config.composer.workers = workers
     report = run_flow(bundle.design, bundle.timer, bundle.scan_model, config)
     stage_seconds = {r.name: round(r.seconds, 6) for r in report.trace.records}
+    eco = _eco_warmstart_demo(name, scale, library)
     return {
         "runtime_seconds": round(report.runtime_seconds, 6),
         "stage_seconds": stage_seconds,
@@ -46,14 +122,47 @@ def run_design(name: str, scale: float, workers: int = 1) -> dict:
         "register_reduction": report.composition.register_reduction,
         "wns": report.final.wns,
         "tns": report.final.tns,
+        "eco": eco,
         "metrics": obs.get_registry().snapshot(),
     }
+
+
+def history_record(data: dict) -> dict:
+    """The one-line ``BENCH_history.jsonl`` summary of a bench payload."""
+    return {
+        "schema": obs.BENCH_HISTORY_SCHEMA,
+        "generated_unix": data["generated_unix"],
+        "git_sha": data["git_sha"],
+        "scale": data["scale"],
+        "designs": {
+            name: {
+                "runtime_seconds": entry["runtime_seconds"],
+                "compose_seconds": entry["stage_seconds"].get("compose", 0.0),
+                "registers_after": entry["registers_after"],
+                "tns": entry["tns"],
+                "warmstart_hits": entry["eco"]["warmstart_hits"],
+            }
+            for name, entry in data["designs"].items()
+        },
+    }
+
+
+def append_history(data: dict, path: str) -> dict:
+    record = history_record(data)
+    problems = obs.validate_bench_history(record)
+    if problems:  # pragma: no cover - emit satisfies its own schema
+        raise SystemExit("invalid history record: " + "; ".join(problems))
+    with open(path, "a", encoding="utf-8") as fh:
+        json.dump(record, fh, separators=(",", ":"), sort_keys=True)
+        fh.write("\n")
+    return record
 
 
 def emit(designs: list[str], scale: float, out: str, workers: int = 1) -> dict:
     data = {
         "schema": obs.BENCH_SCHEMA,
         "generated_unix": round(time.time(), 3),
+        "git_sha": git_sha(),
         "scale": scale,
         "designs": {d: run_design(d, scale, workers) for d in designs},
     }
@@ -64,6 +173,29 @@ def emit(designs: list[str], scale: float, out: str, workers: int = 1) -> dict:
         json.dump(data, fh, indent=2)
         fh.write("\n")
     return data
+
+
+def validate_path(path: str) -> list[str]:
+    """Validate a bench snapshot (``.json``) or history log (``.jsonl``)."""
+    problems: list[str] = []
+    if path.endswith(".jsonl"):
+        with open(path, encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        if not lines:
+            return [f"{path}: empty history"]
+        for i, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {i}: not JSON ({exc})")
+                continue
+            problems.extend(
+                f"line {i}: {p}" for p in obs.validate_bench_history(record)
+            )
+        return problems
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return obs.validate_bench(data)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,20 +210,29 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--workers", type=int, default=1)
     ap.add_argument("--out", default="BENCH_flow.json")
     ap.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="history log to append one summary line to",
+    )
+    ap.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the BENCH_history.jsonl append",
+    )
+    ap.add_argument(
         "--validate",
         metavar="PATH",
-        help="validate an existing bench file against the schema and exit",
+        help="validate an existing bench snapshot (.json) or history log "
+        "(.jsonl) against its schema and exit",
     )
     args = ap.parse_args(argv)
 
     if args.validate:
-        with open(args.validate, encoding="utf-8") as fh:
-            data = json.load(fh)
-        problems = obs.validate_bench(data)
+        problems = validate_path(args.validate)
         if problems:
             print(f"{args.validate}: INVALID — " + "; ".join(problems))
             return 1
-        print(f"{args.validate}: valid ({', '.join(sorted(data['designs']))})")
+        print(f"{args.validate}: valid")
         return 0
 
     data = emit(args.designs, args.scale, args.out, args.workers)
@@ -99,9 +240,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{name}: {entry['runtime_seconds']:.2f}s, "
             f"{entry['registers_before']} -> {entry['registers_after']} regs, "
-            f"TNS {entry['tns']:.2f}"
+            f"TNS {entry['tns']:.2f}, "
+            f"eco warm-start hits {entry['eco']['warmstart_hits']}"
         )
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} (git {data['git_sha']})")
+    if not args.no_history:
+        append_history(data, args.history)
+        print(f"appended {args.history}")
     return 0
 
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Perf smoke gate: fail CI when a stage time regresses past a band.
+
+Compares a freshly emitted bench snapshot (``emit_bench.py``) against the
+committed baseline ``BENCH_flow.json`` and exits nonzero when the watched
+stage (default: D1 ``compose``) is more than ``--max-regress`` slower than
+the baseline.  Both files must validate against ``repro.bench.flow/2``
+before any numbers are trusted.
+
+The band is deliberately wide (25% by default): CI runners and the
+machines that produced the committed baseline differ, so this is a smoke
+test for gross regressions (an accidentally quadratic loop, a dropped
+cache), not a microbenchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py --designs D1 --out BENCH_new.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py BENCH_flow.json BENCH_new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import validate_bench
+
+
+def load_bench(path: str) -> dict:
+    """Load and schema-validate one bench snapshot."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    problems = validate_bench(data)
+    if problems:
+        raise SystemExit(f"{path}: INVALID — " + "; ".join(problems))
+    return data
+
+
+def stage_seconds(data: dict, design: str, stage: str) -> float:
+    """The watched stage time, erroring loudly when it is absent."""
+    try:
+        entry = data["designs"][design]
+    except KeyError:
+        raise SystemExit(f"design {design!r} not in bench payload") from None
+    seconds = entry["stage_seconds"].get(stage)
+    if seconds is None:
+        raise SystemExit(f"stage {stage!r} not in design {design!r}")
+    return float(seconds)
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    design: str,
+    stage: str,
+    max_regress: float,
+) -> tuple[int, str]:
+    """Exit code + message for a baseline/candidate pair."""
+    base = stage_seconds(baseline, design, stage)
+    cand = stage_seconds(candidate, design, stage)
+    if base <= 0.0:
+        return 0, f"baseline {design}/{stage} is {base}s; nothing to gate"
+    ratio = cand / base
+    verdict = (
+        f"{design}/{stage}: baseline {base:.3f}s (git "
+        f"{baseline.get('git_sha', '?')}), candidate {cand:.3f}s (git "
+        f"{candidate.get('git_sha', '?')}), ratio {ratio:.3f}"
+    )
+    if ratio > 1.0 + max_regress:
+        return 1, f"REGRESSION — {verdict} exceeds +{max_regress:.0%} band"
+    return 0, f"ok — {verdict} within +{max_regress:.0%} band"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_flow.json")
+    ap.add_argument("candidate", help="freshly emitted bench snapshot")
+    ap.add_argument("--design", default="D1")
+    ap.add_argument("--stage", default="compose")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = ap.parse_args(argv)
+    code, message = compare(
+        load_bench(args.baseline),
+        load_bench(args.candidate),
+        args.design,
+        args.stage,
+        args.max_regress,
+    )
+    print(message)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -176,6 +176,40 @@ def _diff_map(check: str, subject: str, live: dict, ref: dict) -> list[Violation
     ]
 
 
+def _diff_timers(check: str, timer: Timer, ref: Timer) -> list[Violation]:
+    """Bit-exact comparison of two timers on every query surface."""
+    out: list[Violation] = []
+    out += _diff_map(
+        check,
+        "endpoint slacks",
+        timing_signature(timer),
+        timing_signature(ref),
+    )
+    out += _diff_map(
+        check,
+        "hold slacks",
+        hold_signature(timer),
+        hold_signature(ref),
+    )
+    if timer.summary() != ref.summary():
+        out.append(
+            Violation(
+                check,
+                "setup summary",
+                f"{timer.summary()} vs reference {ref.summary()}",
+            )
+        )
+    if timer.hold_summary() != ref.hold_summary():
+        out.append(
+            Violation(
+                check,
+                "hold summary",
+                f"{timer.hold_summary()} vs reference {ref.hold_summary()}",
+            )
+        )
+    return out
+
+
 def diff_timer_vs_fresh(timer: Timer) -> list[Violation]:
     """Incremental STA == fresh-timer rebuild, on every query surface.
 
@@ -183,36 +217,30 @@ def diff_timer_vs_fresh(timer: Timer) -> list[Violation]:
     compares endpoint slacks, hold slacks, and both summaries bit-exactly.
     """
     _, fresh, _ = clone_world(timer.design, timer)
-    out: list[Violation] = []
-    out += _diff_map(
-        "sta-incremental-vs-fresh",
-        "endpoint slacks",
-        timing_signature(timer),
-        timing_signature(fresh),
+    return _diff_timers("sta-incremental-vs-fresh", timer, fresh)
+
+
+def diff_arraytimer_vs_dict(timer: Timer) -> list[Violation]:
+    """Array timing kernel == dict reference timer, bit for bit.
+
+    Clones the live timer's design into a fresh ``kernel="dict"`` timer
+    (the pre-vectorization reference implementation) and compares endpoint
+    slacks, hold slacks, and both summaries bit-exactly.  Exercised by the
+    edit-storm fuzzer, this pins the array kernel's full sweeps *and* its
+    masked dirty-cone retimes to the dict semantics.
+    """
+    clone = timer.design.clone()
+    ref = Timer(
+        clone,
+        timer.clock_period,
+        skew=dict(timer.skew),
+        input_delay=timer.input_delay,
+        output_delay=timer.output_delay,
+        technology=timer.tech,
+        audit_mode=False,
+        kernel="dict",
     )
-    out += _diff_map(
-        "sta-incremental-vs-fresh",
-        "hold slacks",
-        hold_signature(timer),
-        hold_signature(fresh),
-    )
-    if timer.summary() != fresh.summary():
-        out.append(
-            Violation(
-                "sta-incremental-vs-fresh",
-                "setup summary",
-                f"{timer.summary()} vs fresh {fresh.summary()}",
-            )
-        )
-    if timer.hold_summary() != fresh.hold_summary():
-        out.append(
-            Violation(
-                "sta-incremental-vs-fresh",
-                "hold summary",
-                f"{timer.hold_summary()} vs fresh {fresh.hold_summary()}",
-            )
-        )
-    return out
+    return _diff_timers("sta-array-vs-dict", timer, ref)
 
 
 def diff_serial_vs_parallel(

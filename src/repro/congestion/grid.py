@@ -55,6 +55,11 @@ class CongestionGrid:
         # g-cells (i, j) and (i+1, j); usage_h[i, j] between (i, j), (i, j+1).
         self.usage_v = np.zeros((bins_x - 1, bins_y), dtype=float)
         self.usage_h = np.zeros((bins_x, bins_y - 1), dtype=float)
+        # Interior boundary coordinates, computed with the same arithmetic
+        # the per-boundary scalar loop used (origin + (i+1) * bin_size), so
+        # the vectorized crossing tests keep the exact float comparisons.
+        self._bxs = die.xlo + np.arange(1, bins_x) * self.bin_w
+        self._bys = die.ylo + np.arange(1, bins_y) * self.bin_h
 
     # -- demand accumulation ---------------------------------------------------
 
@@ -77,33 +82,83 @@ class CongestionGrid:
             return frac
         b0 = int(max(np.floor((lo - origin) / size), 0))
         b1 = int(min(np.ceil((hi - origin) / size), n))
+        if b1 <= b0:
+            return frac
         span = hi - lo
-        for b in range(b0, b1):
-            bin_lo = origin + b * size
-            bin_hi = bin_lo + size
-            overlap = min(hi, bin_hi) - max(lo, bin_lo)
-            if overlap > 0:
-                frac[b] = overlap / span
+        # Element-wise the same min/max/divide expressions the per-bin loop
+        # evaluated, so every fraction matches it bit for bit.
+        bin_lo = origin + np.arange(b0, b1) * size
+        overlap = np.minimum(hi, bin_lo + size) - np.maximum(lo, bin_lo)
+        frac[b0:b1] = np.where(overlap > 0, overlap / span, 0.0)
         return frac
 
     def _add_directional(self, box: Rect, weight: float, horizontal: bool) -> None:
+        # Every usage element still receives exactly one addition of the
+        # same ``weight * frac`` product, so the slice-assignment form is
+        # bit-identical to the former per-boundary loop.
         if horizontal:
             # Horizontal wires cross vertical boundaries strictly inside the box.
             y_frac = self._overlap_fractions(
                 box.ylo, box.yhi, self.die.ylo, self.bin_h, self.bins_y
             )
-            for i in range(self.bins_x - 1):
-                bx = self.die.xlo + (i + 1) * self.bin_w
-                if box.xlo < bx < box.xhi:
-                    self.usage_v[i, :] += weight * y_frac
+            cross = (box.xlo < self._bxs) & (self._bxs < box.xhi)
+            if cross.any():
+                self.usage_v[cross, :] += weight * y_frac
         else:
             x_frac = self._overlap_fractions(
                 box.xlo, box.xhi, self.die.xlo, self.bin_w, self.bins_x
             )
-            for j in range(self.bins_y - 1):
-                by = self.die.ylo + (j + 1) * self.bin_h
-                if box.ylo < by < box.yhi:
-                    self.usage_h[:, j] += weight * x_frac
+            cross = (box.ylo < self._bys) & (self._bys < box.yhi)
+            if cross.any():
+                self.usage_h[:, cross] += (weight * x_frac)[:, None]
+
+    def _add_boxes(self, boxes: "np.ndarray", weights: "np.ndarray") -> None:
+        """Accumulate many net boxes at once, in row order.
+
+        Equivalent to ``add_net_box`` per row: fraction rows use the same
+        min/max/divide expressions, and ``np.add.at`` applies the
+        (net, boundary) contributions in index order — net-major, boundary
+        ascending — exactly the sequence the per-net loop produced, so every
+        usage element sees the same additions in the same order.
+        """
+        if not len(boxes):
+            return
+        xlo, ylo, xhi, yhi = boxes.T
+        span_x = xhi - xlo
+        span_y = yhi - ylo
+        for horizontal in (True, False):
+            if horizontal:
+                origin, size, n = self.die.ylo, self.bin_h, self.bins_y
+                lo, hi, span = ylo, yhi, span_y
+                bounds, blo, bhi = self._bxs, xlo, xhi
+                usage = self.usage_v
+            else:
+                origin, size, n = self.die.xlo, self.bin_w, self.bins_x
+                lo, hi, span = xlo, xhi, span_x
+                bounds, blo, bhi = self._bys, ylo, yhi
+                usage = self.usage_h
+            bin_lo = origin + np.arange(n) * size
+            overlap = np.minimum(hi[:, None], bin_lo + size) - np.maximum(
+                lo[:, None], bin_lo
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                frac = np.where(overlap > 0, overlap / span[:, None], 0.0)
+            degenerate = hi <= lo
+            if degenerate.any():
+                frac[degenerate] = 0.0
+                b = np.clip(
+                    ((lo[degenerate] - origin) / size).astype(int), 0, n - 1
+                )
+                frac[np.flatnonzero(degenerate), b] = 1.0
+            frac *= weights[:, None]
+            # (net, crossing boundary) pairs in net-major order.
+            net_idx, edge_idx = np.nonzero(
+                (blo[:, None] < bounds) & (bounds < bhi[:, None])
+            )
+            if horizontal:
+                np.add.at(usage, edge_idx, frac[net_idx])
+            else:
+                np.add.at(usage.T, edge_idx, frac[net_idx])
 
     @staticmethod
     def of_design(
@@ -113,10 +168,17 @@ class CongestionGrid:
         tracks_per_um: float = 8.0,
     ) -> "CongestionGrid":
         grid = CongestionGrid(design.die, bins_x, bins_y, tracks_per_um)
+        boxes = []
         for net in design.nets.values():
             box = net.bbox()
-            if box is not None and net.num_pins >= 2:
-                grid.add_net_box(box)
+            if (
+                box is not None
+                and net.num_pins >= 2
+                and (box.width > 0 or box.height > 0)
+            ):
+                boxes.append((box.xlo, box.ylo, box.xhi, box.yhi))
+        arr = np.array(boxes, dtype=float).reshape(-1, 4)
+        grid._add_boxes(arr, np.ones(len(arr)))
         return grid
 
     # -- reporting ----------------------------------------------------------------

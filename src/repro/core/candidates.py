@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import networkx as nx
@@ -10,12 +11,19 @@ from repro.core.cliques import enumerate_maximal_cliques, enumerate_subcliques
 from repro.core.compatibility import RegisterInfo
 from repro.core.mapping import (
     MappingChoice,
-    candidate_widths,
+    area_overhead_fraction,
     incomplete_area_acceptable,
-    select_library_cell,
+    required_scan_styles,
+    select_library_cell_keyed,
 )
-from repro.core.weights import KEEP_WEIGHT, candidate_weight
+from repro.core.weights import (
+    KEEP_WEIGHT,
+    RegisterField,
+    candidate_weight,
+    candidate_weights_batch,
+)
 from repro.geometry.region import FeasibleRegion, common_region
+from repro.library.functional import FunctionalClass, ScanStyle
 from repro.library.library import CellLibrary
 from repro.scan.model import ScanModel
 
@@ -92,6 +100,50 @@ class CandidateConfig:
     enumerating; this keeps dense banks (and decomposed MBRs) tractable."""
 
 
+class _MappingMemo:
+    """Per-enumeration cache of the pure mapping queries.
+
+    The width menu and the cell choice depend on a group only through
+    ``(func_class, styles)`` resp. ``(func_class, styles, width, bits,
+    min_drive_res)`` — thousands of sub-cliques of one subgraph share a
+    handful of such keys, so a dict lookup replaces the library scan.
+    """
+
+    __slots__ = ("library", "_widths", "_select")
+
+    def __init__(self, library: CellLibrary) -> None:
+        self.library = library
+        self._widths: dict[tuple, tuple[int, ...]] = {}
+        self._select: dict[tuple, MappingChoice | None] = {}
+
+    def widths(
+        self, func_class: FunctionalClass, styles: tuple[ScanStyle, ...]
+    ) -> tuple[int, ...]:
+        key = (func_class, styles)
+        out = self._widths.get(key)
+        if out is None:
+            out = self.library.widths_for(func_class, scan_styles=styles)
+            self._widths[key] = out
+        return out
+
+    def select(
+        self,
+        func_class: FunctionalClass,
+        styles: tuple[ScanStyle, ...],
+        width: int,
+        bits: int,
+        min_drive_res: float,
+    ) -> MappingChoice | None:
+        key = (func_class, styles, width, bits, min_drive_res)
+        if key in self._select:
+            return self._select[key]
+        out = select_library_cell_keyed(
+            self.library, func_class, styles, width, bits, min_drive_res
+        )
+        self._select[key] = out
+        return out
+
+
 def enumerate_candidates(
     subgraph: nx.Graph,
     all_registers: list[RegisterInfo],
@@ -125,13 +177,17 @@ def enumerate_candidates(
     ]
 
     seen: set[frozenset[str]] = set()
-    multi: list[CandidateMBR] = []
+    pre: list[tuple[list[RegisterInfo], int, MappingChoice, FeasibleRegion]] = []
     bits_of = {n: infos[n].bits for n in infos}
+    memo = _MappingMemo(library)
     for clique in enumerate_maximal_cliques(subgraph):
         if len(clique) < 2:
             continue
         members_list = [infos[n] for n in clique]
-        widths = candidate_widths(library, members_list, scan_model)
+        widths = memo.widths(
+            members_list[0].func_class,
+            required_scan_styles(members_list, scan_model),
+        )
         if not widths:
             continue
         max_bits = max(widths)
@@ -142,6 +198,7 @@ def enumerate_candidates(
                 set(widths),
                 max_bits,
                 config.allow_incomplete,
+                config.max_group_spread,
             )
         else:
             subcliques = enumerate_subcliques(
@@ -155,16 +212,16 @@ def enumerate_candidates(
             if subclique in seen:
                 continue
             seen.add(subclique)
-            cand = _validate_group(
+            group = _validate_group(
                 [infos[n] for n in sorted(subclique)],
-                all_registers,
-                library,
+                memo,
                 scan_model,
                 config,
             )
-            if cand is not None:
-                multi.append(cand)
+            if group is not None:
+                pre.append(group)
 
+    multi = _weigh_groups(pre, all_registers, config)
     # Deterministic candidate order: ILP tie-breaking must not depend on
     # hash-seed-sensitive set iteration.
     multi.sort(key=lambda c: (c.weight, -c.bits, c.members))
@@ -179,6 +236,7 @@ def _window_subcliques(
     target_bit_sums: set[int],
     max_bits: int,
     allow_incomplete: bool,
+    max_spread: float = math.inf,
 ) -> list[frozenset[str]]:
     """Spatially-contiguous sub-cliques of a large clique.
 
@@ -187,6 +245,11 @@ def _window_subcliques(
     candidate.  O(k^2) candidates instead of exponentially many — see
     ``CandidateConfig.window_enumeration_above`` for why this loses nothing
     the ILP could actually select.
+
+    ``max_spread`` is :attr:`CandidateConfig.max_group_spread`: the centers'
+    bounding-box half-perimeter only grows as a window extends, so a window
+    that exceeds it ends the run — validation would reject every extension
+    with the very same check, just later.
     """
 
     def serpentine(info: RegisterInfo):
@@ -199,8 +262,16 @@ def _window_subcliques(
     k = len(ordered)
     for i in range(k):
         total = 0
+        xmin, ymin = math.inf, math.inf
+        xmax, ymax = -math.inf, -math.inf
         for j in range(i, k):
-            total += bits_of[ordered[j].name]
+            info = ordered[j]
+            x, y = info.center_xy
+            xmin, xmax = min(xmin, x), max(xmax, x)
+            ymin, ymax = min(ymin, y), max(ymax, y)
+            if (xmax - xmin) + (ymax - ymin) > max_spread:
+                break
+            total += bits_of[info.name]
             if total > max_bits:
                 break
             if j == i:
@@ -214,29 +285,39 @@ def _window_subcliques(
 
 def _validate_group(
     members: list[RegisterInfo],
-    all_registers: list[RegisterInfo],
-    library: CellLibrary,
+    memo: _MappingMemo,
     scan_model: ScanModel | None,
     config: CandidateConfig,
-) -> CandidateMBR | None:
-    """Group-level validation and weighting of one sub-clique."""
-    region = common_region([m.region for m in members])
-    if region is None:
-        return None
+) -> tuple[list[RegisterInfo], int, MappingChoice, FeasibleRegion] | None:
+    """Group-level validation of one sub-clique (everything but the weight).
 
+    The checks are pure filters, ordered cheapest-first — spread on cached
+    centers, then the memoized width menu, then region intersection, then
+    cell selection — reordering them cannot change which candidates survive.
+    Returns ``(members, bits, mapping choice, region)``; the placement
+    weight is attached afterwards by :func:`_weigh_groups`, batched over
+    every surviving group of the subgraph.
+    """
     xs = [m.center_xy[0] for m in members]
     ys = [m.center_xy[1] for m in members]
     if (max(xs) - min(xs)) + (max(ys) - min(ys)) > config.max_group_spread:
         return None
 
     bits = sum(m.bits for m in members)
-    widths = candidate_widths(library, members, scan_model)
+    func_class = members[0].func_class
+    styles = required_scan_styles(members, scan_model)
+    widths = memo.widths(func_class, styles)
     fitting = [w for w in widths if w >= bits]
     if not fitting:
         return None
     width = min(fitting)
 
-    choice = select_library_cell(library, members, width, scan_model)
+    region = common_region([m.region for m in members])
+    if region is None:
+        return None
+
+    min_drive_res = min(m.cell.register_cell.drive_resistance for m in members)
+    choice = memo.select(func_class, styles, width, bits, min_drive_res)
     if choice is None:
         return None
     if choice.incomplete:
@@ -244,26 +325,52 @@ def _validate_group(
             return None
         if not incomplete_area_acceptable(choice, members):
             return None
-        from repro.core.mapping import area_overhead_fraction
-
         if area_overhead_fraction(choice, members) > config.max_incomplete_area_overhead:
             return None
+    return members, bits, choice, region
 
-    if config.use_placement_weights:
-        weight, blockers = candidate_weight(members, all_registers, mapped_bits=bits)
-        if weight == float("inf"):
-            return None  # n >= b: hopeless, drop before the ILP sees it
+
+def _weigh_groups(
+    pre: list[tuple[list[RegisterInfo], int, MappingChoice, FeasibleRegion]],
+    all_registers: list[RegisterInfo] | RegisterField,
+    config: CandidateConfig,
+) -> list[CandidateMBR]:
+    """Placement-weigh validated groups and build their candidates.
+
+    Weights for all groups of the subgraph are computed in one batched
+    field pass (saturated blocker counts — identical decisions to the
+    per-group calls); infinite-weight groups are dropped here, exactly as
+    the inline check used to.
+    """
+    if not pre:
+        return []
+    if not config.use_placement_weights:
+        pairs = [(1.0 / bits, 0) for _, bits, _, _ in pre]  # ablation
+    elif isinstance(all_registers, RegisterField):
+        pairs = candidate_weights_batch(
+            all_registers,
+            [members for members, _, _, _ in pre],
+            [bits for _, bits, _, _ in pre],
+        )
     else:
-        weight, blockers = 1.0 / bits, 0  # ablation: ignore the layout
-    from repro.library.functional import ScanStyle
-
-    if choice.cell.scan_style is ScanStyle.MULTI:
-        weight *= config.multi_scan_weight_penalty
-    return CandidateMBR(
-        members=tuple(m.name for m in members),
-        bits=bits,
-        weight=weight,
-        blockers=blockers,
-        mapping=choice,
-        region=region,
-    )
+        pairs = [
+            candidate_weight(members, all_registers, mapped_bits=bits, saturate=True)
+            for members, bits, _, _ in pre
+        ]
+    out: list[CandidateMBR] = []
+    for (members, bits, choice, region), (weight, blockers) in zip(pre, pairs):
+        if weight == float("inf"):
+            continue  # n >= b: hopeless, drop before the ILP sees it
+        if choice.cell.scan_style is ScanStyle.MULTI:
+            weight *= config.multi_scan_weight_penalty
+        out.append(
+            CandidateMBR(
+                members=tuple(m.name for m in members),
+                bits=bits,
+                weight=weight,
+                blockers=blockers,
+                mapping=choice,
+                region=region,
+            )
+        )
+    return out

@@ -147,6 +147,16 @@ class CompositionCache:
         default_factory=OrderedDict
     )
     max_components: int = 8192
+    incumbents: "OrderedDict[tuple[str, ...], tuple[frozenset[str], ...]]" = field(
+        default_factory=OrderedDict
+    )
+    """Last solver selection per subgraph, keyed by its sorted node-name
+    tuple and stored as member-name groups (non-singletons only).  Unlike
+    ``components``, this survives *content* changes: when a digest misses
+    but the same registers re-form a subgraph, the prior selection is
+    re-weighed against the fresh candidates into a
+    :class:`~repro.ilp.setpart.WarmStart` bound that prunes the new solve
+    immediately."""
 
     def get(self, digest: str) -> ComponentCache | None:
         entry = self.components.get(digest)
@@ -166,6 +176,22 @@ class CompositionCache:
             evicted += 1
         if evicted:
             obs.get_registry().counter("compose.cache.evictions").inc(evicted)
+
+    def get_incumbent(
+        self, nodes: tuple[str, ...]
+    ) -> tuple[frozenset[str], ...] | None:
+        groups = self.incumbents.get(nodes)
+        if groups is not None:
+            self.incumbents.move_to_end(nodes)
+        return groups
+
+    def put_incumbent(
+        self, nodes: tuple[str, ...], groups: tuple[frozenset[str], ...]
+    ) -> None:
+        self.incumbents[nodes] = groups
+        self.incumbents.move_to_end(nodes)
+        while len(self.incumbents) > self.max_components:
+            self.incumbents.popitem(last=False)
 
 
 def component_digest(
@@ -417,18 +443,67 @@ def _stage_enumerate(state: ComposeState):
     return {"candidates": count}
 
 
+def _warm_bound(
+    nodes: tuple[str, ...],
+    candidates: list[CandidateMBR],
+    groups: tuple[frozenset[str], ...] | None,
+) -> float:
+    """Re-weigh a prior selection against the current candidate list.
+
+    Returns the current-weight objective of completing ``groups`` with
+    singletons — a known-feasible solution of the *current* instance, hence
+    a sound :class:`~repro.ilp.setpart.WarmStart` bound.  Returns ``inf``
+    (no warm start) when the prior selection is no longer expressible: a
+    group that is not among today's candidates, overlaps another, or a
+    member whose singleton candidate disappeared.
+    """
+    if groups is None:
+        return float("inf")
+    by_members: dict[frozenset[str], float] = {}
+    for c in candidates:
+        key = frozenset(c.members)
+        w = by_members.get(key)
+        if w is None or c.weight < w:
+            by_members[key] = c.weight
+    node_set = set(nodes)
+    covered: set[str] = set()
+    total = 0.0
+    for g in groups:
+        w = by_members.get(g)
+        if w is None or not g <= node_set or covered & g:
+            return float("inf")
+        covered |= g
+        total += w
+    for name in node_set - covered:
+        w = by_members.get(frozenset((name,)))
+        if w is None:
+            return float("inf")
+        total += w
+    return total
+
+
 @stage("solve")
 def _stage_solve(state: ComposeState):
     """Solve every subgraph's set-partitioning ILP (pure; fans out).
 
     Components replayed from the cache contribute their recorded selection
     without a solve; freshly solved components write their outcome back to
-    the cache under the digest the partition stage computed.
+    the cache under the digest the partition stage computed.  When the
+    session cache holds a prior selection for a subgraph (same node set,
+    different content — e.g. re-weighed after neighbors moved), it is
+    re-weighed into a warm-start bound that prunes the fresh solve without
+    changing its result.
     """
-    specs = [
-        make_spec(i, part.nodes, cands, state.config.solver)
-        for i, (part, cands) in enumerate(zip(state.parts, state.candidates))
-    ]
+    specs = []
+    warm_specs = 0
+    for i, (part, cands) in enumerate(zip(state.parts, state.candidates)):
+        spec = make_spec(i, part.nodes, cands, state.config.solver)
+        if state.cache is not None:
+            wb = _warm_bound(spec.nodes, cands, state.cache.get_incumbent(spec.nodes))
+            if wb < float("inf"):
+                spec = make_spec(i, part.nodes, cands, state.config.solver, wb)
+                warm_specs += 1
+        specs.append(spec)
     results = solve_subproblems(specs, workers=state.workers)
     chosen: list[CandidateMBR] = []
     part_chosen: list[list[CandidateMBR]] = [[] for _ in state.parts]
@@ -439,6 +514,10 @@ def _stage_solve(state: ComposeState):
         part_chosen[k] = picked
         chosen.extend(picked)
     if state.cache is not None:
+        for k, spec in enumerate(specs):
+            state.cache.put_incumbent(
+                spec.nodes, tuple(frozenset(c.members) for c in part_chosen[k])
+            )
         for digest, comp_nodes, start, end in state.comp_work:
             if digest is None:
                 continue
@@ -465,6 +544,7 @@ def _stage_solve(state: ComposeState):
         "ilp_nodes": nodes,
         "chosen": len(state.chosen),
         "workers": state.workers,
+        "warm_starts": warm_specs,
     }
 
 

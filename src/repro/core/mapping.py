@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.core.compatibility import RegisterInfo
 from repro.library.cells import RegisterCell
-from repro.library.functional import ScanStyle
+from repro.library.functional import FunctionalClass, ScanStyle
 from repro.library.library import CellLibrary
 from repro.scan.model import ScanModel
 
@@ -75,12 +75,31 @@ def select_library_cell(
     3. lowest clock-pin capacitance, then lowest area.
     """
     bits = sum(m.bits for m in members)
-    if width < bits:
-        return None
     func_class = members[0].func_class
     min_drive_res = min(m.cell.register_cell.drive_resistance for m in members)
     styles = required_scan_styles(members, scan_model)
+    return select_library_cell_keyed(
+        library, func_class, styles, width, bits, min_drive_res
+    )
 
+
+def select_library_cell_keyed(
+    library: CellLibrary,
+    func_class: FunctionalClass,
+    styles: tuple[ScanStyle, ...],
+    width: int,
+    bits: int,
+    min_drive_res: float,
+) -> MappingChoice | None:
+    """The :func:`select_library_cell` core, keyed by its actual inputs.
+
+    The choice depends on the group only through ``(func_class, styles,
+    width, bits, min_drive_res)`` — candidate enumeration memoizes on that
+    key, since thousands of sub-cliques of one subgraph share a handful of
+    values.
+    """
+    if width < bits:
+        return None
     for style in styles:  # ordered by preference
         options = [
             c

@@ -24,6 +24,7 @@ from repro import obs
 from repro.ilp.setpart import (
     SetPartitionProblem,
     SetPartitionSolution,
+    WarmStart,
     solve_set_partition,
 )
 
@@ -43,6 +44,12 @@ class SubproblemSpec:
     subsets: tuple[tuple[int, ...], ...]
     weights: tuple[float, ...]
     solver: str = "exact"
+    warm_bound: float = float("inf")
+    """Objective of a known-feasible solution of *this* instance (typically a
+    prior solve of the same subgraph re-weighed against the current
+    candidates).  ``inf`` means no warm start; a finite value seeds the
+    exact solver's pruning cutoff (bound-only — see
+    :class:`repro.ilp.setpart.WarmStart`)."""
 
     def to_problem(self) -> SetPartitionProblem:
         return SetPartitionProblem(
@@ -73,6 +80,7 @@ def make_spec(
     node_names: Sequence[str],
     candidates: Sequence[object],
     solver: str = "exact",
+    warm_bound: float = float("inf"),
 ) -> SubproblemSpec:
     """Detach one subgraph + its :class:`~repro.core.candidates.CandidateMBR`
     list into a picklable spec (candidate order is preserved, so result
@@ -87,6 +95,7 @@ def make_spec(
         ),
         weights=tuple(c.weight for c in candidates),
         solver=solver,
+        warm_bound=warm_bound,
     )
 
 
@@ -122,7 +131,8 @@ def solve_subproblem(spec: SubproblemSpec) -> SubproblemResult:
             sol = _solve_scipy(problem)
             nodes = 0
         elif spec.solver == "exact":
-            sol = solve_set_partition(problem)
+            warm = WarmStart(spec.warm_bound)
+            sol = solve_set_partition(problem, warm=warm if warm.usable else None)
             nodes = sol.nodes_explored
             if not sol.optimal:
                 from repro.ilp.scipy_backend import scipy_available

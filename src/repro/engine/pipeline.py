@@ -48,6 +48,7 @@ def _merge_timing_counters(
         - before.incremental_timings,
         "full_timings": after.full_timings - before.full_timings,
         "retimed_nodes": after.retimed_nodes - before.retimed_nodes,
+        "kernel_sweeps": after.kernel_sweeps - before.kernel_sweeps,
     }
     extra = {k: v for k, v in deltas.items() if v}
     if extra and (after.incremental_timings > before.incremental_timings):

@@ -106,7 +106,10 @@ class EcoSession:
     ``max_passes`` caps the convergence loop of an incremental recompose
     (default: ``config.passes``, the same bound the one-shot path uses) and
     ``audit_mode`` arms the shadow equivalence check (default: the
-    ``REPRO_ECO_AUDIT`` environment variable).
+    ``REPRO_ECO_AUDIT`` environment variable).  ``cache`` lets repeated
+    sessions over related designs share one
+    :class:`~repro.core.composer.CompositionCache` — in particular its ILP
+    warm-start incumbents, so a re-run's solves prune immediately.
     """
 
     def __init__(
@@ -117,6 +120,7 @@ class EcoSession:
         config: ComposerConfig | None = None,
         max_passes: int | None = None,
         audit_mode: bool | None = None,
+        cache: CompositionCache | None = None,
     ) -> None:
         self.design = design
         self.timer = timer
@@ -124,7 +128,7 @@ class EcoSession:
         self.config = config or ComposerConfig()
         self.max_passes = self.config.passes if max_passes is None else max_passes
         self.audit_mode = _audit_env_enabled() if audit_mode is None else audit_mode
-        self.cache = CompositionCache()
+        self.cache = cache if cache is not None else CompositionCache()
         self._primed = False
         self._pending: list[ChangeRecord] = []
         self._carry_records: list[ChangeRecord] = []
@@ -344,6 +348,7 @@ class EcoSession:
             output_delay=self.timer.output_delay,
             technology=self.timer.tech,
             audit_mode=False,
+            kernel=self.timer.kernel,
         )
         ref_scan = self.scan_model.clone() if self.scan_model is not None else None
         return _AuditReference(ref_design, ref_timer, ref_scan)

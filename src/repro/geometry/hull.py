@@ -11,12 +11,54 @@ from __future__ import annotations
 
 from repro.geometry.point import Point
 
-__all__ = ["convex_hull", "polygon_area", "point_in_convex_polygon"]
+__all__ = ["convex_hull", "hull_xy", "polygon_area", "point_in_convex_polygon"]
 
 
 def _cross(o: Point, a: Point, b: Point) -> float:
     """Z-component of the cross product (a - o) x (b - o)."""
     return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def hull_xy(points: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Monotone-chain core over raw ``(x, y)`` tuples.
+
+    The tuple twin of :func:`convex_hull` — same dedup, same lexicographic
+    sort, same cross-product arithmetic, so the two can never disagree on a
+    vertex.  Hot paths (the candidate-weight pass builds thousands of test
+    polygons per compose) call this directly to skip Point construction.
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+
+    lower: list[tuple[float, float]] = []
+    for p in pts:
+        px, py = p
+        while len(lower) >= 2:
+            ox, oy = lower[-2]
+            ax, ay = lower[-1]
+            if (ax - ox) * (py - oy) - (ay - oy) * (px - ox) <= 0:
+                lower.pop()
+            else:
+                break
+        lower.append(p)
+
+    upper: list[tuple[float, float]] = []
+    for p in reversed(pts):
+        px, py = p
+        while len(upper) >= 2:
+            ox, oy = upper[-2]
+            ax, ay = upper[-1]
+            if (ax - ox) * (py - oy) - (ay - oy) * (px - ox) <= 0:
+                upper.pop()
+            else:
+                break
+        upper.append(p)
+
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:  # all input points collinear
+        return [pts[0], pts[-1]]
+    return hull
 
 
 def convex_hull(points: list[Point]) -> list[Point]:
@@ -27,27 +69,7 @@ def convex_hull(points: list[Point]) -> list[Point]:
     set of collinear points returns the (deduplicated) extreme points, which
     still works with :func:`point_in_convex_polygon`.
     """
-    unique = sorted(set((p.x, p.y) for p in points))
-    pts = [Point(x, y) for x, y in unique]
-    if len(pts) <= 2:
-        return pts
-
-    lower: list[Point] = []
-    for p in pts:
-        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
-            lower.pop()
-        lower.append(p)
-
-    upper: list[Point] = []
-    for p in reversed(pts):
-        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
-            upper.pop()
-        upper.append(p)
-
-    hull = lower[:-1] + upper[:-1]
-    if len(hull) < 3:  # all input points collinear
-        return [pts[0], pts[-1]]
-    return hull
+    return [Point(x, y) for x, y in hull_xy([(p.x, p.y) for p in points])]
 
 
 def polygon_area(polygon: list[Point]) -> float:

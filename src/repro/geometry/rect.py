@@ -174,12 +174,25 @@ def bounding_box(rects: list[Rect]) -> Rect:
 
 
 def intersect_all(rects: list[Rect]) -> Rect | None:
-    """Intersection of a non-empty list of rectangles (``None`` when empty)."""
+    """Intersection of a non-empty list of rectangles (``None`` when empty).
+
+    Single pass over the bounds: the running intersection is empty at some
+    step iff the final running bounds are empty, so no intermediate ``Rect``
+    objects are materialized (this sits on the candidate-validation hot path).
+    """
     if not rects:
         raise ValueError("intersection of an empty rectangle set is undefined")
-    acc: Rect | None = rects[0]
+    first = rects[0]
+    xlo, ylo, xhi, yhi = first.xlo, first.ylo, first.xhi, first.yhi
     for r in rects[1:]:
-        if acc is None:
-            return None
-        acc = acc.intersect(r)
-    return acc
+        if r.xlo > xlo:
+            xlo = r.xlo
+        if r.ylo > ylo:
+            ylo = r.ylo
+        if r.xhi < xhi:
+            xhi = r.xhi
+        if r.yhi < yhi:
+            yhi = r.yhi
+    if xhi < xlo or yhi < ylo:
+        return None
+    return Rect(xlo, ylo, xhi, yhi)

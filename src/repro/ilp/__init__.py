@@ -18,7 +18,12 @@ Production used an industrial solver; this package provides:
 """
 
 from repro.ilp.simplex import LPResult, LPStatus, solve_lp
-from repro.ilp.setpart import SetPartitionProblem, SetPartitionSolution, solve_set_partition
+from repro.ilp.setpart import (
+    SetPartitionProblem,
+    SetPartitionSolution,
+    WarmStart,
+    solve_set_partition,
+)
 from repro.ilp.branch_bound import solve_binary_program
 from repro.ilp.scipy_backend import scipy_available, solve_lp_scipy, solve_set_partition_scipy
 
@@ -28,6 +33,7 @@ __all__ = [
     "solve_lp",
     "SetPartitionProblem",
     "SetPartitionSolution",
+    "WarmStart",
     "solve_set_partition",
     "solve_binary_program",
     "scipy_available",

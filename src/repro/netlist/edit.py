@@ -103,9 +103,17 @@ def compose_mbr(
 
         _stitch_scan(design, views, new_cell, target, bits)
 
+        # Only nets that lose a terminal with the old cells can go dead:
+        # capture them before removal so the sweep skips the rest.
+        affected = {
+            pin.net.name
+            for v in views
+            for pin in v.cell.pins.values()
+            if pin.net is not None
+        }
         for v in views:
             design.remove_cell(v.cell)
-        _sweep_dead_nets(design)
+        _sweep_dead_nets(design, affected)
     return tracker.record()
 
 
@@ -157,16 +165,32 @@ def _stitch_scan(
         design.connect(new_cell.pin(target.so_pin()), so_net)
 
 
-def _sweep_dead_nets(design: Design) -> None:
+def _sweep_dead_nets(design: Design, candidates: set[str] | None = None) -> None:
     """Remove nets whose terminals all vanished with the replaced registers
     (typically scan-stitch nets now absorbed inside an MBR), and nets left
-    with a driver but no sink that used to feed only removed scan-ins."""
+    with a driver but no sink that used to feed only removed scan-ins.
+
+    ``candidates`` optionally names the nets that could have lost a
+    terminal in the current edit (a superset of the dead ones); other nets
+    are skipped without evaluating their terminal properties.  The
+    single-terminal test runs first — ``driver``/``sinks`` scan the
+    terminal list, so gating them on the cheap length check keeps the
+    sweep linear in nets, not terminals.
+    """
     dead = [
         net
         for net in design.nets.values()
-        if not net.terminals
-        or (not net.is_clock and net.driver is not None and not net.sinks
-            and len(net.terminals) == 1 and _only_feeds_scan(net))
+        if (candidates is None or net.name in candidates)
+        and (
+            not net.terminals
+            or (
+                len(net.terminals) == 1
+                and not net.is_clock
+                and net.driver is not None
+                and not net.sinks
+                and _only_feeds_scan(net)
+            )
+        )
     ]
     for net in dead:
         design.remove_net(net)

@@ -22,12 +22,16 @@ pair via :func:`install_tracer` / :func:`set_registry` and export with
 from repro.obs.logs import configure_logging, get_logger, log
 from repro.obs.manifest import (
     BENCH_DESIGN_KEYS,
+    BENCH_HISTORY_DESIGN_KEYS,
+    BENCH_HISTORY_KEYS,
+    BENCH_HISTORY_SCHEMA,
     BENCH_REQUIRED_KEYS,
     BENCH_SCHEMA,
     MANIFEST_REQUIRED_KEYS,
     MANIFEST_SCHEMA,
     build_manifest,
     validate_bench,
+    validate_bench_history,
     validate_manifest,
     write_manifest,
 )
@@ -55,6 +59,9 @@ from repro.obs.trace import (
 
 __all__ = [
     "BENCH_DESIGN_KEYS",
+    "BENCH_HISTORY_DESIGN_KEYS",
+    "BENCH_HISTORY_KEYS",
+    "BENCH_HISTORY_SCHEMA",
     "BENCH_REQUIRED_KEYS",
     "BENCH_SCHEMA",
     "COUNT_BUCKETS",
@@ -81,6 +88,7 @@ __all__ = [
     "span",
     "tracing_enabled",
     "validate_bench",
+    "validate_bench_history",
     "validate_manifest",
     "write_manifest",
 ]

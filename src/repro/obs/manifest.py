@@ -21,7 +21,8 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Tracer, get_tracer
 
 MANIFEST_SCHEMA = "repro.obs.manifest/1"
-BENCH_SCHEMA = "repro.bench.flow/1"
+BENCH_SCHEMA = "repro.bench.flow/2"
+BENCH_HISTORY_SCHEMA = "repro.bench.history/1"
 
 #: Top-level keys every manifest must carry (CI fails the run otherwise).
 MANIFEST_REQUIRED_KEYS = (
@@ -35,8 +36,10 @@ MANIFEST_REQUIRED_KEYS = (
     "flow",
 )
 
-#: Top-level keys of the ``BENCH_flow.json`` trajectory file.
-BENCH_REQUIRED_KEYS = ("schema", "generated_unix", "scale", "designs")
+#: Top-level keys of the ``BENCH_flow.json`` trajectory file.  ``/2``
+#: adds ``git_sha`` (which commit produced the numbers) and the
+#: per-design ``eco`` block (the warm-started recompose demo).
+BENCH_REQUIRED_KEYS = ("schema", "generated_unix", "git_sha", "scale", "designs")
 
 #: Keys every per-design entry of a bench file must carry.
 BENCH_DESIGN_KEYS = (
@@ -47,7 +50,21 @@ BENCH_DESIGN_KEYS = (
     "register_reduction",
     "wns",
     "tns",
+    "eco",
     "metrics",
+)
+
+#: Top-level keys of one ``BENCH_history.jsonl`` line — the compact
+#: per-commit trajectory record ``benchmarks/emit_bench.py`` appends.
+BENCH_HISTORY_KEYS = ("schema", "generated_unix", "git_sha", "scale", "designs")
+
+#: Keys of one design's summary inside a history line.
+BENCH_HISTORY_DESIGN_KEYS = (
+    "runtime_seconds",
+    "compose_seconds",
+    "registers_after",
+    "tns",
+    "warmstart_hits",
 )
 
 #: Expected value shapes inside a bench design entry, enforced by
@@ -56,7 +73,7 @@ BENCH_DESIGN_KEYS = (
 #: trajectory diffs just as silently as a missing key.
 _BENCH_NUMBER_KEYS = ("runtime_seconds", "register_reduction", "wns", "tns")
 _BENCH_INT_KEYS = ("registers_before", "registers_after")
-_BENCH_DICT_KEYS = ("stage_seconds", "metrics")
+_BENCH_DICT_KEYS = ("stage_seconds", "eco", "metrics")
 
 
 def _is_number(value) -> bool:
@@ -173,6 +190,44 @@ def validate_bench(data: dict) -> list[str]:
             if key in entry and not isinstance(entry[key], dict):
                 errors.append(
                     f"design {name!r} key {key!r} must be an object, "
+                    f"got {type(entry[key]).__name__}"
+                )
+    return errors
+
+
+def validate_bench_history(record: dict) -> list[str]:
+    """Schema check of one ``BENCH_history.jsonl`` line (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"history record must be an object, got {type(record).__name__}"]
+    for key in BENCH_HISTORY_KEYS:
+        if key not in record:
+            errors.append(f"missing required key {key!r}")
+    if record.get("schema") not in (None, BENCH_HISTORY_SCHEMA):
+        errors.append(
+            f"schema mismatch: {record.get('schema')!r} != {BENCH_HISTORY_SCHEMA!r}"
+        )
+    for key in ("generated_unix", "scale"):
+        if key in record and not _is_number(record[key]):
+            errors.append(f"{key!r} must be a number, got {type(record[key]).__name__}")
+    if "git_sha" in record and not isinstance(record["git_sha"], str):
+        errors.append(f"'git_sha' must be a string, got {type(record['git_sha']).__name__}")
+    designs = record.get("designs")
+    if not isinstance(designs, dict) or not designs:
+        errors.append("'designs' must be a non-empty object")
+        return errors
+    for name, entry in designs.items():
+        if not isinstance(entry, dict):
+            errors.append(
+                f"design {name!r} must be an object, got {type(entry).__name__}"
+            )
+            continue
+        for key in BENCH_HISTORY_DESIGN_KEYS:
+            if key not in entry:
+                errors.append(f"design {name!r} missing key {key!r}")
+            elif not _is_number(entry[key]):
+                errors.append(
+                    f"design {name!r} key {key!r} must be a number, "
                     f"got {type(entry[key]).__name__}"
                 )
     return errors

@@ -1,0 +1,689 @@
+"""Array-backed timing kernel: CSR adjacency + vectorized level sweeps.
+
+:class:`ArrayKernel` compiles the object-graph :class:`~repro.sta.graph.
+TimingGraph` into flat numpy arrays — dense node slots, parallel arc
+arrays (source slot, destination slot, float64 delay), and a level-ordered
+CSR adjacency — and re-expresses arrival/required propagation as
+vectorized sweeps over level groups.  Because ``max``/``min`` are
+order-independent and every candidate is the same ``arrival[src] + delay``
+float64 expression the dict :class:`~repro.sta.timer.Timer` evaluates, the
+kernel's results are *bit-identical* to the reference propagation; the
+``REPRO_STA_AUDIT`` shadow check and ``repro.check.diff_arraytimer_vs_dict``
+both lean on that.
+
+Absent values use infinity sentinels with the same algebra as the dict's
+missing keys: an unreached arrival is ``-inf`` (``-inf + delay`` never wins
+a max), an unconstrained required is ``+inf`` (``+inf - delay`` never wins
+a min), and an unknown min-arrival is ``+inf``.
+
+Incremental edits patch the arc arrays in place — arcs incident to the
+:class:`~repro.sta.graph.GraphPatch`'s dirty nodes are *tombstoned* (alive
+mask cleared), the current arcs are *appended* from the graph's adjacency,
+and the arrays are *compacted* once the dead fraction crosses
+:data:`COMPACT_DEAD_FRACTION`.  The CSR orderings are rebuilt lazily on
+the next sweep.  Dirty-cone retiming is a masked sub-level sweep: dirty
+slots are bucketed by level, each bucket is recomputed in one vectorized
+gather/segment-reduce, and only the fanout of slots whose value actually
+changed seeds deeper levels — the exact wavefront the dict retime walks
+node by node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro import obs
+from repro.sta.graph import GraphPatch, TimingGraph
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+#: Compact the arc arrays when tombstoned arcs exceed this fraction.
+COMPACT_DEAD_FRACTION = 0.25
+#: ... but never bother compacting tiny arrays.
+COMPACT_MIN_ARCS = 256
+
+
+@dataclass
+class _Csr:
+    """Level-ordered CSR views over the alive arcs (rebuilt lazily).
+
+    ``f*`` arrays order arcs by ``(level[dst], dst)`` — every arc with the
+    same destination is contiguous, and destinations ascend by level, so a
+    single pass of per-level ``reduceat`` segment maxima is a complete
+    forward sweep.  ``b*`` arrays order by ``(level[src], src)`` for the
+    backward sweep.  ``fanin_*``/``fanout_*`` index the same arrays per
+    node slot for the masked retime gathers.
+    """
+
+    # forward (fanin-grouped) ordering
+    fsrc: np.ndarray
+    fdst: np.ndarray
+    fdelay: np.ndarray
+    fseg_bounds: np.ndarray  # segment boundaries into f*, len = nseg + 1
+    fseg_dst: np.ndarray  # destination slot per segment
+    flevels: np.ndarray  # distinct destination levels, ascending
+    flevel_seg_ptr: np.ndarray  # segment range per level, len = nlevels + 1
+    fanin_start: np.ndarray  # per-slot range into f*
+    fanin_end: np.ndarray
+    # backward (fanout-grouped) ordering
+    bsrc: np.ndarray
+    bdst: np.ndarray
+    bdelay: np.ndarray
+    bseg_bounds: np.ndarray
+    bseg_src: np.ndarray
+    blevels: np.ndarray  # distinct source levels, ascending
+    blevel_seg_ptr: np.ndarray
+    fanout_start: np.ndarray
+    fanout_end: np.ndarray
+
+
+def _segment_csr(
+    keys: np.ndarray, levels: np.ndarray, n_slots: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Segment an arc ordering grouped by ``keys`` (already sorted by
+    ``(levels, keys)``) into per-key segments, per-level segment ranges,
+    and per-slot start/end lookups."""
+    n = len(keys)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        zeros = np.zeros(n_slots, dtype=np.int64)
+        return (
+            np.zeros(1, dtype=np.int64),
+            empty,
+            empty,
+            np.zeros(1, dtype=np.int64),
+            zeros,
+            zeros.copy(),
+        )
+    change = np.nonzero(keys[1:] != keys[:-1])[0] + 1
+    seg_starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+    seg_bounds = np.concatenate((seg_starts, np.array([n], dtype=np.int64)))
+    seg_key = keys[seg_starts]
+    seg_level = levels[seg_starts]
+    uniq_levels = np.unique(seg_level)
+    level_ptr = np.concatenate(
+        (
+            np.searchsorted(seg_level, uniq_levels),
+            np.array([len(seg_key)], dtype=np.int64),
+        )
+    )
+    start = np.zeros(n_slots, dtype=np.int64)
+    end = np.zeros(n_slots, dtype=np.int64)
+    start[seg_key] = seg_starts
+    end[seg_key] = seg_bounds[1:]
+    return seg_bounds, seg_key, uniq_levels, level_ptr, start, end
+
+
+def _concat_ranges(
+    starts: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate ``[starts[i], starts[i]+counts[i])`` ranges.
+
+    Returns ``(indices, bounds, nz)`` where ``indices`` is the flattened
+    index vector, ``bounds`` the reduceat boundaries of the *non-empty*
+    ranges, and ``nz`` the positions of those non-empty ranges in the
+    input.  Empty ranges are dropped (``reduceat`` cannot express them).
+    """
+    nz = np.nonzero(counts)[0]
+    if len(nz) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, nz
+    s = starts[nz]
+    c = counts[nz]
+    total = int(c.sum())
+    bounds = np.zeros(len(c), dtype=np.int64)
+    np.cumsum(c[:-1], out=bounds[1:])
+    out = np.ones(total, dtype=np.int64)
+    out[0] = s[0]
+    if len(s) > 1:
+        out[bounds[1:]] = s[1:] - (s[:-1] + c[:-1] - 1)
+    np.cumsum(out, out=out)
+    return out, bounds, nz
+
+
+class ArrayKernel:
+    """Flat-array mirror of one :class:`TimingGraph`, with vectorized sweeps.
+
+    The kernel owns the authoritative float64 value arrays (``arrival``,
+    ``required``, ``arrival_min``); the timer's dict state is materialized
+    from them after full sweeps and co-updated during retimes, so every
+    query path stays unchanged and bit-identical.
+    """
+
+    def __init__(self, graph: TimingGraph) -> None:
+        self.graph = graph
+        self.has_min = False
+        self._csr: _Csr | None = None
+        with obs.span("sta.kernel.compile", cat="sta") as sp:
+            ids: list[int] = []
+            index: dict[int, int] = {}
+            for nid in graph._nodes:
+                index[nid] = len(ids)
+                ids.append(nid)
+            for nid in (*graph.input_ports_by_id, *graph.output_ports_by_id):
+                if nid not in index:
+                    index[nid] = len(ids)
+                    ids.append(nid)
+            self._ids = ids
+            self._index = index
+            self._free: list[int] = []
+            cap = max(len(ids), 16)
+            self._node_alive = np.zeros(cap, dtype=bool)
+            self._node_alive[: len(ids)] = True
+            self._level = np.zeros(cap, dtype=np.int64)
+            self._arrival = np.full(cap, _NEG_INF)
+            self._required = np.full(cap, _POS_INF)
+            self._arrival_min = np.full(cap, _POS_INF)
+
+            arcs = [a for fo in graph.fanout.values() for a in fo]
+            n = len(arcs)
+            acap = max(n, 16)
+            self._asrc = np.empty(acap, dtype=np.int64)
+            self._adst = np.empty(acap, dtype=np.int64)
+            self._adelay = np.empty(acap, dtype=np.float64)
+            self._aalive = np.zeros(acap, dtype=bool)
+            self._asrc[:n] = np.fromiter(
+                (index[id(a.src)] for a in arcs), dtype=np.int64, count=n
+            )
+            self._adst[:n] = np.fromiter(
+                (index[id(a.dst)] for a in arcs), dtype=np.int64, count=n
+            )
+            self._adelay[:n] = np.fromiter(
+                (a.delay for a in arcs), dtype=np.float64, count=n
+            )
+            self._aalive[:n] = True
+            self._n_arcs = n
+            self._n_dead = 0
+            sp.set(nodes=len(ids), arcs=n)
+        reg = obs.get_registry()
+        reg.counter("sta.kernel.compiles").inc()
+
+    # -- slots ---------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._ids)
+
+    def slot(self, nid: int) -> int:
+        return self._index[nid]
+
+    def node_array(self, fill: float) -> np.ndarray:
+        """A fresh per-slot float array initialized to ``fill``."""
+        return np.full(len(self._ids), fill)
+
+    def _grow_nodes(self, need: int) -> None:
+        cap = len(self._node_alive)
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+
+        def grown(arr: np.ndarray, fill) -> np.ndarray:
+            out = np.full(new_cap, fill, dtype=arr.dtype)
+            out[:cap] = arr
+            return out
+
+        self._node_alive = grown(self._node_alive, False)
+        self._level = grown(self._level, 0)
+        self._arrival = grown(self._arrival, _NEG_INF)
+        self._required = grown(self._required, _POS_INF)
+        self._arrival_min = grown(self._arrival_min, _POS_INF)
+
+    def ensure_slot(self, nid: int) -> int:
+        s = self._index.get(nid)
+        if s is not None:
+            return s
+        if self._free:
+            s = self._free.pop()
+            self._ids[s] = nid
+        else:
+            s = len(self._ids)
+            self._ids.append(nid)
+            self._grow_nodes(s + 1)
+        self._index[nid] = s
+        self._node_alive[s] = True
+        self._level[s] = 0
+        self._arrival[s] = _NEG_INF
+        self._required[s] = _POS_INF
+        self._arrival_min[s] = _POS_INF
+        return s
+
+    def drop_slot(self, nid: int) -> None:
+        s = self._index.pop(nid, None)
+        if s is None:
+            return
+        self._node_alive[s] = False
+        self._arrival[s] = _NEG_INF
+        self._required[s] = _POS_INF
+        self._arrival_min[s] = _POS_INF
+        self._level[s] = 0
+        self._free.append(s)
+
+    # -- patching ------------------------------------------------------------
+
+    def _append_arc_rows(
+        self, src: list[int], dst: list[int], delay: list[float]
+    ) -> None:
+        k = len(src)
+        if k == 0:
+            return
+        n = self._n_arcs
+        cap = len(self._aalive)
+        if n + k > cap:
+            new_cap = max(n + k, 2 * cap)
+
+            def grown(arr: np.ndarray, fill) -> np.ndarray:
+                out = np.full(new_cap, fill, dtype=arr.dtype)
+                out[:n] = arr[:n]
+                return out
+
+            self._asrc = grown(self._asrc, 0)
+            self._adst = grown(self._adst, 0)
+            self._adelay = grown(self._adelay, 0.0)
+            self._aalive = grown(self._aalive, False)
+        self._asrc[n : n + k] = src
+        self._adst[n : n + k] = dst
+        self._adelay[n : n + k] = delay
+        self._aalive[n : n + k] = True
+        self._n_arcs = n + k
+
+    def apply_patch(self, patch: GraphPatch) -> None:
+        """Mirror one :meth:`TimingGraph.apply_change` into the arc arrays.
+
+        Every arc the graph added or removed has both endpoints in
+        ``patch.dirty`` (see ``_add_arc``/``_unlink``), so tombstoning all
+        arcs incident to the dirty and removed slots and re-appending the
+        graph's current arcs around the dirty nodes reproduces the live
+        arc multiset exactly.
+        """
+        g = self.graph
+        self._csr = None
+        affected = patch.dirty | patch.removed
+        slots = [self._index[nid] for nid in affected if nid in self._index]
+        n = self._n_arcs
+        if slots and n:
+            sl = np.fromiter(slots, dtype=np.int64, count=len(slots))
+            sl.sort()
+            alive = self._aalive[:n]
+            hit = alive & (
+                np.isin(self._asrc[:n], sl) | np.isin(self._adst[:n], sl)
+            )
+            dead = int(hit.sum())
+            if dead:
+                alive[hit] = False
+                self._n_dead += dead
+        for nid in patch.removed:
+            if not g.contains(nid):
+                self.drop_slot(nid)
+            else:
+                # Released and re-added within one patch (e.g. a rebuilt
+                # net's driver): the timer popped its dict state, so clear
+                # the slot too — the retime reinstates both from the seed.
+                s = self._index.get(nid)
+                if s is not None:
+                    self._arrival[s] = _NEG_INF
+                    self._required[s] = _POS_INF
+                    self._arrival_min[s] = _POS_INF
+        seen: set[int] = set()
+        src: list[int] = []
+        dst: list[int] = []
+        delay: list[float] = []
+        for nid in patch.dirty:
+            if not g.contains(nid):
+                self.drop_slot(nid)
+                continue
+            self.ensure_slot(nid)
+            for arc in (*g.fanout.get(nid, ()), *g.fanin.get(nid, ())):
+                key = id(arc)
+                if key in seen:
+                    continue
+                seen.add(key)
+                src.append(self.ensure_slot(id(arc.src)))
+                dst.append(self.ensure_slot(id(arc.dst)))
+                delay.append(arc.delay)
+        self._append_arc_rows(src, dst, delay)
+        if (
+            self._n_arcs > COMPACT_MIN_ARCS
+            and self._n_dead > COMPACT_DEAD_FRACTION * self._n_arcs
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        n = self._n_arcs
+        keep = np.nonzero(self._aalive[:n])[0]
+        k = len(keep)
+        self._asrc[:k] = self._asrc[keep]
+        self._adst[:k] = self._adst[keep]
+        self._adelay[:k] = self._adelay[keep]
+        self._aalive[:k] = True
+        self._aalive[k:n] = False
+        self._n_arcs = k
+        self._n_dead = 0
+        obs.get_registry().counter("sta.kernel.compactions").inc()
+
+    # -- CSR -----------------------------------------------------------------
+
+    def _ensure_csr(self) -> _Csr:
+        if self._csr is not None:
+            return self._csr
+        g = self.graph
+        lv = g.levels()
+        level = self._level
+        for nid, s in self._index.items():
+            level[s] = lv.get(nid, 0)
+        n = self._n_arcs
+        alive_idx = np.nonzero(self._aalive[:n])[0]
+        src = self._asrc[alive_idx]
+        dst = self._adst[alive_idx]
+        delay = self._adelay[alive_idx]
+        n_slots = len(self._ids)
+
+        dlv = level[dst]
+        order = np.lexsort((dst, dlv))
+        fsrc = src[order]
+        fdst = dst[order]
+        fdelay = delay[order]
+        fbounds, fkey, flevels, fptr, fanin_start, fanin_end = _segment_csr(
+            fdst, dlv[order], n_slots
+        )
+
+        slv = level[src]
+        order = np.lexsort((src, slv))
+        bsrc = src[order]
+        bdst = dst[order]
+        bdelay = delay[order]
+        bbounds, bkey, blevels, bptr, fanout_start, fanout_end = _segment_csr(
+            bsrc, slv[order], n_slots
+        )
+
+        self._csr = _Csr(
+            fsrc=fsrc,
+            fdst=fdst,
+            fdelay=fdelay,
+            fseg_bounds=fbounds,
+            fseg_dst=fkey,
+            flevels=flevels,
+            flevel_seg_ptr=fptr,
+            fanin_start=fanin_start,
+            fanin_end=fanin_end,
+            bsrc=bsrc,
+            bdst=bdst,
+            bdelay=bdelay,
+            bseg_bounds=bbounds,
+            bseg_src=bkey,
+            blevels=blevels,
+            blevel_seg_ptr=bptr,
+            fanout_start=fanout_start,
+            fanout_end=fanout_end,
+        )
+        return self._csr
+
+    # -- full sweeps ---------------------------------------------------------
+
+    def full_forward(self, seed: np.ndarray, minimize: bool = False) -> dict[int, float]:
+        """Level-ordered forward sweep from per-slot seeds.
+
+        ``minimize`` selects shortest-path (hold) semantics; the result is
+        stored as the kernel's authoritative array and returned as the
+        dict the timer state expects.
+        """
+        csr = self._ensure_csr()
+        arr = seed
+        op = np.minimum if minimize else np.maximum
+        ptr = csr.flevel_seg_ptr
+        bounds = csr.fseg_bounds
+        for li in range(len(csr.flevels)):
+            seg_lo = ptr[li]
+            seg_hi = ptr[li + 1]
+            a_lo = bounds[seg_lo]
+            a_hi = bounds[seg_hi]
+            cand = arr[csr.fsrc[a_lo:a_hi]] + csr.fdelay[a_lo:a_hi]
+            seg = op.reduceat(cand, bounds[seg_lo:seg_hi] - a_lo)
+            dsts = csr.fseg_dst[seg_lo:seg_hi]
+            arr[dsts] = op(arr[dsts], seg)
+        n = len(self._ids)
+        if minimize:
+            self._arrival_min[:n] = arr
+            self.has_min = True
+            sentinel = _POS_INF
+        else:
+            self._arrival[:n] = arr
+            sentinel = _NEG_INF
+        obs.get_registry().counter("sta.kernel.sweeps").inc()
+        return self._as_dict(arr, sentinel)
+
+    def full_backward(self, seed: np.ndarray) -> dict[int, float]:
+        """Level-ordered backward sweep (required times) from seeds."""
+        csr = self._ensure_csr()
+        req = seed
+        ptr = csr.blevel_seg_ptr
+        bounds = csr.bseg_bounds
+        for li in range(len(csr.blevels) - 1, -1, -1):
+            seg_lo = ptr[li]
+            seg_hi = ptr[li + 1]
+            a_lo = bounds[seg_lo]
+            a_hi = bounds[seg_hi]
+            cand = req[csr.bdst[a_lo:a_hi]] - csr.bdelay[a_lo:a_hi]
+            seg = np.minimum.reduceat(cand, bounds[seg_lo:seg_hi] - a_lo)
+            srcs = csr.bseg_src[seg_lo:seg_hi]
+            req[srcs] = np.minimum(req[srcs], seg)
+        n = len(self._ids)
+        self._required[:n] = req
+        obs.get_registry().counter("sta.kernel.sweeps").inc()
+        return self._as_dict(req, _POS_INF)
+
+    def _as_dict(self, arr: np.ndarray, sentinel: float) -> dict[int, float]:
+        n = len(self._ids)
+        live = np.nonzero(self._node_alive[:n] & (arr[:n] != sentinel))[0]
+        vals = arr[live].tolist()
+        ids = self._ids
+        return {ids[s]: v for s, v in zip(live.tolist(), vals)}
+
+    # -- masked dirty-cone retime ---------------------------------------------
+
+    def _recompute(
+        self,
+        slots: np.ndarray,
+        seed: np.ndarray,
+        values: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+        neighbor: np.ndarray,
+        arc_delay: np.ndarray,
+        sign: float,
+        minimize: bool,
+    ) -> np.ndarray:
+        """Recompute ``max/min(seed, neighbor value ± delay)`` per slot."""
+        counts = end[slots] - start[slots]
+        out = seed.copy()
+        idx, bounds, nz = _concat_ranges(start[slots], counts)
+        if len(nz) == 0:
+            return out
+        cand = values[neighbor[idx]] + sign * arc_delay[idx]
+        if minimize:
+            seg = np.minimum.reduceat(cand, bounds)
+            out[nz] = np.minimum(out[nz], seg)
+        else:
+            seg = np.maximum.reduceat(cand, bounds)
+            out[nz] = np.maximum(out[nz], seg)
+        return out
+
+    def retime(self, timer) -> int:
+        """Masked sub-level re-propagation of the timer's dirty cones.
+
+        Mirrors ``Timer._retime`` batch-for-batch: dirty slots are drained
+        in level order, each level's batch is recomputed in one vectorized
+        gather, and only slots whose value changed push their fanout
+        (arrival) or fanin (required) deeper.  The timer's dict state and
+        changed-cell set are co-updated so queries and
+        ``drain_changed_cells`` behave identically to the dict kernel.
+        """
+        g = self.graph
+        csr = self._ensure_csr()
+        st = timer._state
+        track_min = st.arrival_min is not None
+        level = self._level
+        ids = self._ids
+        touched: set[int] = set()
+        batches = 0
+        reg = obs.get_registry()
+
+        def note_changed(nid: int) -> None:
+            cell = getattr(g._nodes.get(nid), "cell", None)
+            if cell is not None:
+                timer._changed_cells.add(cell.name)
+
+        def drop_stale(nid: int) -> None:
+            st.arrival.pop(nid, None)
+            st.required.pop(nid, None)
+            if track_min:
+                st.arrival_min.pop(nid, None)
+            self.drop_slot(nid)
+
+        # Forward cone: arrivals ascend by level.
+        buckets: dict[int, set[int]] = {}
+        heap: list[int] = []
+
+        def push_fwd(s: int) -> None:
+            lv = int(level[s])
+            b = buckets.get(lv)
+            if b is None:
+                buckets[lv] = b = {s}
+                heappush(heap, lv)
+            else:
+                b.add(s)
+
+        for nid in timer._dirty_fwd:
+            if g.contains(nid):
+                push_fwd(self.ensure_slot(nid))
+            else:
+                drop_stale(nid)
+
+        while heap:
+            lv = heappop(heap)
+            batch = buckets.pop(lv)
+            touched |= batch
+            batches += 1
+            reg.histogram("sta.kernel.batch_nodes", obs.COUNT_BUCKETS).observe(
+                len(batch)
+            )
+            slots = np.fromiter(batch, dtype=np.int64, count=len(batch))
+            slots.sort()
+            seed = np.full(len(slots), _NEG_INF)
+            for i, s in enumerate(slots.tolist()):
+                sv = timer._arrival_seed(g, ids[s])
+                if sv is not None:
+                    seed[i] = sv
+            new = self._recompute(
+                slots, seed, self._arrival,
+                csr.fanin_start, csr.fanin_end, csr.fsrc, csr.fdelay,
+                1.0, minimize=False,
+            )
+            changed = new != self._arrival[slots]
+            if track_min:
+                seed_min = np.where(seed == _NEG_INF, _POS_INF, seed)
+                new_min = self._recompute(
+                    slots, seed_min, self._arrival_min,
+                    csr.fanin_start, csr.fanin_end, csr.fsrc, csr.fdelay,
+                    1.0, minimize=True,
+                )
+                changed_min = new_min != self._arrival_min[slots]
+                changed_any = changed | changed_min
+            else:
+                changed_any = changed
+            idx = np.nonzero(changed_any)[0]
+            if len(idx) == 0:
+                continue
+            self._arrival[slots] = new
+            if track_min:
+                self._arrival_min[slots] = new_min
+            for i in idx.tolist():
+                s = int(slots[i])
+                nid = ids[s]
+                if changed[i]:
+                    v = new[i]
+                    if v == _NEG_INF:
+                        st.arrival.pop(nid, None)
+                    else:
+                        st.arrival[nid] = v
+                if track_min and changed_min[i]:
+                    vm = new_min[i]
+                    if vm == _POS_INF:
+                        st.arrival_min.pop(nid, None)
+                    else:
+                        st.arrival_min[nid] = vm
+                note_changed(nid)
+            ch = slots[idx]
+            tidx, _, _ = _concat_ranges(
+                csr.fanout_start[ch], csr.fanout_end[ch] - csr.fanout_start[ch]
+            )
+            if len(tidx):
+                for t in np.unique(csr.bdst[tidx]).tolist():
+                    push_fwd(int(t))
+
+        # Backward cone: required times descend by level.
+        buckets.clear()
+        heap.clear()
+
+        def push_bwd(s: int) -> None:
+            lv = -int(level[s])
+            b = buckets.get(lv)
+            if b is None:
+                buckets[lv] = b = {s}
+                heappush(heap, lv)
+            else:
+                b.add(s)
+
+        for nid in timer._dirty_bwd:
+            if g.contains(nid):
+                push_bwd(self.ensure_slot(nid))
+            else:
+                drop_stale(nid)
+
+        while heap:
+            lv = heappop(heap)
+            batch = buckets.pop(lv)
+            touched |= batch
+            batches += 1
+            reg.histogram("sta.kernel.batch_nodes", obs.COUNT_BUCKETS).observe(
+                len(batch)
+            )
+            slots = np.fromiter(batch, dtype=np.int64, count=len(batch))
+            slots.sort()
+            seed = np.full(len(slots), _POS_INF)
+            for i, s in enumerate(slots.tolist()):
+                sv = timer._required_seed(g, ids[s])
+                if sv is not None:
+                    seed[i] = sv
+            new = self._recompute(
+                slots, seed, self._required,
+                csr.fanout_start, csr.fanout_end, csr.bdst, csr.bdelay,
+                -1.0, minimize=True,
+            )
+            changed = new != self._required[slots]
+            idx = np.nonzero(changed)[0]
+            if len(idx) == 0:
+                continue
+            self._required[slots] = new
+            for i in idx.tolist():
+                s = int(slots[i])
+                nid = ids[s]
+                v = new[i]
+                if v == _POS_INF:
+                    st.required.pop(nid, None)
+                else:
+                    st.required[nid] = v
+                note_changed(nid)
+            ch = slots[idx]
+            tidx, _, _ = _concat_ranges(
+                csr.fanin_start[ch], csr.fanin_end[ch] - csr.fanin_start[ch]
+            )
+            if len(tidx):
+                for t in np.unique(csr.fsrc[tidx]).tolist():
+                    push_bwd(int(t))
+
+        reg.counter("sta.kernel.retime_batches").inc(batches)
+        return len(touched)

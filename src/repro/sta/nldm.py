@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from itertools import groupby
+
+import numpy as np
 
 from repro.library.cells import LibCell, RegisterCell
 from repro.netlist.design import Design
@@ -65,6 +68,51 @@ class LookupTable2D:
         v01 = self.values[i0][j1]
         v10 = self.values[i1][j0]
         v11 = self.values[i1][j1]
+        top = v00 + (v01 - v00) * fj
+        bot = v10 + (v11 - v10) * fj
+        return top + (bot - top) * fi
+
+    @staticmethod
+    def _bracket_batch(
+        axis: tuple[float, ...], x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_bracket`: element-wise identical indices and
+        fractions.  ``np.searchsorted(side="right")`` is ``bisect_right``,
+        and the fraction uses the same subtract/divide expression, so every
+        element matches the scalar path bit for bit."""
+        ax = np.asarray(axis, dtype=np.float64)
+        last = len(ax) - 1
+        lo = np.zeros(x.shape, dtype=np.intp)
+        hi = np.zeros(x.shape, dtype=np.intp)
+        frac = np.zeros(x.shape, dtype=np.float64)
+        interior = (x > ax[0]) & (x < ax[-1])
+        if interior.any():
+            xi = x[interior]
+            h = np.searchsorted(ax, xi, side="right")
+            lo[interior] = h - 1
+            hi[interior] = h
+            frac[interior] = (xi - ax[h - 1]) / (ax[h] - ax[h - 1])
+        high = x >= ax[-1]
+        lo[high] = last
+        hi[high] = last
+        return lo, hi, frac
+
+    def lookup_batch(self, slews, loads) -> np.ndarray:
+        """Vectorized :meth:`lookup` over parallel slew/load arrays.
+
+        Bit-identical to the scalar path element by element: bracketing,
+        clamping, and the bilinear expression use the same float64
+        operations in the same order.
+        """
+        s = np.asarray(slews, dtype=np.float64)
+        ld = np.asarray(loads, dtype=np.float64)
+        i0, i1, fi = self._bracket_batch(self.slews, s)
+        j0, j1, fj = self._bracket_batch(self.loads, ld)
+        vals = np.asarray(self.values, dtype=np.float64)
+        v00 = vals[i0, j0]
+        v01 = vals[i0, j1]
+        v10 = vals[i1, j0]
+        v11 = vals[i1, j1]
         top = v00 + (v01 - v00) * fj
         bot = v10 + (v11 - v10) * fj
         return top + (bot - top) * fi
@@ -119,12 +167,32 @@ def synthesize_tables(
     )
 
 
+def _update(
+    state: dict[int, tuple[float, float]],
+    dst_id: int,
+    new_arrival: float,
+    new_slew: float,
+) -> None:
+    """Worst-case merge: independent maxes of arrival and slew.
+
+    Order-independent — the final entry is ``(max arrivals, max slews)``
+    whatever sequence the in-arcs land in, which is what licenses the
+    batched path's per-level regrouping.
+    """
+    prev = state.get(dst_id)
+    if prev is None or new_arrival > prev[0]:
+        state[dst_id] = (new_arrival, max(new_slew, prev[1] if prev else 0.0))
+    elif new_slew > prev[1]:
+        state[dst_id] = (prev[0], new_slew)
+
+
 def nldm_arrivals(
     design: Design,
     timer: Timer,
     slew_sensitivity: float = 0.15,
     input_slew: float = 0.02,
     wire_slew_per_um: float = 0.0002,
+    batched: bool = True,
 ) -> dict[int, tuple[float, float]]:
     """Slew-propagating arrival analysis over the timer's timing graph.
 
@@ -133,6 +201,13 @@ def nldm_arrivals(
     Manhattan delay and degrade slew by ``wire_slew_per_um`` per micron.
     Worst-case (max) semantics on both arrival and slew, as a setup-mode
     STA would propagate.
+
+    ``batched=True`` (the default) sweeps level by level and issues one
+    :meth:`LookupTable2D.lookup_batch` call per (libcell, level) group
+    instead of a scalar lookup per arc.  The merge rule is an
+    order-independent pair of maxes and the batch lookup is element-wise
+    identical to the scalar one, so both paths return bit-identical maps
+    (property-tested).
     """
     graph: TimingGraph = timer.graph
     tables: dict[str, TimingTables] = {}
@@ -154,33 +229,73 @@ def nldm_arrivals(
     for port in graph.input_ports:
         state[id(port)] = (timer.input_delay, input_slew)
 
-    for node in graph.topological_order():
-        here = state.get(id(node))
-        if here is None:
-            continue
-        arrival, slew = here
-        for arc in graph.fanout.get(id(node), ()):
-            src_cell = getattr(arc.src, "cell", None)
-            dst_cell = getattr(arc.dst, "cell", None)
-            if src_cell is not None and dst_cell is src_cell:
-                # Cell arc (input pin -> output pin of the same cell).
-                lc = src_cell.libcell
-                load = graph.output_load(arc.dst)
-                t = tables_for(lc)
-                new_arrival = arrival + t.delay.lookup(slew, load)
-                new_slew = t.out_slew.lookup(slew, load)
-            else:
-                # Net arc: the graph's wire delay, plus slew degradation.
-                distance = (
-                    arc.delay / graph.tech.wire_delay_per_um
-                    if graph.tech.wire_delay_per_um > 0
-                    else 0.0
-                )
-                new_arrival = arrival + arc.delay
-                new_slew = slew + wire_slew_per_um * distance
-            prev = state.get(id(arc.dst))
-            if prev is None or new_arrival > prev[0]:
-                state[id(arc.dst)] = (new_arrival, max(new_slew, prev[1] if prev else 0.0))
-            elif new_slew > prev[1]:
-                state[id(arc.dst)] = (prev[0], new_slew)
+    if not batched:
+        for node in graph.topological_order():
+            here = state.get(id(node))
+            if here is None:
+                continue
+            arrival, slew = here
+            for arc in graph.fanout.get(id(node), ()):
+                src_cell = getattr(arc.src, "cell", None)
+                dst_cell = getattr(arc.dst, "cell", None)
+                if src_cell is not None and dst_cell is src_cell:
+                    # Cell arc (input pin -> output pin of the same cell).
+                    lc = src_cell.libcell
+                    load = graph.output_load(arc.dst)
+                    t = tables_for(lc)
+                    new_arrival = arrival + t.delay.lookup(slew, load)
+                    new_slew = t.out_slew.lookup(slew, load)
+                else:
+                    # Net arc: the graph's wire delay, plus slew degradation.
+                    distance = (
+                        arc.delay / graph.tech.wire_delay_per_um
+                        if graph.tech.wire_delay_per_um > 0
+                        else 0.0
+                    )
+                    new_arrival = arrival + arc.delay
+                    new_slew = slew + wire_slew_per_um * distance
+                _update(state, id(arc.dst), new_arrival, new_slew)
+        return state
+
+    levels = graph.levels()
+    order = sorted(graph.topological_order(), key=lambda n: levels[id(n)])
+    for _level, group in groupby(order, key=lambda n: levels[id(n)]):
+        # Arcs within one level never feed each other (levels strictly
+        # ascend along arcs), so the whole level batches safely.
+        cell_arcs: dict[str, list[tuple[object, float, float, float]]] = {}
+        libcells: dict[str, LibCell] = {}
+        for node in group:
+            here = state.get(id(node))
+            if here is None:
+                continue
+            arrival, slew = here
+            for arc in graph.fanout.get(id(node), ()):
+                src_cell = getattr(arc.src, "cell", None)
+                dst_cell = getattr(arc.dst, "cell", None)
+                if src_cell is not None and dst_cell is src_cell:
+                    lc = src_cell.libcell
+                    libcells[lc.name] = lc
+                    cell_arcs.setdefault(lc.name, []).append(
+                        (arc.dst, arrival, slew, graph.output_load(arc.dst))
+                    )
+                else:
+                    distance = (
+                        arc.delay / graph.tech.wire_delay_per_um
+                        if graph.tech.wire_delay_per_um > 0
+                        else 0.0
+                    )
+                    _update(
+                        state,
+                        id(arc.dst),
+                        arrival + arc.delay,
+                        slew + wire_slew_per_um * distance,
+                    )
+        for name, rows in cell_arcs.items():
+            t = tables_for(libcells[name])
+            in_slews = np.fromiter((r[2] for r in rows), dtype=np.float64)
+            loads = np.fromiter((r[3] for r in rows), dtype=np.float64)
+            delays = t.delay.lookup_batch(in_slews, loads)
+            out_slews = t.out_slew.lookup_batch(in_slews, loads)
+            for (dst, arrival, _slew, _load), d, s in zip(rows, delays, out_slews):
+                _update(state, id(dst), arrival + float(d), float(s))
     return state

@@ -24,16 +24,32 @@ from repro.library.library import Technology
 from repro.netlist.change import ChangeRecord
 from repro.netlist.db import Cell, Terminal
 from repro.netlist.design import Design
+from repro.sta.arraygraph import ArrayKernel
 from repro.sta.graph import TimingGraph
 
 _NEG_INF = float("-inf")
 _POS_INF = float("inf")
 
 AUDIT_ENV = "REPRO_STA_AUDIT"
+KERNEL_ENV = "REPRO_STA_KERNEL"
+KERNELS = ("array", "dict")
 
 
 def _audit_env_enabled() -> bool:
     return os.environ.get(AUDIT_ENV, "") not in ("", "0")
+
+
+def _kernel_from_env() -> str:
+    """The propagation kernel selected by ``REPRO_STA_KERNEL`` (default
+    ``array``; set ``dict`` to opt out of the vectorized kernel)."""
+    val = os.environ.get(KERNEL_ENV, "").strip().lower()
+    if not val:
+        return "array"
+    if val not in KERNELS:
+        raise ValueError(
+            f"{KERNEL_ENV}={val!r}: expected one of {', '.join(KERNELS)}"
+        )
+    return val
 
 
 class TimingAuditError(AssertionError):
@@ -96,6 +112,7 @@ class TimerStats:
     retimed_nodes: int = 0
     last_retimed_nodes: int = 0
     graph_nodes: int = 0
+    kernel_sweeps: int = 0  # vectorized level sweeps run by the array kernel
 
     def snapshot(self) -> "TimerStats":
         return replace(self)
@@ -139,6 +156,7 @@ class Timer:
         output_delay: float = 0.0,
         technology: Technology | None = None,
         audit_mode: bool | None = None,
+        kernel: str | None = None,
     ) -> None:
         self.design = design
         self.clock_period = clock_period
@@ -147,6 +165,15 @@ class Timer:
         self.output_delay = output_delay
         self.tech = technology or design.library.technology
         self.audit_mode = _audit_env_enabled() if audit_mode is None else audit_mode
+        if kernel is None:
+            kernel = _kernel_from_env()
+        elif kernel not in KERNELS:
+            raise ValueError(
+                f"unknown timing kernel {kernel!r}: expected one of "
+                + ", ".join(KERNELS)
+            )
+        self.kernel = kernel
+        self._kernel: ArrayKernel | None = None
         self.stats = TimerStats()
         self._graph: TimingGraph | None = None
         self._state: _TimingState | None = None
@@ -161,6 +188,7 @@ class Timer:
     def dirty(self) -> None:
         """Invalidate cached timing entirely (full-rebuild fallback)."""
         self._graph = None
+        self._kernel = None
         self._state = None
         self._dirty_fwd.clear()
         self._dirty_bwd.clear()
@@ -207,6 +235,8 @@ class Timer:
         if self._graph is None:
             return  # nothing cached; the next query builds fresh
         patch = self._graph.apply_change(record)
+        if self._kernel is not None:
+            self._kernel.apply_patch(patch)
         self._audit_pending = True
         if self._state is None:
             return  # graph is current again; state recomputes fully on query
@@ -264,6 +294,11 @@ class Timer:
         if self._graph is None:
             self._graph = TimingGraph(self.design, self.tech)
         return self._graph
+
+    def _ensure_kernel(self, g: TimingGraph) -> ArrayKernel:
+        if self._kernel is None or self._kernel.graph is not g:
+            self._kernel = ArrayKernel(g)
+        return self._kernel
 
     def _clock_arrival(self, cell: Cell) -> float:
         return self.skew.get(cell.name, 0.0)
@@ -327,6 +362,40 @@ class Timer:
 
         return st
 
+    # -- array-kernel propagation (bit-identical to the dict reference) ------
+
+    def _arrival_seeds(self, k: ArrayKernel, g: TimingGraph, sentinel: float = _NEG_INF):
+        """Per-slot arrival seeds (``sentinel`` = unseeded: ``-inf`` for the
+        max sweep, ``+inf`` for the min sweep), same arithmetic as the dict
+        pass."""
+        seed = k.node_array(sentinel)
+        for nid, (cell, _q) in g.launch_by_id.items():
+            seed[k.slot(nid)] = self._clock_arrival(cell) + g.launch_delay[nid]
+        for nid in g.input_ports_by_id:
+            seed[k.slot(nid)] = self.input_delay
+        return seed
+
+    def _required_seeds(self, k: ArrayKernel, g: TimingGraph):
+        seed = k.node_array(_POS_INF)
+        for nid, (cell, _d) in g.capture_by_id.items():
+            lc = cell.register_cell
+            seed[k.slot(nid)] = (
+                self.clock_period + self._clock_arrival(cell) - lc.setup
+            )
+        for nid in g.output_ports_by_id:
+            seed[k.slot(nid)] = self.clock_period - self.output_delay
+        return seed
+
+    def _full_state_array(self, g: TimingGraph) -> _TimingState:
+        """From-scratch propagation through the vectorized array kernel."""
+        k = self._ensure_kernel(g)
+        k.has_min = False
+        st = _TimingState()
+        st.arrival = k.full_forward(self._arrival_seeds(k, g))
+        st.required = k.full_backward(self._required_seeds(k, g))
+        self.stats.kernel_sweeps += 2
+        return st
+
     def _compute(self) -> _TimingState:
         if (
             self._state is not None
@@ -337,7 +406,10 @@ class Timer:
         g = self.graph
         if self._state is None:
             with obs.span("sta.full_timing", cat="sta") as sp:
-                self._state = self._full_state(g)
+                if self.kernel == "array":
+                    self._state = self._full_state_array(g)
+                else:
+                    self._state = self._full_state(g)
                 sp.set(graph_nodes=g.node_count)
             self._dirty_fwd.clear()
             self._dirty_bwd.clear()
@@ -363,11 +435,34 @@ class Timer:
     def _retime(self, g: TimingGraph) -> None:
         """Drain the dirty sets: levelized re-propagation of both cones.
 
-        Each popped node is recomputed from its full fanin (arrival) or
-        fanout (required) plus its seed — the same max/min the batch pass
+        Each node is recomputed from its full fanin (arrival) or fanout
+        (required) plus its seed — the same max/min the batch pass
         evaluates — so values match a full recompute bit for bit, and the
         wave stops as soon as recomputed values equal the cached ones.
+        The array kernel runs the identical wavefront as masked per-level
+        batches (:meth:`~repro.sta.arraygraph.ArrayKernel.retime`).
         """
+        if self.kernel == "array":
+            touched = self._ensure_kernel(g).retime(self)
+        else:
+            touched = self._retime_dict(g)
+        self._dirty_fwd.clear()
+        self._dirty_bwd.clear()
+        self.stats.incremental_timings += 1
+        self.stats.retimed_nodes += touched
+        self.stats.last_retimed_nodes = touched
+        self.stats.graph_nodes = g.node_count
+        reg = obs.get_registry()
+        reg.counter("sta.incremental_timings").inc()
+        reg.counter("sta.retimed_nodes").inc(touched)
+        if g.node_count:
+            reg.histogram(
+                "sta.retime.cone_fraction", obs.FRACTION_BUCKETS
+            ).observe(touched / g.node_count)
+        self.stats.publish()
+
+    def _retime_dict(self, g: TimingGraph) -> int:
+        """The per-node reference wavefront over the dict state."""
         st = self._state
         assert st is not None
         levels = g.levels()
@@ -474,20 +569,7 @@ class Timer:
                 for arc in g.fanin.get(nid, ()):
                     push_bwd(id(arc.src))
 
-        self._dirty_fwd.clear()
-        self._dirty_bwd.clear()
-        self.stats.incremental_timings += 1
-        self.stats.retimed_nodes += len(touched)
-        self.stats.last_retimed_nodes = len(touched)
-        self.stats.graph_nodes = g.node_count
-        reg = obs.get_registry()
-        reg.counter("sta.incremental_timings").inc()
-        reg.counter("sta.retimed_nodes").inc(len(touched))
-        if g.node_count:
-            reg.histogram(
-                "sta.retime.cone_fraction", obs.FRACTION_BUCKETS
-            ).observe(len(touched) / g.node_count)
-        self.stats.publish()
+        return len(touched)
 
     # -- audit ---------------------------------------------------------------
 
@@ -601,7 +683,15 @@ class Timer:
         st = self._compute()
         if st.arrival_min is not None:
             return st.arrival_min
-        st.arrival_min = self._min_arrivals(self.graph)
+        if self.kernel == "array":
+            g = self.graph
+            k = self._ensure_kernel(g)
+            st.arrival_min = k.full_forward(
+                self._arrival_seeds(k, g, _POS_INF), minimize=True
+            )
+            self.stats.kernel_sweeps += 1
+        else:
+            st.arrival_min = self._min_arrivals(self.graph)
         return st.arrival_min
 
     def hold_slacks(self) -> list[EndpointSlack]:

@@ -77,3 +77,75 @@ class TestOfDesign:
         after = CongestionGrid.of_design(flop_row, bins_x=4, bins_y=4)
         assert after.usage_v.sum() > base.usage_v.sum()
         assert after.usage_h.sum() > base.usage_h.sum()
+
+
+class TestBatchedAccumulation:
+    """``_add_boxes`` must equal the sequential ``add_net_box`` loop bit
+    for bit — same fractions, same addition order (net-major)."""
+
+    def _random_boxes(self, rng, n, die):
+        import random as _random
+
+        assert isinstance(rng, _random.Random)
+        boxes = []
+        for _ in range(n):
+            x0 = rng.uniform(die.xlo, die.xhi)
+            y0 = rng.uniform(die.ylo, die.yhi)
+            if rng.random() < 0.2:  # degenerate in one axis
+                x1 = x0
+            else:
+                x1 = min(die.xhi, x0 + rng.uniform(0.0, die.width))
+            if rng.random() < 0.2:
+                y1 = y0
+            else:
+                y1 = min(die.yhi, y0 + rng.uniform(0.0, die.height))
+            if x1 == x0 and y1 == y0:
+                x1 = min(die.xhi, x0 + 1.0)
+            boxes.append((x0, y0, x1, y1))
+        return boxes
+
+    def test_batch_matches_sequential_loop_bitwise(self):
+        import random
+
+        import numpy as np
+
+        from repro.geometry import Rect as R
+
+        die = R(0, 0, 30, 20)
+        rng = random.Random(17)
+        boxes = self._random_boxes(rng, 60, die)
+        weights = [rng.choice([1.0, 0.5, 2.0]) for _ in boxes]
+
+        ref = CongestionGrid(die, bins_x=6, bins_y=5)
+        for (x0, y0, x1, y1), w in zip(boxes, weights):
+            ref.add_net_box(R(x0, y0, x1, y1), weight=w)
+
+        batch = CongestionGrid(die, bins_x=6, bins_y=5)
+        batch._add_boxes(np.array(boxes, dtype=float), np.array(weights))
+
+        assert np.array_equal(ref.usage_v, batch.usage_v)
+        assert np.array_equal(ref.usage_h, batch.usage_h)
+
+    def test_empty_batch_is_noop(self):
+        import numpy as np
+
+        grid = CongestionGrid(Rect(0, 0, 8, 8), bins_x=2, bins_y=2)
+        grid._add_boxes(np.zeros((0, 4)), np.zeros(0))
+        assert grid.usage_v.sum() == 0.0
+        assert grid.usage_h.sum() == 0.0
+
+    def test_of_design_matches_per_net_loop(self, flop_row):
+        import numpy as np
+
+        batch = CongestionGrid.of_design(flop_row, bins_x=4, bins_y=4)
+        loop = CongestionGrid(flop_row.die, bins_x=4, bins_y=4)
+        for net in flop_row.nets.values():
+            box = net.bbox()
+            if (
+                box is not None
+                and net.num_pins >= 2
+                and (box.width > 0 or box.height > 0)
+            ):
+                loop.add_net_box(box)
+        assert np.array_equal(batch.usage_v, loop.usage_v)
+        assert np.array_equal(batch.usage_h, loop.usage_h)

@@ -94,7 +94,7 @@ class TestScipyOptionality:
             optimal=False,
         )
         monkeypatch.setattr(
-            subproblem, "solve_set_partition", lambda p: incumbent
+            subproblem, "solve_set_partition", lambda p, warm=None: incumbent
         )
         monkeypatch.setattr(backend, "scipy_available", lambda: False)
         res = solve_subproblem(_spec())
@@ -109,7 +109,7 @@ class TestScipyOptionality:
             optimal=False,
         )
         monkeypatch.setattr(
-            subproblem, "solve_set_partition", lambda p: incumbent
+            subproblem, "solve_set_partition", lambda p, warm=None: incumbent
         )
         res = solve_subproblem(_spec())
         # HiGHS finishes the job: the true optimum (c + {a,b}) wins.

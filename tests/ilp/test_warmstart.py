@@ -1,0 +1,150 @@
+"""Warm-started ILP solves: bound-only pruning, bit-identical optima.
+
+A :class:`~repro.ilp.setpart.WarmStart` carries the objective of a
+known-feasible solution from a prior matching instance.  The contract is
+strict: the solver may *prune* with it but never *adopt* it, so a warm
+solve returns exactly the cold solve's answer — chosen set, objective,
+feasibility — while typically exploring fewer nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.candidates import CandidateMBR
+from repro.core.composer import _warm_bound
+from repro.ilp import SetPartitionProblem, WarmStart, solve_set_partition
+from repro.ilp.branch_bound import solve_binary_program
+
+
+def _problem() -> SetPartitionProblem:
+    # 6 elements, singletons at weight 1 plus a few cheaper merged subsets.
+    subsets = [frozenset((i,)) for i in range(6)]
+    weights = [1.0] * 6
+    subsets += [
+        frozenset((0, 1)),
+        frozenset((2, 3)),
+        frozenset((4, 5)),
+        frozenset((0, 1, 2)),
+        frozenset((3, 4, 5)),
+    ]
+    weights += [0.5, 0.5, 0.5, 0.4, 0.9]
+    return SetPartitionProblem(
+        n_elements=6, subsets=tuple(subsets), weights=tuple(weights)
+    )
+
+
+class TestSetPartitionWarmStart:
+    def test_warm_solve_is_bit_identical_to_cold(self):
+        problem = _problem()
+        cold = solve_set_partition(problem)
+        assert cold.feasible
+        warm = solve_set_partition(problem, warm=WarmStart(bound=cold.objective))
+        assert warm.feasible
+        assert warm.chosen == cold.chosen
+        assert warm.objective == cold.objective
+
+    def test_loose_warm_bound_changes_nothing(self):
+        problem = _problem()
+        cold = solve_set_partition(problem)
+        warm = solve_set_partition(
+            problem, warm=WarmStart(bound=cold.objective + 100.0)
+        )
+        assert warm.chosen == cold.chosen
+        assert warm.objective == cold.objective
+
+    def test_unusable_warm_start_is_ignored(self):
+        problem = _problem()
+        ws = WarmStart(bound=float("inf"))
+        assert not ws.usable
+        obs.set_registry(obs.MetricsRegistry())
+        out = solve_set_partition(problem, warm=ws)
+        cold = solve_set_partition(problem)
+        assert out.chosen == cold.chosen
+        counters = obs.get_registry().snapshot()["counters"]
+        assert "ilp.setpart.warmstart_hits" not in counters
+
+    def test_warm_start_counts_hits_and_prunes(self):
+        problem = _problem()
+        cold = solve_set_partition(problem)
+        obs.set_registry(obs.MetricsRegistry())
+        warm = solve_set_partition(problem, warm=WarmStart(bound=cold.objective))
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters["ilp.setpart.warmstart_hits"] == 1
+        assert counters["ilp.setpart.prunes_from_incumbent"] == warm.warm_pruned
+        assert warm.warm_pruned >= 0
+
+
+class TestBinaryProgramWarmStart:
+    def test_warm_solve_matches_cold(self):
+        # min -x0 - x1 s.t. x0 + x1 <= 1: optimum picks exactly one.
+        c = np.array([-1.0, -1.0, 0.0])
+        A_ub = np.array([[1.0, 1.0, 0.0]])
+        b_ub = np.array([1.0])
+        cold = solve_binary_program(c, A_ub=A_ub, b_ub=b_ub)
+        obs.set_registry(obs.MetricsRegistry())
+        warm = solve_binary_program(
+            c, A_ub=A_ub, b_ub=b_ub, warm=WarmStart(bound=cold.objective)
+        )
+        assert warm.x.tolist() == cold.x.tolist()
+        assert warm.objective == cold.objective
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters["ilp.bnb.warmstart_hits"] == 1
+
+
+def _cand(members, weight, bits=None):
+    members = tuple(members)
+    return CandidateMBR(
+        members=members,
+        bits=bits if bits is not None else len(members),
+        weight=weight,
+        blockers=0,
+        mapping=None,
+        region=None,
+    )
+
+
+class TestWarmBoundReweighing:
+    NODES = ("a", "b", "c", "d")
+
+    def _candidates(self):
+        return [
+            _cand(("a",), 1.0),
+            _cand(("b",), 1.0),
+            _cand(("c",), 1.0),
+            _cand(("d",), 1.0),
+            _cand(("a", "b"), 0.5),
+            _cand(("c", "d"), 0.25),
+        ]
+
+    def test_prior_selection_reweighs_to_current_objective(self):
+        groups = (frozenset(("a", "b")),)
+        bound = _warm_bound(self.NODES, self._candidates(), groups)
+        # a+b merged at today's 0.5, c and d completed as singletons.
+        assert bound == pytest.approx(0.5 + 1.0 + 1.0)
+
+    def test_full_prior_cover_needs_no_singletons(self):
+        groups = (frozenset(("a", "b")), frozenset(("c", "d")))
+        bound = _warm_bound(self.NODES, self._candidates(), groups)
+        assert bound == pytest.approx(0.5 + 0.25)
+
+    def test_missing_group_disables_warm_start(self):
+        groups = (frozenset(("a", "c")),)  # not among today's candidates
+        assert _warm_bound(self.NODES, self._candidates(), groups) == float("inf")
+
+    def test_overlapping_groups_disable_warm_start(self):
+        groups = (frozenset(("a", "b")), frozenset(("a", "b")))
+        assert _warm_bound(self.NODES, self._candidates(), groups) == float("inf")
+
+    def test_group_outside_node_set_disables_warm_start(self):
+        cands = self._candidates() + [_cand(("d", "e"), 0.1)]
+        groups = (frozenset(("d", "e")),)
+        assert _warm_bound(self.NODES, cands, groups) == float("inf")
+
+    def test_no_prior_selection_disables_warm_start(self):
+        assert _warm_bound(self.NODES, self._candidates(), None) == float("inf")
+
+    def test_missing_singleton_completion_disables_warm_start(self):
+        cands = [c for c in self._candidates() if c.members != ("d",)]
+        groups = (frozenset(("a", "b")),)
+        assert _warm_bound(self.NODES, cands, groups) == float("inf")

@@ -12,24 +12,31 @@ import json
 
 import pytest
 
-from benchmarks.emit_bench import main
-from repro.obs.manifest import BENCH_SCHEMA
+from benchmarks.emit_bench import history_record, main
+from repro.obs.manifest import BENCH_HISTORY_SCHEMA, BENCH_SCHEMA
 
 
 def _valid_payload() -> dict:
     entry = {
         "runtime_seconds": 3.5,
-        "stage_seconds": {"analyze": 0.4, "solve": 2.0},
+        "stage_seconds": {"analyze": 0.4, "compose": 2.0},
         "registers_before": 120,
         "registers_after": 70,
         "register_reduction": 0.4167,
         "wns": -0.05,
         "tns": -0.8,
+        "eco": {
+            "prime_seconds": 0.5,
+            "recompose_seconds": 0.1,
+            "incremental": True,
+            "warmstart_hits": 4,
+        },
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
     }
     return {
         "schema": BENCH_SCHEMA,
         "generated_unix": 1754000000.0,
+        "git_sha": "0123456789ab",
         "scale": 0.25,
         "designs": {"D1": entry},
     }
@@ -80,3 +87,48 @@ class TestValidateCli:
     def test_unreadable_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["--validate", str(tmp_path / "missing.json")])
+
+
+class TestValidateHistoryCli:
+    def _record(self) -> dict:
+        return history_record(_valid_payload())
+
+    def _write(self, tmp_path, records) -> str:
+        path = tmp_path / "BENCH_history.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        return str(path)
+
+    def test_history_record_matches_schema(self):
+        record = self._record()
+        assert record["schema"] == BENCH_HISTORY_SCHEMA
+        assert record["git_sha"] == "0123456789ab"
+        assert record["designs"]["D1"]["compose_seconds"] == 2.0
+        assert record["designs"]["D1"]["warmstart_hits"] == 4
+
+    def test_valid_history_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, [self._record(), self._record()])
+        assert main(["--validate", path]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_corrupt_line_reported_with_line_number(self, tmp_path, capsys):
+        path = self._write(tmp_path, [self._record()])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+        assert main(["--validate", path]) == 1
+        out = capsys.readouterr().out
+        assert "line 2" in out and "not JSON" in out
+
+    def test_bad_record_reported_with_line_number(self, tmp_path, capsys):
+        bad = self._record()
+        del bad["git_sha"]
+        path = self._write(tmp_path, [self._record(), bad])
+        assert main(["--validate", path]) == 1
+        out = capsys.readouterr().out
+        assert "line 2" in out and "'git_sha'" in out
+
+    def test_empty_history_rejected(self, tmp_path, capsys):
+        path = self._write(tmp_path, [])
+        assert main(["--validate", path]) == 1
+        assert "empty history" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""``perf_smoke.py``: the CI gate on stage-time regressions.
+
+The gate compares a fresh bench emit against the committed baseline and
+must (a) pass within the band, (b) fail loudly past it, and (c) refuse
+to compare snapshots that do not validate — a corrupted baseline must
+not silently wave a regression through.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.perf_smoke import compare, load_bench, main
+from repro.obs.manifest import BENCH_SCHEMA
+
+
+def _payload(compose: float, sha: str = "abc123abc123") -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated_unix": 1754000000.0,
+        "git_sha": sha,
+        "scale": 0.25,
+        "designs": {
+            "D1": {
+                "runtime_seconds": compose + 0.1,
+                "stage_seconds": {"analyze": 0.05, "compose": compose},
+                "registers_before": 120,
+                "registers_after": 70,
+                "register_reduction": 0.4167,
+                "wns": -0.05,
+                "tns": -0.8,
+                "eco": {
+                    "prime_seconds": 0.5,
+                    "recompose_seconds": 0.1,
+                    "incremental": True,
+                    "warmstart_hits": 4,
+                },
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            }
+        },
+    }
+
+
+def _write(tmp_path, name: str, payload: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload) + "\n")
+    return str(path)
+
+
+class TestCompare:
+    def test_within_band_passes(self):
+        code, msg = compare(_payload(1.0), _payload(1.2), "D1", "compose", 0.25)
+        assert code == 0
+        assert "ok" in msg and "ratio 1.200" in msg
+
+    def test_past_band_fails(self):
+        code, msg = compare(_payload(1.0), _payload(1.3), "D1", "compose", 0.25)
+        assert code == 1
+        assert "REGRESSION" in msg
+
+    def test_speedup_passes(self):
+        code, _ = compare(_payload(1.0), _payload(0.5), "D1", "compose", 0.25)
+        assert code == 0
+
+    def test_zero_baseline_is_not_gated(self):
+        code, msg = compare(_payload(0.0), _payload(9.9), "D1", "compose", 0.25)
+        assert code == 0
+        assert "nothing to gate" in msg
+
+    def test_missing_design_errors(self):
+        with pytest.raises(SystemExit, match="design 'D9'"):
+            compare(_payload(1.0), _payload(1.0), "D9", "compose", 0.25)
+
+    def test_missing_stage_errors(self):
+        with pytest.raises(SystemExit, match="stage 'route'"):
+            compare(_payload(1.0), _payload(1.0), "D1", "route", 0.25)
+
+
+class TestCli:
+    def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload(1.0, "aaa111aaa111"))
+        good = _write(tmp_path, "good.json", _payload(1.1, "bbb222bbb222"))
+        bad = _write(tmp_path, "bad.json", _payload(2.0, "ccc333ccc333"))
+        assert main([base, good]) == 0
+        assert "aaa111aaa111" in capsys.readouterr().out
+        assert main([base, bad]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_band(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload(1.0))
+        cand = _write(tmp_path, "cand.json", _payload(1.4))
+        assert main([base, cand, "--max-regress", "0.5"]) == 0
+        assert main([base, cand, "--max-regress", "0.1"]) == 1
+
+    def test_invalid_snapshot_refused(self, tmp_path):
+        broken = _payload(1.0)
+        del broken["git_sha"]
+        base = _write(tmp_path, "base.json", broken)
+        cand = _write(tmp_path, "cand.json", _payload(1.0))
+        with pytest.raises(SystemExit, match="INVALID"):
+            load_bench(base)
+        with pytest.raises(SystemExit, match="INVALID"):
+            main([base, cand])

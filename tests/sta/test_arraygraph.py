@@ -1,0 +1,90 @@
+"""Array timing kernel vs the dict reference timer: bit-identical, always.
+
+The CSR-backed :class:`~repro.sta.arraygraph.ArrayKernel` is the default
+propagation engine (``REPRO_STA_KERNEL=array``); the per-node dict walk
+stays as the reference implementation.  These tests pin the kernel's full
+sweeps, graph patching, and masked dirty-cone retimes to the reference
+semantics through the same oracle the edit-storm fuzzer uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.check import assert_clean, diff_arraytimer_vs_dict, diff_timer_vs_fresh
+from repro.geometry import Point
+from repro.library.functional import DFF_R
+from repro.netlist import compose_mbr
+from repro.sta import Timer
+from repro.sta.timer import KERNEL_ENV
+
+
+class TestKernelSelection:
+    def test_array_is_the_default(self, flop_row, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert Timer(flop_row, clock_period=1.0).kernel == "array"
+
+    def test_env_opt_out_selects_dict(self, flop_row, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "dict")
+        assert Timer(flop_row, clock_period=1.0).kernel == "dict"
+
+    def test_explicit_kernel_beats_env(self, flop_row, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "dict")
+        assert Timer(flop_row, clock_period=1.0, kernel="array").kernel == "array"
+
+    def test_unknown_kernel_rejected(self, flop_row):
+        with pytest.raises(ValueError, match="unknown timing kernel"):
+            Timer(flop_row, clock_period=1.0, kernel="csr")
+
+
+class TestArrayVsDictEquivalence:
+    def test_full_timing_matches(self, flop_row):
+        timer = Timer(flop_row, clock_period=1.0, kernel="array")
+        timer.summary()
+        assert_clean(diff_arraytimer_vs_dict(timer))
+
+    def test_summary_values_match_exactly(self, flop_row):
+        array = Timer(flop_row, clock_period=1.0, kernel="array")
+        ref = Timer(flop_row.clone(), clock_period=1.0, kernel="dict")
+        a, d = array.summary(), ref.summary()
+        assert a.wns == d.wns
+        assert a.tns == d.tns
+
+    def test_incremental_retime_matches_after_compose(self, lib, flop_row):
+        timer = Timer(flop_row, clock_period=1.0, kernel="array")
+        timer.summary()
+        target = lib.register_cells(DFF_R, 2)[0]
+        record = compose_mbr(
+            flop_row,
+            [flop_row.cell("ff0"), flop_row.cell("ff1")],
+            target,
+            Point(11, 50),
+        )
+        timer.apply_change(record)
+        assert_clean(diff_arraytimer_vs_dict(timer))
+        assert_clean(diff_timer_vs_fresh(timer))
+        assert timer.stats.incremental_timings == 1
+
+    def test_move_storm_stays_identical(self, flop_row):
+        timer = Timer(flop_row, clock_period=1.0, kernel="array")
+        timer.summary()
+        rng = random.Random(3)
+        cells = [c for c in flop_row.cells.values() if not c.is_register]
+        for step in range(12):
+            cell = rng.choice(cells)
+            with flop_row.track() as tracker:
+                flop_row.move_cell(
+                    cell,
+                    Point(
+                        min(max(0.0, cell.origin.x + rng.uniform(-8, 8)), 90.0),
+                        min(max(0.0, cell.origin.y + rng.uniform(-8, 8)), 90.0),
+                    ),
+                )
+            timer.apply_change(tracker.record())
+            if step % 4 == 0:
+                timer.summary()
+        assert_clean(diff_arraytimer_vs_dict(timer))
+        assert_clean(diff_timer_vs_fresh(timer))
+        assert timer.stats.kernel_sweeps > 0

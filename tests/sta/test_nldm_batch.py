@@ -1,0 +1,114 @@
+"""Property tests: ``LookupTable2D.lookup_batch`` == scalar ``lookup``.
+
+The batched NLDM evaluation must be bit-identical to the scalar bilinear
+path for every query regime — interior points, exactly-on-grid points, and
+the clamped extrapolation corners — including degenerate one-row and
+one-column tables, where every query collapses onto the axis.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sta.nldm import LookupTable2D
+
+finite = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def tables(draw):
+    n_slews = draw(st.integers(1, 5))
+    n_loads = draw(st.integers(1, 5))
+    slews = tuple(
+        sorted(
+            draw(
+                st.lists(
+                    st.floats(0.001, 2.0),
+                    min_size=n_slews,
+                    max_size=n_slews,
+                    unique=True,
+                )
+            )
+        )
+    )
+    loads = tuple(
+        sorted(
+            draw(
+                st.lists(
+                    st.floats(0.0, 5.0),
+                    min_size=n_loads,
+                    max_size=n_loads,
+                    unique=True,
+                )
+            )
+        )
+    )
+    values = tuple(
+        tuple(draw(finite) for _ in loads) for _ in slews
+    )
+    return LookupTable2D(slews=slews, loads=loads, values=values)
+
+
+@st.composite
+def queries(draw, table):
+    """Query points biased toward the interesting regimes: on-grid values,
+    below-minimum and above-maximum clamps, and interior off-grid points."""
+
+    def axis_point(axis):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:  # exactly on a grid line
+            return draw(st.sampled_from(axis))
+        if kind == 1:  # below the axis: clamp to the first row/column
+            return axis[0] - draw(st.floats(0.0, 3.0))
+        if kind == 2:  # above the axis: clamp to the last row/column
+            return axis[-1] + draw(st.floats(0.0, 3.0))
+        return draw(st.floats(axis[0], axis[-1]))  # interior (maybe on-grid)
+
+    n = draw(st.integers(1, 8))
+    return (
+        [axis_point(table.slews) for _ in range(n)],
+        [axis_point(table.loads) for _ in range(n)],
+    )
+
+
+class TestLookupBatchEquivalence:
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_batch_matches_scalar_bit_for_bit(self, data):
+        table = data.draw(tables())
+        slews, loads = data.draw(queries(table))
+        batch = table.lookup_batch(np.array(slews), np.array(loads))
+        for k, (s, ld) in enumerate(zip(slews, loads)):
+            assert batch[k] == table.lookup(s, ld)
+
+    def test_one_row_table_clamps_every_slew(self):
+        t = LookupTable2D(slews=(0.1,), loads=(0.0, 1.0), values=((2.0, 4.0),))
+        slews = np.array([-5.0, 0.1, 0.05, 7.0])
+        loads = np.array([0.0, 0.5, 1.0, 2.0])
+        batch = t.lookup_batch(slews, loads)
+        expected = [t.lookup(s, ld) for s, ld in zip(slews, loads)]
+        assert batch.tolist() == expected
+        # One slew row: the answer depends on load alone.
+        assert batch[0] == 2.0 and batch[1] == 3.0
+        assert batch[2] == 4.0 and batch[3] == 4.0  # load clamped high
+
+    def test_one_column_table_clamps_every_load(self):
+        t = LookupTable2D(slews=(0.1, 0.2), loads=(1.0,), values=((3.0,), (5.0,)))
+        slews = np.array([0.1, 0.15, 0.2, 0.3, 0.0])
+        loads = np.array([-1.0, 1.0, 9.0, 1.0, 1.0])
+        batch = t.lookup_batch(slews, loads)
+        expected = [t.lookup(s, ld) for s, ld in zip(slews, loads)]
+        assert batch.tolist() == expected
+        assert batch[1] == 4.0  # midpoint of the slew axis
+
+    def test_one_by_one_table_is_constant(self):
+        t = LookupTable2D(slews=(0.5,), loads=(2.0,), values=((7.25,),))
+        slews = np.array([-1.0, 0.5, 3.0])
+        loads = np.array([0.0, 2.0, 100.0])
+        assert t.lookup_batch(slews, loads).tolist() == [7.25, 7.25, 7.25]
+
+    def test_empty_batch(self):
+        t = LookupTable2D(slews=(0.1, 0.2), loads=(0.0, 1.0), values=((0.0, 1.0), (2.0, 3.0)))
+        out = t.lookup_batch(np.zeros(0), np.zeros(0))
+        assert out.shape == (0,)
