@@ -189,9 +189,14 @@ def validate_path(path: str) -> list[str]:
             except json.JSONDecodeError as exc:
                 problems.append(f"line {i}: not JSON ({exc})")
                 continue
-            problems.extend(
-                f"line {i}: {p}" for p in obs.validate_bench_history(record)
-            )
+            # BENCH_history.jsonl interleaves flow summaries with the
+            # memory-trajectory lines mem_budget.py appends; dispatch on
+            # the record's schema tag.
+            if record.get("schema") == obs.BENCH_MEM_SCHEMA:
+                validate = obs.validate_bench_mem
+            else:
+                validate = obs.validate_bench_history
+            problems.extend(f"line {i}: {p}" for p in validate(record))
         return problems
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)

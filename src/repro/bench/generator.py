@@ -24,12 +24,13 @@ import math
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.library.cells import PinDirection, RegisterCell
 from repro.library.functional import DFF_R, DFF_R_S, FunctionalClass, ScanStyle
 from repro.library.library import CellLibrary
-from repro.netlist.db import Cell
 from repro.netlist.design import Design
 from repro.placement.legalize import legalize
 from repro.placement.rows import PlacementRows
@@ -60,6 +61,12 @@ class BenchmarkSpec:
     clock_gate_fraction: float = 0.5
     failing_endpoint_fraction: float = 0.38
     reg2reg_fraction: float = 0.6
+    # Scale knobs (the `huge` preset tightens these; the D1-D5 defaults
+    # reproduce the historical designs bit-for-bit).
+    reg2reg_window: int = 400  # candidate Q-net window per register
+    legalize: bool = True  # False: snap to the row grid, skip overlap repair
+    fit_clock: bool = True  # False: clock_period = 1.0, no probe Timer
+    build_timer: bool = True  # False: bundle.timer is None
 
 
 @dataclass
@@ -69,7 +76,7 @@ class DesignBundle:
     spec: BenchmarkSpec
     design: Design
     scan_model: ScanModel
-    timer: Timer
+    timer: Timer | None
     clock_period: float
 
 
@@ -105,13 +112,16 @@ def generate_design(spec: BenchmarkSpec, library: CellLibrary) -> DesignBundle:
 
     n_clusters = max(1, spec.n_registers // spec.cluster_size)
     clusters = _make_clusters(design, spec, rng, n_clusters, clk_root)
-    registers = _make_registers(design, spec, library, rng, clusters)
-    _make_datapaths(design, spec, library, rng, registers)
-    _make_scan(design, spec, rng, registers, scan_model)
-    _legalize_all(design, library)
+    registers, reg_clusters = _make_registers(design, spec, library, rng, clusters)
+    _make_datapaths(design, spec, library, rng, registers, reg_clusters)
+    _make_scan(design, spec, rng, registers, reg_clusters, scan_model)
+    if spec.legalize:
+        _legalize_all(design, library)
+    else:
+        _snap_to_grid(design, library)
 
-    period = _fit_clock_period(design, spec, library)
-    timer = Timer(design, clock_period=period)
+    period = _fit_clock_period(design, spec, library) if spec.fit_clock else 1.0
+    timer = Timer(design, clock_period=period) if spec.build_timer else None
     return DesignBundle(
         spec=spec, design=design, scan_model=scan_model, timer=timer, clock_period=period
     )
@@ -172,7 +182,7 @@ def _make_clusters(design, spec, rng, n_clusters, clk_root) -> list[_Cluster]:
     return clusters
 
 
-def _make_registers(design, spec, library, rng, clusters) -> list[Cell]:
+def _make_registers(design, spec, library, rng, clusters) -> tuple[list[int], list[int]]:
     """Place each cluster's registers.
 
     A ``bank_fraction`` of clusters is *banked*: registers sit in abutting
@@ -185,8 +195,15 @@ def _make_registers(design, spec, library, rng, clusters) -> list[Cell]:
 
     Designer-excluded (dont_touch) registers concentrate in a subset of
     clusters, matching how real constraints follow module boundaries.
+
+    Returns cell *ids* plus a parallel cluster-index list, not views: at a
+    million registers a retained view list (with its pin maps) — or a
+    per-cell ``{"cluster": i}`` attrs dict — costs more than the whole
+    slotted store, so the datapath and scan stages materialize views
+    transiently and read cluster membership from the parallel list.
     """
-    registers: list[Cell] = []
+    registers: list[int] = []
+    reg_clusters: list[int] = []
     die = design.die
     n_clusters = len(clusters)
     per_cluster = [spec.n_registers // n_clusters] * n_clusters
@@ -233,23 +250,29 @@ def _make_registers(design, spec, library, rng, clusters) -> list[Cell]:
             design.connect(cell.pin(libcell.clock_pin_name), cluster.clock_net)
             if "RN" in cell.pins:
                 design.connect(cell.pin("RN"), cluster.reset_net)
-            cell.attrs["cluster"] = cluster.index
-            registers.append(cell)
-    return registers
+            registers.append(cell._cid)
+            reg_clusters.append(cluster.index)
+    return registers, reg_clusters
 
 
-def _make_datapaths(design, spec, library, rng, registers) -> None:
+def _make_datapaths(design, spec, library, rng, registers, reg_clusters) -> None:
     """Wire every register bit: D from a comb cloud fed by an earlier
     register's Q (or an input port), Q into later clouds or an output port.
 
     Register order provides the topological guarantee: cloud sources are
     always earlier bits, so the netlist is acyclic by construction.
+
+    The Q-net candidate list carries ``(net id, x, y, owner index)`` tuples
+    — raw ids and floats, never views — so its footprint stays a few dozen
+    bytes per bit at million-register scale.
     """
     die = design.die
+    store = design.store
     comb_names = ["BUF_X1", "BUF_X2", "INV_X1", "INV_X2", "INV_X4"]
-    q_nets: list = []  # (net, location, owner register index) of driven Q nets
+    q_nets: list[tuple[int, float, float, int]] = []  # driven Q nets
     port_count = 0
-    for reg_index, cell in enumerate(registers):
+    for reg_index, cid in enumerate(registers):
+        cell = store.cell_view(cid)
         lc: RegisterCell = cell.libcell
         # Path structure is chosen per *register*, not per bit: a real bus
         # register's bits come from the same pipeline stage and have highly
@@ -259,21 +282,24 @@ def _make_datapaths(design, spec, library, rng, registers) -> None:
         # Cloud depth is a *cluster* property: registers of one module sit at
         # the same pipeline stage, so their path depths — and hence slack
         # signs — align, which is what makes them timing compatible.
-        cluster_index = cell.attrs.get("cluster", 0)
+        cluster_index = reg_clusters[reg_index]
         depth = 1 + (cluster_index * 2654435761 >> 4) % max(1, round(spec.comb_per_bit * 2))
         if use_reg:
             # Prefer a source register launched near this one: local wiring
             # keeps per-cluster slacks spatially smooth.
-            window = q_nets[-400:]
+            window = q_nets[-spec.reg2reg_window :]
             here = cell.center
-            window.sort(key=lambda t: t[1].manhattan_to(here))
+            hx, hy = here.x, here.y
+            window.sort(key=lambda t: abs(t[1] - hx) + abs(t[2] - hy))
             pool = window[: max(4, len(window) // 8)]
         for bit in range(lc.width_bits):
             q_net = design.add_net(f"q_{cell.name}_{bit}")
             design.connect(cell.pin(lc.q_pin(bit)), q_net)
 
             if use_reg:
-                src_net, src_loc, _ = pool[min(bit, len(pool) - 1)]
+                src_nid, src_x, src_y, _ = pool[min(bit, len(pool) - 1)]
+                src_net = store.net_view(src_nid)
+                src_loc = Point(src_x, src_y)
             else:
                 port_count += 1
                 y = (port_count * 0.37) % die.height
@@ -298,31 +324,38 @@ def _make_datapaths(design, spec, library, rng, registers) -> None:
                 net = design.add_net(f"n_{cell.name}_{bit}_{k}")
                 design.connect(gate.pin("Z"), net)
             design.connect(cell.pin(lc.d_pin(bit)), net)
-            q_nets.append((q_net, cell.pin(lc.q_pin(bit)).location, reg_index))
+            q_loc = cell.pin(lc.q_pin(bit)).location
+            q_nets.append((q_net._nid, q_loc.x, q_loc.y, reg_index))
 
     # Terminate observer-less Q nets at output ports so every launch path is
-    # constrained.
-    for i, (q_net, _loc, _owner) in enumerate(q_nets):
-        if not q_net.sinks:
+    # constrained.  A Q net with a single terminal holds only its driver.
+    for i, (q_nid, _x, _y, _owner) in enumerate(q_nets):
+        if store.net_count[q_nid] == 1:
             port = design.add_port(
                 f"po_{i}", PinDirection.OUTPUT, Point(die.xhi, (i * 0.53) % die.height)
             )
-            design.connect(port, q_net)
+            design.connect(port, store.net_view(q_nid))
 
 
-def _make_scan(design, spec, rng, registers, scan_model: ScanModel) -> None:
+def _make_scan(design, spec, rng, registers, reg_clusters, scan_model: ScanModel) -> None:
     """Stitch scan registers into chains by cluster locality."""
-    scan_regs = [
-        c for c in registers if c.register_cell.func_class.is_scan
+    store = design.store
+    scan_pairs = [
+        (cl, cid)
+        for cid, cl in zip(registers, reg_clusters)
+        if store.libs[store.cell_lib[cid]].libcell.func_class.is_scan
     ]
-    if not scan_regs:
+    if not scan_pairs:
         return
-    scan_regs.sort(key=lambda c: (c.attrs.get("cluster", 0), c.origin.y, c.origin.x))
+    scan_pairs.sort(
+        key=lambda t: (t[0], float(store.cell_y[t[1]]), float(store.cell_x[t[1]]))
+    )
+    scan_regs = [cid for _cl, cid in scan_pairs]
     die = design.die
     se = design.add_net("se")
     design.connect(design.add_port("se", PinDirection.INPUT, Point(0.0, die.yhi - 1)), se)
-    for c in scan_regs:
-        design.connect(c.pin("SE"), se)
+    for cid in scan_regs:
+        design.connect(store.cell_view(cid).pin("SE"), se)
 
     chain_idx = 0
     for start in range(0, len(scan_regs), spec.chain_length):
@@ -330,7 +363,7 @@ def _make_scan(design, spec, rng, registers, scan_model: ScanModel) -> None:
         chain = ScanChain(
             name=f"chain_{chain_idx}",
             partition="P0",  # one partition: re-stitching across chains is allowed
-            cells=[c.name for c in chunk],
+            cells=[store.cell_name[cid] for cid in chunk],
             ordered=rng.random() < spec.ordered_chain_fraction,
         )
         scan_model.add_chain(chain)
@@ -340,12 +373,13 @@ def _make_scan(design, spec, rng, registers, scan_model: ScanModel) -> None:
         )
         si_net = design.add_net(f"si_net_{chain_idx}")
         design.connect(si_port, si_net)
-        design.connect(chunk[0].pin(chunk[0].register_cell.si_pin()), si_net)
+        first = store.cell_view(chunk[0])
+        design.connect(first.pin(first.register_cell.si_pin()), si_net)
         so_port = design.add_port(
             f"so_{chain_idx}", PinDirection.OUTPUT, Point(die.xhi, die.yhi - 2 - 0.2 * chain_idx)
         )
         so_net = design.add_net(f"so_net_{chain_idx}")
-        last = chunk[-1]
+        last = store.cell_view(chunk[-1])
         design.connect(last.pin(last.register_cell.so_pin()), so_net)
         design.connect(so_port, so_net)
         chain_idx += 1
@@ -361,14 +395,48 @@ def _legalize_all(design: Design, library: CellLibrary) -> None:
     )
     registers = [c for c in design.cells.values() if c.is_register and not c.fixed]
     others = [c for c in design.cells.values() if not c.is_register and not c.fixed]
-    # Pass 1: registers only, empty canvas (comb cells are not obstacles yet).
-    non_reg_names = {c.name for c in others}
-    saved = {}
-    for name in non_reg_names:
-        saved[name] = design.cells.pop(name)
-    legalize(design, rows, movable=registers)
-    design.cells.update(saved)
+    # Pass 1: registers only, near-empty canvas — unseated comb cells are not
+    # obstacles yet, only fixed cells block.
+    legalize(
+        design,
+        rows,
+        movable=registers,
+        obstacles=[c for c in design.cells.values() if c.fixed],
+    )
     legalize(design, rows, movable=others)
+
+
+def _snap_to_grid(design: Design, library: CellLibrary) -> None:
+    """Quantize every cell origin to the row/site grid in one vectorized pass.
+
+    The prelegalized scale path (``spec.legalize = False``): with a fully
+    banked register mix the generator's raw placement is already
+    row-structured, so snapping is enough for scale benchmarking — overlap
+    repair stays an explicitly incremental operation in the compose flow.
+    """
+    rows = PlacementRows(
+        design.die, library.technology.row_height, library.technology.site_width
+    )
+    store = design.store
+    live = np.fromiter(
+        store.cell_ids.values(), dtype=np.int64, count=len(store.cell_ids)
+    )
+    if not len(live):
+        return
+    site = np.round((store.cell_x[live] - rows.core.xlo) / rows.site_width)
+    # The rightmost legal site depends on the cell's width: rounding the
+    # origin up must not push the far edge past the die boundary.
+    widths = np.array(
+        [rec.libcell.width for rec in store.libs], dtype=np.float64
+    )[store.cell_lib[live]]
+    max_site = np.floor(
+        (rows.core.xhi - rows.core.xlo - widths) / rows.site_width + 1e-9
+    )
+    np.clip(site, 0, np.maximum(max_site, 0), out=site)
+    store.cell_x[live] = rows.core.xlo + site * rows.site_width
+    row = np.round((store.cell_y[live] - rows.core.ylo) / rows.row_height)
+    np.clip(row, 0, max(rows.num_rows - 1, 0), out=row)
+    store.cell_y[live] = rows.core.ylo + row * rows.row_height
 
 
 def _fit_clock_period(design: Design, spec: BenchmarkSpec, library: CellLibrary) -> float:

@@ -77,7 +77,29 @@ D5 = BenchmarkSpec(
     clock_gate_fraction=0.5,
 )
 
-PRESETS: dict[str, BenchmarkSpec] = {s.name: s for s in (D1, D2, D3, D4, D5)}
+# The million-register scale preset.  All-banked single-bit registers with a
+# shallow comb cloud keep generation O(n) and the footprint inside the
+# documented peak-RSS budget (< ~1.5 KB/register); legalization, clock
+# fitting, and the probe Timer are skipped — the scale path exercises
+# storage, I/O, and windowed composition, not full-design STA.
+HUGE = BenchmarkSpec(
+    name="huge",
+    seed=606,
+    n_registers=1_000_000,
+    width_mix={1: 1.0},
+    bank_fraction=1.0,
+    dont_touch_fraction=0.05,
+    scan_fraction=0.0,
+    clock_gate_fraction=0.02,
+    comb_per_bit=0.3,
+    reg2reg_fraction=0.9,
+    reg2reg_window=64,
+    legalize=False,
+    fit_clock=False,
+    build_timer=False,
+)
+
+PRESETS: dict[str, BenchmarkSpec] = {s.name: s for s in (D1, D2, D3, D4, D5, HUGE)}
 
 
 def preset(name: str, scale: float = 1.0) -> BenchmarkSpec:

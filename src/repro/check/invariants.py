@@ -115,11 +115,15 @@ def check_design(design: Design) -> list[Violation]:
                 )
             )
 
-    # Terminal <-> net cross-references, in both directions.
-    memberships: dict[int, list[str]] = {}
+    # Terminal <-> net cross-references, in both directions.  Keyed by
+    # ``full_name`` (unique per the name-key checks above), NOT ``id()``:
+    # terminal views are weakly cached, so two visits to the same terminal
+    # may build distinct objects — and worse, a recycled object address can
+    # alias two different terminals across loop iterations.
+    memberships: dict[str, list[str]] = {}
     for net in design.nets.values():
         for t in net.terminals:
-            memberships.setdefault(id(t), []).append(net.name)
+            memberships.setdefault(t.full_name, []).append(net.name)
             if t.net is not net:
                 holder = t.net.name if t.net is not None else None
                 out.append(
@@ -130,7 +134,7 @@ def check_design(design: Design) -> list[Violation]:
                     )
                 )
     for t in design.iter_terminals():
-        nets = memberships.get(id(t), [])
+        nets = memberships.get(t.full_name, [])
         if len(nets) > 1:
             out.append(
                 Violation(

@@ -130,6 +130,20 @@ def _pick_buffer(buffers: list[ClockBufferCell], load: float) -> ClockBufferCell
     return buffers[-1]
 
 
+def _clock_pin(cell) -> Pin | None:
+    """The cell's clock input pin, if the cell consumes a clock net."""
+    lc = cell.libcell
+    if isinstance(lc, RegisterCell):
+        pin = cell.pin(lc.clock_pin_name)
+    elif isinstance(lc, ClockGateCell):
+        pin = cell.pin("CK")
+    else:
+        return None
+    if pin.net is None or not pin.net.is_clock:
+        return None
+    return pin
+
+
 def _collect_sinks(design: Design, net_name: str | None = None) -> list[_Sink]:
     """Clock sinks: register clock pins and ICG clock inputs on clock nets.
 
@@ -138,19 +152,28 @@ def _collect_sinks(design: Design, net_name: str | None = None) -> list[_Sink]:
     """
     sinks: list[_Sink] = []
     for cell in design.cells.values():
-        lc = cell.libcell
-        if isinstance(lc, RegisterCell):
-            pin = cell.pin(lc.clock_pin_name)
-        elif isinstance(lc, ClockGateCell):
-            pin = cell.pin("CK")
-        else:
-            continue
-        if pin.net is None or not pin.net.is_clock:
+        pin = _clock_pin(cell)
+        if pin is None:
             continue
         if net_name is not None and pin.net.name != net_name:
             continue
         sinks.append(_Sink(pin.location, pin.cap, pin.full_name))
     return sinks
+
+
+def _collect_sinks_by_net(design: Design) -> dict[str, list[_Sink]]:
+    """All clock sinks grouped by clock-net name, in one pass over the
+    cells.  Per-net lists keep cell iteration order, matching what a
+    filtered :func:`_collect_sinks` scan of that net would produce."""
+    by_net: dict[str, list[_Sink]] = {}
+    for cell in design.cells.values():
+        pin = _clock_pin(cell)
+        if pin is None:
+            continue
+        by_net.setdefault(pin.net.name, []).append(
+            _Sink(pin.location, pin.cap, pin.full_name)
+        )
+    return by_net
 
 
 def synthesize_clock_network(
@@ -164,10 +187,19 @@ def synthesize_clock_network(
     sink of the parent net's tree — so the domain structure of the netlist
     carries straight into the virtual clock network.  Returns a map of
     clock-net name to its subtree; sum the reports for network totals.
+
+    Sinks for every domain come from one shared pass over the cells
+    (:func:`_collect_sinks_by_net`) — a design with many gated domains no
+    longer rescans the whole netlist per domain.
     """
+    by_net = _collect_sinks_by_net(design)
     return {
         net.name: synthesize_clock_tree(
-            design, max_fanout=max_fanout, technology=technology, clock_net=net.name
+            design,
+            max_fanout=max_fanout,
+            technology=technology,
+            clock_net=net.name,
+            sinks=by_net.get(net.name, []),
         )
         for net in design.clock_nets()
     }
@@ -178,6 +210,7 @@ def synthesize_clock_tree(
     max_fanout: int = 16,
     technology: Technology | None = None,
     clock_net: str | None = None,
+    sinks: list[_Sink] | None = None,
 ) -> ClockTree:
     """Build a virtual buffered clock tree over the design's clock sinks.
 
@@ -187,7 +220,9 @@ def synthesize_clock_tree(
     capacitance across all levels.  ``clock_net`` restricts synthesis to one
     net's sinks (see :func:`synthesize_clock_network` for per-domain trees);
     by default all clock sinks share one tree — a flat approximation whose
-    before/after deltas track the per-domain ones.
+    before/after deltas track the per-domain ones.  A pre-collected
+    ``sinks`` list (from :func:`_collect_sinks_by_net`) skips the design
+    scan entirely.
     """
     tech = technology or design.library.technology
     buffers = design.library.clock_buffers()
@@ -196,7 +231,7 @@ def synthesize_clock_tree(
     max_cap = buffers[-1].max_fanout_cap
 
     tree = ClockTree()
-    current = _collect_sinks(design, clock_net)
+    current = sinks if sinks is not None else _collect_sinks(design, clock_net)
     tree.report.num_sinks = len(current)
     tree.report.capacitance = sum(s.cap for s in current)
     tree.leaf_names = [s.name for s in current]

@@ -18,6 +18,7 @@ from repro.core.compatibility import (
     RegisterInfo,
     compatible,
 )
+from repro.geometry.gridindex import GridBinIndex
 from repro.scan.model import ScanModel
 
 
@@ -26,32 +27,17 @@ def _functional_group_key(info: RegisterInfo):
 
 
 def _spatial_pairs(infos: list[RegisterInfo], cell_size: float):
-    """Candidate pairs whose region rectangles may overlap, via a uniform
-    grid hash over region bounding boxes.
-
-    Two rectangles' shared bins form a rectangle of bins whose lowest-
-    indexed corner is the componentwise max of their lower bin bounds; each
-    pair is emitted from exactly that bin.  This keeps deduplication O(1)
-    per encounter with no pair-sized ``seen`` set — memory stays O(bins +
-    registers) however many bins a pair shares.
+    """Candidate pairs whose region rectangles may overlap, via the shared
+    :class:`~repro.geometry.gridindex.GridBinIndex` over region bounding
+    boxes.  Pair order follows bucket insertion order, so the graph's edge
+    insertion order — and everything downstream of it — is unchanged from
+    the previous in-module grid hash.
     """
-    buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
-    spans: list[tuple[int, int, int, int]] = []
-    for idx, info in enumerate(infos):
+    index = GridBinIndex(cell_size)
+    for info in infos:
         r = info.region.rect
-        bx0, bx1 = int(r.xlo // cell_size), int(r.xhi // cell_size)
-        by0, by1 = int(r.ylo // cell_size), int(r.yhi // cell_size)
-        spans.append((bx0, by0, bx1, by1))
-        for bx in range(bx0, bx1 + 1):
-            for by in range(by0, by1 + 1):
-                buckets[(bx, by)].append(idx)
-    for (bx, by), members in buckets.items():
-        for i_pos, i in enumerate(members):
-            ix0, iy0, _, _ = spans[i]
-            for j in members[i_pos + 1 :]:
-                jx0, jy0, _, _ = spans[j]
-                if bx == max(ix0, jx0) and by == max(iy0, jy0):
-                    yield (i, j) if i < j else (j, i)
+        index.add(r.xlo, r.ylo, r.xhi, r.yhi)
+    return index.candidate_pairs()
 
 
 def build_compatibility_graph(

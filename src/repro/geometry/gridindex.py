@@ -1,0 +1,188 @@
+"""Shared spatial index for the flow's neighbor queries.
+
+Three places in the flow risk quadratic neighbor scans — compatibility-pair
+generation over feasible-region rectangles, the legalizer's free-gap search
+along a row, and CTS's per-domain sink collection.  This module centralizes
+the two structures they reduce to:
+
+* :class:`GridBinIndex` — a uniform grid hash over axis-aligned rectangles
+  with duplicate-free candidate-pair enumeration and rectangle queries;
+* :class:`RowIntervals` — sorted, disjoint occupied intervals on one row
+  with a bisect-based nearest-free-gap search whose cost is bounded by the
+  distance to the answer, not by the number of intervals in the row.
+
+Both are deliberately deterministic: pair enumeration follows bucket
+insertion order, and gap search breaks ties toward the leftmost placement,
+so swapping them in under an existing caller is a pure performance change.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+
+class GridBinIndex:
+    """Uniform grid hash over axis-aligned rectangles.
+
+    Rectangles are added with :meth:`add` and receive consecutive integer
+    indices.  :meth:`candidate_pairs` yields every pair of rectangles whose
+    grid bins intersect (a superset of the truly-overlapping pairs —
+    callers apply their own exact predicate), each pair exactly once.
+    """
+
+    __slots__ = ("cell_size", "buckets", "spans")
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self.buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
+        self.spans: list[tuple[int, int, int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def add(self, xlo: float, ylo: float, xhi: float, yhi: float) -> int:
+        """Insert a rectangle; returns its index (insertion order)."""
+        cs = self.cell_size
+        bx0, bx1 = int(xlo // cs), int(xhi // cs)
+        by0, by1 = int(ylo // cs), int(yhi // cs)
+        idx = len(self.spans)
+        self.spans.append((bx0, by0, bx1, by1))
+        buckets = self.buckets
+        for bx in range(bx0, bx1 + 1):
+            for by in range(by0, by1 + 1):
+                buckets[(bx, by)].append(idx)
+        return idx
+
+    def candidate_pairs(self) -> Iterator[tuple[int, int]]:
+        """Index pairs whose rectangles may overlap, each emitted once.
+
+        Two rectangles' shared bins form a rectangle of bins whose lowest-
+        indexed corner is the componentwise max of their lower bin bounds;
+        each pair is emitted from exactly that bin.  This keeps
+        deduplication O(1) per encounter with no pair-sized ``seen`` set —
+        memory stays O(bins + rectangles) however many bins a pair shares.
+        """
+        spans = self.spans
+        for (bx, by), members in self.buckets.items():
+            for i_pos, i in enumerate(members):
+                ix0, iy0, _, _ = spans[i]
+                for j in members[i_pos + 1 :]:
+                    jx0, jy0, _, _ = spans[j]
+                    if bx == max(ix0, jx0) and by == max(iy0, jy0):
+                        yield (i, j) if i < j else (j, i)
+
+    def query(self, xlo: float, ylo: float, xhi: float, yhi: float) -> Iterator[int]:
+        """Indices of rectangles whose bins intersect the query window.
+
+        A superset of the true overlaps (bin-granular), each index at most
+        once, in first-encounter order scanning bins column-major.
+        """
+        cs = self.cell_size
+        buckets = self.buckets
+        seen: set[int] = set()
+        for bx in range(int(xlo // cs), int(xhi // cs) + 1):
+            for by in range(int(ylo // cs), int(yhi // cs) + 1):
+                for idx in buckets.get((bx, by), ()):
+                    if idx not in seen:
+                        seen.add(idx)
+                        yield idx
+
+
+class RowIntervals:
+    """Occupied site intervals of one row, kept sorted and disjoint.
+
+    :meth:`occupy` merges overlapping or touching intervals on insert, so
+    ``starts``/``ends`` always describe the occupied set exactly; the free
+    gaps are then the complements between consecutive intervals, and
+    :meth:`nearest_gap` finds the best one by expanding outward from the
+    gap nearest the desired site — O(log n + gaps inspected), where the
+    inspected gaps are bounded by the displacement of the answer.
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self) -> None:
+        self.starts: list[int] = []
+        self.ends: list[int] = []
+
+    def occupy(self, lo: int, hi: int) -> None:
+        """Mark [lo, hi) occupied, merging with any neighbors it touches."""
+        starts, ends = self.starts, self.ends
+        i = bisect.bisect_left(starts, lo)
+        if i > 0 and ends[i - 1] >= lo:
+            i -= 1
+            lo = starts[i]
+        j = i
+        while j < len(starts) and starts[j] <= hi:
+            hi = max(hi, ends[j])
+            j += 1
+        starts[i:j] = [lo]
+        ends[i:j] = [hi]
+
+    def fits(self, lo: int, hi: int) -> bool:
+        """Whether [lo, hi) is entirely free."""
+        starts, ends = self.starts, self.ends
+        i = bisect.bisect_right(starts, lo) - 1
+        if i >= 0 and ends[i] > lo:
+            return False
+        if i + 1 < len(starts) and starts[i + 1] < hi:
+            return False
+        return True
+
+    def intervals(self) -> Iterable[tuple[int, int]]:
+        return zip(self.starts, self.ends)
+
+    def nearest_gap(self, desired: int, width: int, limit: int) -> int | None:
+        """Start site of the ``width``-wide free placement nearest
+        ``desired`` within ``[0, limit)``; ties go to the leftmost
+        placement.  ``None`` when no gap is wide enough.
+        """
+        starts, ends = self.starts, self.ends
+        n = len(starts)
+        best_cost: int | None = None
+        best_x: int | None = None
+
+        def consider(k: int) -> None:
+            nonlocal best_cost, best_x
+            lo = ends[k - 1] if k > 0 else 0
+            hi = starts[k] if k < n else limit
+            if hi - lo < width:
+                return
+            x = min(max(desired, lo), hi - width)
+            cost = abs(x - desired)
+            if best_cost is None or cost < best_cost or (cost == best_cost and x < best_x):
+                best_cost, best_x = cost, x
+
+        # Gap k separates interval k-1 from interval k (k = 0..n, with the
+        # row edges closing the ends).  Start at the gap at/right of
+        # ``desired`` and expand outward; each direction stops once even the
+        # nearest point of its next gap cannot beat the best found.
+        k0 = bisect.bisect_right(starts, desired)
+        consider(k0)
+        left, right = k0 - 1, k0 + 1
+        while True:
+            moved = False
+            if left >= 0:
+                # Every gap left of k0 ends at starts[left] <= desired, so
+                # any placement in it costs at least desired - hi + width.
+                if best_cost is not None and desired - starts[left] + width > best_cost:
+                    left = -1
+                else:
+                    consider(left)
+                    left -= 1
+                    moved = True
+            if right <= n:
+                # Every gap right of k0 begins at ends[right-1] > desired,
+                # costing exactly lo - desired; a tie loses to the left.
+                if best_cost is not None and ends[right - 1] - desired >= best_cost:
+                    right = n + 1
+                else:
+                    consider(right)
+                    right += 1
+                    moved = True
+            if not moved:
+                return best_x

@@ -17,54 +17,66 @@ The writer emits the parts of DEF the flow needs::
 
 and the reader applies placement/die/pin locations onto a design parsed
 from the matching Verilog netlist.
+
+Writer and reader both stream line-by-line against the design's
+:class:`~repro.netlist.store.NetlistStore` — a million-component DEF never
+exists as one string in memory, and applying it materializes no cell views.
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
+import re
+from typing import Iterator
 
-from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.netlist.design import Design
+from repro.netlist.store import FIXED, NO_ID
 
 _DBU = 1000  # database units per micron
 
 
-def write_def(design: Design, path: str | Path) -> None:
-    """Write die area, component placements, and pin locations."""
+def _def_lines(design: Design) -> Iterator[str]:
+    """The DEF text, one ``\\n``-terminated line at a time."""
 
     def dbu(v: float) -> int:
         return round(v * _DBU)
 
-    lines = [
-        "VERSION 5.8 ;",
-        f"DESIGN {design.name} ;",
-        f"UNITS DISTANCE MICRONS {_DBU} ;",
-        (
-            f"DIEAREA ( {dbu(design.die.xlo)} {dbu(design.die.ylo)} ) "
-            f"( {dbu(design.die.xhi)} {dbu(design.die.yhi)} ) ;"
-        ),
-        f"COMPONENTS {len(design.cells)} ;",
-    ]
-    for cell in sorted(design.cells.values(), key=lambda c: c.name):
-        status = "FIXED" if cell.fixed else "PLACED"
-        lines.append(
-            f"  - {cell.name} {cell.libcell.name} + {status} "
-            f"( {dbu(cell.origin.x)} {dbu(cell.origin.y)} ) N ;"
+    store = design.store
+    yield "VERSION 5.8 ;\n"
+    yield f"DESIGN {design.name} ;\n"
+    yield f"UNITS DISTANCE MICRONS {_DBU} ;\n"
+    yield (
+        f"DIEAREA ( {dbu(design.die.xlo)} {dbu(design.die.ylo)} ) "
+        f"( {dbu(design.die.xhi)} {dbu(design.die.yhi)} ) ;\n"
+    )
+    yield f"COMPONENTS {len(store.cell_ids)} ;\n"
+    for name in sorted(store.cell_ids):
+        cid = store.cell_ids[name]
+        status = "FIXED" if store.cell_flags[cid] & FIXED else "PLACED"
+        yield (
+            f"  - {name} {store.libs[store.cell_lib[cid]].libcell.name} + {status} "
+            f"( {dbu(float(store.cell_x[cid]))} {dbu(float(store.cell_y[cid]))} ) N ;\n"
         )
-    lines.append("END COMPONENTS")
-    lines.append(f"PINS {len(design.ports)} ;")
-    for port in sorted(design.ports.values(), key=lambda p: p.name):
-        direction = "INPUT" if port.is_input else "OUTPUT"
-        net_name = port.net.name if port.net is not None else port.name
-        lines.append(
-            f"  - {port.name} + NET {net_name} + DIRECTION {direction} "
-            f"+ PLACED ( {dbu(port.location.x)} {dbu(port.location.y)} ) N ;"
+    yield "END COMPONENTS\n"
+    yield f"PINS {len(store.port_ids)} ;\n"
+    for name in sorted(store.port_ids):
+        pid = store.port_ids[name]
+        direction = "OUTPUT" if store.port_out[pid] else "INPUT"
+        nid = int(store.port_net[pid])
+        net_name = store.net_name[nid] if nid != NO_ID else name
+        yield (
+            f"  - {name} + NET {net_name} + DIRECTION {direction} "
+            f"+ PLACED ( {dbu(float(store.port_x[pid]))} {dbu(float(store.port_y[pid]))} ) N ;\n"
         )
-    lines.append("END PINS")
-    lines.append("END DESIGN")
-    Path(path).write_text("\n".join(lines) + "\n")
+    yield "END PINS\n"
+    yield "END DESIGN\n"
+
+
+def write_def(design: Design, path: str | Path) -> None:
+    """Write die area, component placements, and pin locations (streamed)."""
+    with open(path, "w") as f:
+        f.writelines(_def_lines(design))
 
 
 _DIEAREA = re.compile(
@@ -86,52 +98,82 @@ def read_def(path: str | Path, design: Design) -> Design:
     The design (typically fresh from :func:`repro.io.verilog.read_verilog`)
     must already contain the named components and ports; unknown names are
     an error, since a placement that does not match its netlist is corrupt.
+
+    Single pass: ``UNITS`` must precede ``DIEAREA`` and the component/pin
+    sections (standard DEF ordering, and what the writer emits).
     """
-    text = Path(path).read_text()
-    units = _UNITS.search(text)
-    dbu = int(units.group(1)) if units else _DBU
-
-    def um(v: str) -> float:
-        return int(v) / dbu
-
-    die = _DIEAREA.search(text)
-    if die is None:
-        raise ValueError(f"{path}: missing DIEAREA")
-    design.die = Rect(um(die.group(1)), um(die.group(2)), um(die.group(3)), um(die.group(4)))
-
+    path = Path(path)
+    store = design.store
+    dbu = _DBU
+    saw_diearea = False
     in_components = False
     in_pins = False
-    for line in text.splitlines():
-        stripped = line.strip()
-        if stripped.startswith("COMPONENTS"):
-            in_components = True
-            continue
-        if stripped.startswith("END COMPONENTS"):
-            in_components = False
-            continue
-        if stripped.startswith("PINS"):
-            in_pins = True
-            continue
-        if stripped.startswith("END PINS"):
-            in_pins = False
-            continue
-        if in_components:
-            m = _COMPONENT.search(stripped)
-            if not m:
+
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            stripped = line.strip()
+            if in_components:
+                if stripped.startswith("END COMPONENTS"):
+                    in_components = False
+                    continue
+                m = _COMPONENT.search(stripped)
+                if not m:
+                    continue
+                name, libcell, status, x, y = m.groups()
+                cid = store.cell_ids.get(name)
+                if cid is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: component {name!r} is not in the netlist"
+                    )
+                have = store.libs[store.cell_lib[cid]].libcell.name
+                if have != libcell:
+                    raise ValueError(
+                        f"{path}: component {name} is {libcell} in DEF but "
+                        f"{have} in the netlist"
+                    )
+                store.cell_x[cid] = int(x) / dbu
+                store.cell_y[cid] = int(y) / dbu
+                if status == "FIXED":
+                    store.cell_flags[cid] |= FIXED
+                else:
+                    store.cell_flags[cid] &= ~FIXED & 0xFF
                 continue
-            name, libcell, status, x, y = m.groups()
-            cell = design.cell(name)
-            if cell.libcell.name != libcell:
-                raise ValueError(
-                    f"{path}: component {name} is {libcell} in DEF but "
-                    f"{cell.libcell.name} in the netlist"
+            if in_pins:
+                if stripped.startswith("END PINS"):
+                    in_pins = False
+                    continue
+                m = _PIN.search(stripped)
+                if not m:
+                    continue
+                name, _direction, x, y = m.groups()
+                pid = store.port_ids.get(name)
+                if pid is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: pin {name!r} is not a port of the netlist"
+                    )
+                store.port_x[pid] = int(x) / dbu
+                store.port_y[pid] = int(y) / dbu
+                continue
+            if stripped.startswith("COMPONENTS"):
+                in_components = True
+                continue
+            if stripped.startswith("PINS"):
+                in_pins = True
+                continue
+            m = _UNITS.search(stripped)
+            if m:
+                dbu = int(m.group(1))
+                continue
+            m = _DIEAREA.search(stripped)
+            if m:
+                design.die = Rect(
+                    int(m.group(1)) / dbu,
+                    int(m.group(2)) / dbu,
+                    int(m.group(3)) / dbu,
+                    int(m.group(4)) / dbu,
                 )
-            cell.origin = Point(um(x), um(y))
-            cell.fixed = status == "FIXED"
-        elif in_pins:
-            m = _PIN.search(stripped)
-            if not m:
-                continue
-            name, _direction, x, y = m.groups()
-            design.ports[name].location = Point(um(x), um(y))
+                saw_diearea = True
+
+    if not saw_diearea:
+        raise ValueError(f"{path}: missing DIEAREA")
     return design

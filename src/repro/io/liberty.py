@@ -36,18 +36,24 @@ from repro.library.functional import FunctionalClass, ResetKind, ScanStyle
 from repro.library.library import CellLibrary, Technology
 
 
-def write_liberty(library: CellLibrary, path: str | Path) -> None:
-    """Serialize a library to Liberty-style text."""
-    lines: list[str] = [f"library ({library.name}) {{"]
+def _liberty_lines(library: CellLibrary):
+    """The library text, one ``\\n``-terminated line at a time."""
+    yield f"library ({library.name}) {{\n"
     tech = library.technology
-    lines.append(f"  wire_cap_per_um : {tech.wire_cap_per_um!r} ;")
-    lines.append(f"  wire_delay_per_um : {tech.wire_delay_per_um!r} ;")
-    lines.append(f"  row_height : {tech.row_height!r} ;")
-    lines.append(f"  site_width : {tech.site_width!r} ;")
+    yield f"  wire_cap_per_um : {tech.wire_cap_per_um!r} ;\n"
+    yield f"  wire_delay_per_um : {tech.wire_delay_per_um!r} ;\n"
+    yield f"  row_height : {tech.row_height!r} ;\n"
+    yield f"  site_width : {tech.site_width!r} ;\n"
     for cell in sorted(library.cells(), key=lambda c: c.name):
-        lines.extend(_cell_lines(cell))
-    lines.append("}")
-    Path(path).write_text("\n".join(lines) + "\n")
+        for line in _cell_lines(cell):
+            yield line + "\n"
+    yield "}\n"
+
+
+def write_liberty(library: CellLibrary, path: str | Path) -> None:
+    """Serialize a library to Liberty-style text (streamed)."""
+    with open(path, "w") as f:
+        f.writelines(_liberty_lines(library))
 
 
 def _cell_lines(cell: LibCell) -> list[str]:
@@ -110,32 +116,77 @@ _TOKEN = re.compile(
 )
 
 
-def read_liberty(path: str | Path) -> CellLibrary:
-    """Parse a Liberty-subset file back into a :class:`CellLibrary`."""
-    text = Path(path).read_text()
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+_COMMENT_OPEN = re.compile(r"/\*")
+_COMMENT_CLOSE = re.compile(r"\*/")
 
+
+def _strip_comments(lines) -> "Iterator[str]":
+    """Drop ``/* */`` comments (which may span lines) from a line stream."""
+    in_comment = False
+    for line in lines:
+        out = []
+        pos = 0
+        while pos < len(line):
+            if in_comment:
+                m = _COMMENT_CLOSE.search(line, pos)
+                if m is None:
+                    pos = len(line)
+                else:
+                    in_comment = False
+                    pos = m.end()
+            else:
+                m = _COMMENT_OPEN.search(line, pos)
+                if m is None:
+                    out.append(line[pos:])
+                    pos = len(line)
+                else:
+                    out.append(line[pos : m.start()])
+                    in_comment = True
+                    pos = m.end()
+        yield "".join(out)
+
+
+def read_liberty(path: str | Path) -> CellLibrary:
+    """Parse a Liberty-subset file back into a :class:`CellLibrary`.
+
+    Single streaming pass: constructs (other than block comments) must not
+    span lines, which is what the writer produces.  Each completed cell is
+    built and added as soon as its closing brace is read, so the parse holds
+    at most one cell's attributes at a time.
+    """
+    path = Path(path)
     library: CellLibrary | None = None
     lib_attrs: dict[str, str] = {}
     current: dict | None = None
-    pending_cells: list[dict] = []
+    cells_done = 0
 
-    for match in _TOKEN.finditer(text):
-        if match.group("lib"):
-            library = CellLibrary(match.group("lib"))
-        elif match.group("cell"):
-            current = {"name": match.group("cell"), "attrs": {}, "pins": []}
-            pending_cells.append(current)
-        elif match.group("pin"):
-            if current is None:
-                raise ValueError("pin outside cell")
-            current["pins"].append((match.group("pin"), match.group("pinbody")))
-        elif match.group("attr"):
-            target = current["attrs"] if current is not None else lib_attrs
-            target[match.group("attr")] = match.group("value").strip().strip("'\"")
-        elif match.group("close"):
-            if current is not None:
-                current = None
+    with open(path) as f:
+        for lineno, line in enumerate(_strip_comments(f), start=1):
+            for match in _TOKEN.finditer(line):
+                if match.group("lib"):
+                    library = CellLibrary(match.group("lib"))
+                elif match.group("cell"):
+                    if library is None:
+                        raise ValueError(f"{path}:{lineno}: cell outside library")
+                    current = {"name": match.group("cell"), "attrs": {}, "pins": []}
+                elif match.group("pin"):
+                    if current is None:
+                        raise ValueError(f"{path}:{lineno}: pin outside cell")
+                    current["pins"].append((match.group("pin"), match.group("pinbody")))
+                elif match.group("attr"):
+                    target = current["attrs"] if current is not None else lib_attrs
+                    target[match.group("attr")] = match.group("value").strip().strip("'\"")
+                elif match.group("close"):
+                    if current is not None:
+                        try:
+                            library.add(_build_cell(current))
+                        except KeyError as exc:
+                            raise ValueError(
+                                f"{path}:{lineno}: cell {current['name']!r} is "
+                                f"missing required attribute {exc.args[0]!r}"
+                            ) from None
+                        cells_done += 1
+                        current = None
 
     if library is None:
         raise ValueError(f"{path}: not a liberty-subset file")
@@ -145,16 +196,19 @@ def read_liberty(path: str | Path) -> CellLibrary:
         row_height=float(lib_attrs.get("row_height", 1.0)),
         site_width=float(lib_attrs.get("site_width", 0.2)),
     )
-    for spec in pending_cells:
-        library.add(_build_cell(spec))
     return library
 
 
 def _parse_pin(name: str, body: str) -> PinDesc:
-    direction = PinDirection(re.search(r"direction\s*:\s*(\w+)", body).group(1))
-    cap = float(re.search(r"capacitance\s*:\s*([\d.eE+-]+)", body).group(1))
-    dx, dy = re.search(r"offset\s*:\s*\(([\d.eE+-]+),\s*([\d.eE+-]+)\)", body).groups()
-    return PinDesc(name, direction, cap, float(dx), float(dy))
+    direction_m = re.search(r"direction\s*:\s*(\w+)", body)
+    cap_m = re.search(r"capacitance\s*:\s*([\d.eE+-]+)", body)
+    offset_m = re.search(r"offset\s*:\s*\(([\d.eE+-]+),\s*([\d.eE+-]+)\)", body)
+    if direction_m is None or cap_m is None or offset_m is None:
+        raise ValueError(
+            f"pin {name!r} is missing direction/capacitance/offset: {body.strip()!r}"
+        )
+    dx, dy = offset_m.groups()
+    return PinDesc(name, PinDirection(direction_m.group(1)), float(cap_m.group(1)), float(dx), float(dy))
 
 
 def _build_cell(spec: dict) -> LibCell:

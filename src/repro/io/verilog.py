@@ -14,18 +14,27 @@ nets are not a Verilog concept; the reader marks as clock any net driven by
 a port or pin whose name contains ``clk``/``CK``/``GCK``, matching the
 writer's convention (a ``// clock nets:`` comment makes it explicit and
 authoritative when present).
+
+Both directions stream: the writer emits one line at a time straight into
+the file (never building the netlist text in memory), and the reader is a
+single pass over the file's lines that populates the design's
+:class:`~repro.netlist.store.NetlistStore` directly — no whole-file
+``read()``, no intermediate AST, and no per-instance view objects.  Library
+cells are resolved once per name per parse and their pin tables come from
+the store's interned :class:`~repro.netlist.store.LibRecord`.
 """
 
 from __future__ import annotations
 
 import re
 from pathlib import Path
+from typing import Iterator
 
-from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.library.cells import PinDirection
 from repro.library.library import CellLibrary
 from repro.netlist.design import Design
+from repro.netlist.store import NO_ID
 
 _ID = r"[A-Za-z_][\w$]*"
 
@@ -37,43 +46,61 @@ def _escape(name: str) -> str:
     return "\\" + name + " "
 
 
-def write_verilog(design: Design, path: str | Path) -> None:
-    """Write the design as a flat structural Verilog module."""
-    lines: list[str] = []
-    clock_nets = sorted(n.name for n in design.nets.values() if n.is_clock)
-    lines.append(f"// repro structural netlist for design {design.name}")
-    lines.append(f"// clock nets: {' '.join(clock_nets)}")
-    for port in sorted(design.ports.values(), key=lambda p: p.name):
-        if port.net is not None and port.net.name != port.name:
+def _verilog_lines(design: Design) -> Iterator[str]:
+    """The module text, one ``\\n``-terminated line at a time."""
+    store = design.store
+    clock_nets = sorted(name for name in store.net_ids if store.net_clock[store.net_ids[name]])
+    yield f"// repro structural netlist for design {design.name}\n"
+    yield f"// clock nets: {' '.join(clock_nets)}\n"
+    port_names = sorted(store.port_ids)
+    for name in port_names:
+        nid = int(store.port_net[store.port_ids[name]])
+        if nid != NO_ID and store.net_name[nid] != name:
             # Verilog identifies a port with its net; our DB allows distinct
             # names, so record the binding explicitly for the reader.
-            lines.append(f"// port_net: {port.name} {port.net.name}")
-    ports = sorted(design.ports.values(), key=lambda p: p.name)
-    port_list = ", ".join(_escape(p.name) for p in ports)
-    lines.append(f"module {_escape(design.name)} ({port_list});")
-    for port in ports:
-        kind = "input" if port.is_input else "output"
-        lines.append(f"  {kind} {_escape(port.name)};")
-    for net in sorted(design.nets.values(), key=lambda n: n.name):
-        if net.name not in design.ports:
-            lines.append(f"  wire {_escape(net.name)};")
-    for cell in sorted(design.cells.values(), key=lambda c: c.name):
+            yield f"// port_net: {name} {store.net_name[nid]}\n"
+    port_list = ", ".join(_escape(name) for name in port_names)
+    yield f"module {_escape(design.name)} ({port_list});\n"
+    for name in port_names:
+        kind = "output" if store.port_out[store.port_ids[name]] else "input"
+        yield f"  {kind} {_escape(name)};\n"
+    for name in sorted(store.net_ids):
+        if name not in store.port_ids:
+            yield f"  wire {_escape(name)};\n"
+    # Connected-pin order is the library pin order sorted by pin name; it is
+    # a per-libcell constant, so compute it once per LibRecord.
+    pin_order: dict[int, list[int]] = {}
+    for name in sorted(store.cell_ids):
+        cid = store.cell_ids[name]
+        rec = store.libs[store.cell_lib[cid]]
+        order = pin_order.get(id(rec))
+        if order is None:
+            order = pin_order[id(rec)] = sorted(
+                range(rec.n_pins), key=lambda i: rec.pins[i].name
+            )
+        pin0 = int(store.cell_pin0[cid])
         conns = ", ".join(
-            f".{pin.name}({_escape(pin.net.name)})"
-            for pin in sorted(cell.pins.values(), key=lambda p: p.name)
-            if pin.net is not None
+            f".{rec.pins[i].name}({_escape(store.net_name[store.pin_net[pin0 + i]])})"
+            for i in order
+            if store.pin_net[pin0 + i] != NO_ID
         )
-        lines.append(f"  {_escape(cell.libcell.name)} {_escape(cell.name)} ( {conns} );")
-    lines.append("endmodule")
-    Path(path).write_text("\n".join(lines) + "\n")
+        yield f"  {_escape(rec.libcell.name)} {_escape(name)} ( {conns} );\n"
+    yield "endmodule\n"
+
+
+def write_verilog(design: Design, path: str | Path) -> None:
+    """Write the design as a flat structural Verilog module (streamed)."""
+    with open(path, "w") as f:
+        f.writelines(_verilog_lines(design))
 
 
 _MODULE = re.compile(rf"module\s+({_ID})\s*\((?P<ports>[^)]*)\)\s*;")
 _DECL = re.compile(rf"^\s*(input|output|wire)\s+({_ID})\s*;\s*$")
 _INST = re.compile(rf"^\s*({_ID})\s+({_ID})\s*\(\s*(?P<conns>.*)\)\s*;\s*$")
 _CONN = re.compile(rf"\.({_ID})\s*\(\s*({_ID})\s*\)")
-_CLOCKS = re.compile(r"//\s*clock nets:\s*(.*)$", re.MULTILINE)
-_PORT_NET = re.compile(rf"//\s*port_net:\s*({_ID})\s+({_ID})\s*$", re.MULTILINE)
+_CLOCKS = re.compile(r"//\s*clock nets:\s*(.*)$")
+_PORT_NET = re.compile(rf"//\s*port_net:\s*({_ID})\s+({_ID})\s*$")
+_CLOCKISH = re.compile(r"(^|_)g?clk", re.IGNORECASE)
 
 
 def read_verilog(
@@ -86,54 +113,116 @@ def read_verilog(
     Positions are not part of Verilog: cells land at the origin until a DEF
     file (:func:`repro.io.deffile.read_def`) places them.  ``die`` defaults
     to a unit placeholder re-sized by the DEF reader.
+
+    The parse is a single pass over the file's lines.  Declarations must
+    precede instances (the writer guarantees this); nets and ports are
+    created when the first instance appears, in the same order the previous
+    whole-file reader used — wires first, then port bindings.
     """
-    text = Path(path).read_text()
-    module = _MODULE.search(text)
-    if module is None:
-        raise ValueError(f"{path}: no module found")
-    design = Design(module.group(1), library, die or Rect(0, 0, 1, 1))
-
-    explicit_clocks: set[str] = set()
-    clocks_match = _CLOCKS.search(text)
-    if clocks_match:
-        explicit_clocks = set(clocks_match.group(1).split())
-
+    path = Path(path)
+    design: Design | None = None
+    explicit_clocks: set[str] | None = None
+    port_net: dict[str, str] = {}
     directions: dict[str, PinDirection] = {}
     wires: list[str] = []
-    instances: list[tuple[str, str, str]] = []
-    for line in text.splitlines():
-        decl = _DECL.match(line)
-        if decl:
-            kind, name = decl.groups()
-            if kind == "wire":
-                wires.append(name)
-            else:
-                directions[name] = (
-                    PinDirection.INPUT if kind == "input" else PinDirection.OUTPUT
-                )
-            continue
-        inst = _INST.match(line)
-        if inst and inst.group(1) != "module":
-            instances.append((inst.group(1), inst.group(2), inst.group("conns")))
+    decls_flushed = False
+    # One library resolution per libcell *name* per parse; each entry carries
+    # the store's interned pin table so instance pins bind by integer index.
+    lib_cache: dict[str, tuple] = {}
 
     def is_clock(name: str) -> bool:
-        if explicit_clocks:
+        if explicit_clocks is not None:
             return name in explicit_clocks
-        return bool(re.search(r"(^|_)g?clk", name, re.IGNORECASE))
+        return bool(_CLOCKISH.search(name))
 
-    port_net = {m.group(1): m.group(2) for m in _PORT_NET.finditer(text)}
-    for name in wires:
-        if name not in design.nets:
-            design.add_net(name, is_clock=is_clock(name))
-    for name in directions:
-        bound = port_net.get(name, name)
-        if bound not in design.nets:
-            design.add_net(bound, is_clock=is_clock(bound))
-        design.add_port(name, directions[name], Point(0.0, 0.0))
-        design.connect(design.ports[name], design.nets[bound])
+    def flush_decls() -> None:
+        nonlocal decls_flushed
+        decls_flushed = True
+        for name in wires:
+            if name not in design.nets:
+                design.add_net_raw(name, is_clock=is_clock(name))
+        for name, direction in directions.items():
+            bound = port_net.get(name, name)
+            nid = design.store.net_ids.get(bound)
+            if nid is None:
+                nid = design.add_net_raw(bound, is_clock=is_clock(bound))
+            pid = design.add_port_raw(name, direction is PinDirection.OUTPUT, 0.0, 0.0)
+            design.store.link((pid << 1) | 1, nid)
 
-    for libcell_name, inst_name, conns in instances:
-        cell = design.add_cell(inst_name, library.cell(libcell_name))
-        for pin_name, net_name in _CONN.findall(conns):
-            design.connect(cell.pin(pin_name), design.net(net_name))
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("//"):
+                m = _CLOCKS.search(line)
+                if m:
+                    explicit_clocks = set(m.group(1).split())
+                    continue
+                m = _PORT_NET.search(line)
+                if m:
+                    port_net[m.group(1)] = m.group(2)
+                continue
+            if design is None:
+                m = _MODULE.search(line)
+                if m:
+                    design = Design(m.group(1), library, die or Rect(0, 0, 1, 1))
+                continue
+            decl = _DECL.match(line)
+            if decl:
+                if decls_flushed:
+                    raise ValueError(
+                        f"{path}:{lineno}: declaration after first instance"
+                    )
+                kind, name = decl.groups()
+                if kind == "wire":
+                    wires.append(name)
+                else:
+                    directions[name] = (
+                        PinDirection.INPUT if kind == "input" else PinDirection.OUTPUT
+                    )
+                continue
+            inst = _INST.match(line)
+            if inst is None or inst.group(1) == "module":
+                continue
+            if not decls_flushed:
+                flush_decls()
+            libcell_name, inst_name, conns = inst.group(1), inst.group(2), inst.group("conns")
+            cached = lib_cache.get(libcell_name)
+            if cached is None:
+                try:
+                    libcell = library.cell(libcell_name)
+                except KeyError:
+                    raise ValueError(
+                        f"{path}:{lineno}: unknown library cell {libcell_name!r} "
+                        f"(instance {inst_name!r})"
+                    ) from None
+                store = design.store
+                rec = store.libs[store.intern_libcell(libcell)]
+                cached = lib_cache[libcell_name] = (libcell, rec.pin_index)
+            libcell, pin_index = cached
+            store = design.store
+            cid = design.add_cell_raw(inst_name, libcell, 0.0, 0.0)
+            pin0 = int(store.cell_pin0[cid])
+            for pin_name, net_name in _CONN.findall(conns):
+                idx = pin_index.get(pin_name)
+                if idx is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: cell {inst_name!r} ({libcell_name}) "
+                        f"has no pin {pin_name!r}"
+                    )
+                nid = store.net_ids.get(net_name)
+                if nid is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: instance {inst_name!r} references "
+                        f"undeclared net {net_name!r}"
+                    )
+                if store.pin_net[pin0 + idx] != NO_ID:
+                    raise ValueError(
+                        f"{path}:{lineno}: pin {pin_name!r} of instance "
+                        f"{inst_name!r} is connected twice"
+                    )
+                store.link((pin0 + idx) << 1, nid)
+
+    if design is None:
+        raise ValueError(f"{path}: no module found")
+    if not decls_flushed:
+        flush_decls()  # a module with declarations but no instances
     return design

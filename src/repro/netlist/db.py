@@ -1,4 +1,23 @@
-"""The netlist object model: cells, pins, nets, and top-level ports."""
+"""The netlist object model: cells, pins, nets, and top-level ports.
+
+Since the slotted-storage refactor these classes are *flyweight views* over
+a :class:`repro.netlist.store.NetlistStore`: each instance holds only the
+store reference plus an integer id, and every attribute read/write goes to
+the store's columns.  Views are canonical — the store hands out at most one
+live view per entity — so identity (``is``), hashing, and equality behave
+exactly like the old one-object-per-entity model, and they are created
+lazily, so a million-cell design only pays for the objects someone is
+currently looking at.
+
+Views are created by the store (via :class:`~repro.netlist.design.Design`
+lookups and iteration), never constructed directly.
+
+When an entity dies (cell removed, net removed, pins replaced by a libcell
+swap) its live views are *detached*: the final state is snapshotted into the
+view and the class is switched to a ``_Detached*`` twin, so stale references
+keep reading the values the old model's orphaned objects kept — and never
+touch store slots that may since have been recycled to new entities.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +26,7 @@ from typing import Iterator, Union
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.library.cells import LibCell, PinDesc, PinDirection, RegisterCell
+from repro.netlist.store import DONT_TOUCH, FIXED, NO_ID, NetlistStore
 
 
 class Pin:
@@ -16,12 +36,16 @@ class Pin:
     track cell moves automatically.
     """
 
-    __slots__ = ("cell", "desc", "net")
+    __slots__ = ("_store", "_slot", "cell", "desc", "_dead", "__weakref__")
 
-    def __init__(self, cell: "Cell", desc: PinDesc) -> None:
-        self.cell = cell
-        self.desc = desc
-        self.net: "Net | None" = None
+    _store: NetlistStore
+    _slot: int
+    cell: "Cell"
+    desc: PinDesc
+
+    @property
+    def _tid(self) -> int:
+        return self._slot << 1
 
     @property
     def name(self) -> str:
@@ -49,11 +73,27 @@ class Pin:
         return self.desc.cap
 
     @property
+    def net(self) -> "Net | None":
+        nid = self._store.pin_net[self._slot]
+        return self._store.net_view(int(nid)) if nid != NO_ID else None
+
+    @property
     def location(self) -> Point:
-        return Point(self.cell.origin.x + self.desc.dx, self.cell.origin.y + self.desc.dy)
+        origin = self.cell.origin
+        return Point(origin.x + self.desc.dx, origin.y + self.desc.dy)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Pin({self.full_name})"
+
+
+class _DetachedPin(Pin):
+    """A pin of a removed (or libcell-swapped) cell: permanently unconnected."""
+
+    __slots__ = ()
+
+    @property
+    def net(self) -> "Net | None":
+        return None
 
 
 class Port:
@@ -61,23 +101,46 @@ class Port:
 
     Ports behave like pins for STA and wire-length purposes: an *input* port
     drives its net, an *output* port is a timing endpoint.  ``cap`` models
-    the off-chip load on output ports.
+    the off-chip load on output ports.  Ports are never removed, so they
+    have no detached twin.
     """
 
-    __slots__ = ("name", "direction", "location", "net", "cap")
+    __slots__ = ("_store", "_pid", "name", "__weakref__")
 
-    def __init__(
-        self,
-        name: str,
-        direction: PinDirection,
-        location: Point,
-        cap: float = 0.002,
-    ) -> None:
-        self.name = name
-        self.direction = direction
-        self.location = location
-        self.net: "Net | None" = None
-        self.cap = cap
+    _store: NetlistStore
+    _pid: int
+    name: str
+
+    @property
+    def _tid(self) -> int:
+        return (self._pid << 1) | 1
+
+    @property
+    def direction(self) -> PinDirection:
+        return PinDirection.OUTPUT if self._store.port_out[self._pid] else PinDirection.INPUT
+
+    @property
+    def location(self) -> Point:
+        s = self._store
+        return Point(float(s.port_x[self._pid]), float(s.port_y[self._pid]))
+
+    @location.setter
+    def location(self, value: Point) -> None:
+        self._store.port_x[self._pid] = value.x
+        self._store.port_y[self._pid] = value.y
+
+    @property
+    def cap(self) -> float:
+        return float(self._store.port_cap[self._pid])
+
+    @cap.setter
+    def cap(self, value: float) -> None:
+        self._store.port_cap[self._pid] = value
+
+    @property
+    def net(self) -> "Net | None":
+        nid = self._store.port_net[self._pid]
+        return self._store.net_view(int(nid)) if nid != NO_ID else None
 
     @property
     def full_name(self) -> str:
@@ -86,11 +149,11 @@ class Port:
     @property
     def is_input(self) -> bool:
         """True when the port is a design input, i.e. it *drives* its net."""
-        return self.direction is PinDirection.INPUT
+        return not self._store.port_out[self._pid]
 
     @property
     def is_output(self) -> bool:
-        return self.direction is PinDirection.OUTPUT
+        return bool(self._store.port_out[self._pid])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Port({self.name})"
@@ -102,12 +165,18 @@ Terminal = Union[Pin, Port]
 class Net:
     """A signal net connecting one driver terminal to sink terminals."""
 
-    __slots__ = ("name", "terminals", "is_clock")
+    __slots__ = ("_store", "_nid", "name", "is_clock", "_dead", "__weakref__")
 
-    def __init__(self, name: str, is_clock: bool = False) -> None:
-        self.name = name
-        self.terminals: list[Terminal] = []
-        self.is_clock = is_clock
+    _store: NetlistStore
+    _nid: int
+    name: str
+    is_clock: bool
+
+    @property
+    def terminals(self) -> list[Terminal]:
+        """The net's terminals in connection order (a fresh list)."""
+        s = self._store
+        return [s.terminal_view(tid) for tid in s.net_terminal_ids(self._nid)]
 
     @property
     def driver(self) -> Terminal | None:
@@ -132,7 +201,7 @@ class Net:
 
     @property
     def num_pins(self) -> int:
-        return len(self.terminals)
+        return int(self._store.net_count[self._nid])
 
     def sink_cap(self) -> float:
         """Total input-pin capacitance hanging on the net (pF)."""
@@ -146,10 +215,12 @@ class Net:
         MBR location against those boxes.  Returns ``None`` when no terminal
         remains.
         """
-        points = [t.location for t in self.terminals if t is not exclude]
-        if not points:
+        box = self._store.net_bbox(
+            self._nid, exclude._tid if exclude is not None else NO_ID
+        )
+        if box is None:
             return None
-        return Rect.from_points(points)
+        return Rect(*box)
 
     def hpwl(self) -> float:
         """Half-perimeter wire length of the net (0 for degenerate nets)."""
@@ -158,6 +229,26 @@ class Net:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Net({self.name}, {self.num_pins} pins)"
+
+
+class _DetachedNet(Net):
+    """A removed net: keeps the terminal list it died with."""
+
+    __slots__ = ()
+
+    @property
+    def terminals(self) -> list[Terminal]:
+        return self._dead
+
+    @property
+    def num_pins(self) -> int:
+        return len(self._dead)
+
+    def bbox(self, exclude: Terminal | None = None) -> Rect | None:
+        points = [t.location for t in self._dead if t is not exclude]
+        if not points:
+            return None
+        return Rect.from_points(points)
 
 
 class Cell:
@@ -169,57 +260,101 @@ class Cell:
     cannot be composed.
     """
 
-    __slots__ = ("name", "libcell", "origin", "fixed", "dont_touch", "pins", "attrs")
+    __slots__ = ("_store", "_cid", "name", "_pins", "_dead", "__weakref__")
 
-    def __init__(
-        self,
-        name: str,
-        libcell: LibCell,
-        origin: Point = Point(0.0, 0.0),
-        fixed: bool = False,
-        dont_touch: bool = False,
-    ) -> None:
-        self.name = name
-        self.libcell = libcell
-        self.origin = origin
-        self.fixed = fixed
-        self.dont_touch = dont_touch
-        self.pins: dict[str, Pin] = {d.name: Pin(self, d) for d in libcell.pins}
-        self.attrs: dict[str, object] = {}
+    _store: NetlistStore
+    _cid: int
+    name: str
 
     # -- identity ------------------------------------------------------------
 
     @property
+    def libcell(self) -> LibCell:
+        s = self._store
+        return s.libs[s.cell_lib[self._cid]].libcell
+
+    @property
     def is_register(self) -> bool:
-        return isinstance(self.libcell, RegisterCell)
+        s = self._store
+        return s.libs[s.cell_lib[self._cid]].is_register
 
     @property
     def register_cell(self) -> RegisterCell:
-        if not isinstance(self.libcell, RegisterCell):
+        libcell = self.libcell
+        if not isinstance(libcell, RegisterCell):
             raise TypeError(f"{self.name} is not a register")
-        return self.libcell
+        return libcell
 
     @property
     def width_bits(self) -> int:
         """Bit width: register bit count, 0 for non-registers."""
-        return self.libcell.width_bits if isinstance(self.libcell, RegisterCell) else 0
+        libcell = self.libcell
+        return libcell.width_bits if isinstance(libcell, RegisterCell) else 0
+
+    @property
+    def attrs(self) -> dict:
+        s = self._store
+        attrs = s.cell_attrs.get(self._cid)
+        if attrs is None:
+            attrs = s.cell_attrs[self._cid] = {}
+        return attrs
+
+    @attrs.setter
+    def attrs(self, value: dict) -> None:
+        self._store.cell_attrs[self._cid] = value
 
     # -- geometry --------------------------------------------------------------
 
     @property
+    def origin(self) -> Point:
+        s = self._store
+        return Point(float(s.cell_x[self._cid]), float(s.cell_y[self._cid]))
+
+    @origin.setter
+    def origin(self, value: Point) -> None:
+        self._store.cell_x[self._cid] = value.x
+        self._store.cell_y[self._cid] = value.y
+
+    @property
+    def fixed(self) -> bool:
+        return bool(self._store.cell_flags[self._cid] & FIXED)
+
+    @fixed.setter
+    def fixed(self, value: bool) -> None:
+        if value:
+            self._store.cell_flags[self._cid] |= FIXED
+        else:
+            self._store.cell_flags[self._cid] &= ~FIXED & 0xFF
+
+    @property
+    def dont_touch(self) -> bool:
+        return bool(self._store.cell_flags[self._cid] & DONT_TOUCH)
+
+    @dont_touch.setter
+    def dont_touch(self, value: bool) -> None:
+        if value:
+            self._store.cell_flags[self._cid] |= DONT_TOUCH
+        else:
+            self._store.cell_flags[self._cid] &= ~DONT_TOUCH & 0xFF
+
+    @property
     def footprint(self) -> Rect:
+        origin = self.origin
+        libcell = self.libcell
         return Rect(
-            self.origin.x,
-            self.origin.y,
-            self.origin.x + self.libcell.width,
-            self.origin.y + self.libcell.height,
+            origin.x,
+            origin.y,
+            origin.x + libcell.width,
+            origin.y + libcell.height,
         )
 
     @property
     def center(self) -> Point:
+        origin = self.origin
+        libcell = self.libcell
         return Point(
-            self.origin.x + self.libcell.width / 2.0,
-            self.origin.y + self.libcell.height / 2.0,
+            origin.x + libcell.width / 2.0,
+            origin.y + libcell.height / 2.0,
         )
 
     def move_to(self, origin: Point) -> None:
@@ -228,6 +363,20 @@ class Cell:
         self.origin = origin
 
     # -- connectivity ------------------------------------------------------------
+
+    @property
+    def pins(self) -> dict[str, Pin]:
+        """Pin views by name, in library pin order (cached per view)."""
+        pins = self._pins
+        if pins is None:
+            s = self._store
+            base = int(s.cell_pin0[self._cid])
+            rec = s.libs[s.cell_lib[self._cid]]
+            pins = self._pins = {
+                d.name: s.pin_view(base + i, cell=self, desc=d)
+                for i, d in enumerate(rec.pins)
+            }
+        return pins
 
     def pin(self, name: str) -> Pin:
         try:
@@ -240,3 +389,39 @@ class Cell:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Cell({self.name}:{self.libcell.name})"
+
+
+class _DetachedCell(Cell):
+    """A removed cell: keeps the state it died with (all pins unconnected)."""
+
+    __slots__ = ()
+
+    # _dead = (libcell, x, y, flags, pins, attrs)
+
+    @property
+    def libcell(self) -> LibCell:
+        return self._dead[0]
+
+    @property
+    def is_register(self) -> bool:
+        return isinstance(self._dead[0], RegisterCell)
+
+    @property
+    def origin(self) -> Point:
+        return Point(self._dead[1], self._dead[2])
+
+    @property
+    def fixed(self) -> bool:
+        return bool(self._dead[3] & FIXED)
+
+    @property
+    def dont_touch(self) -> bool:
+        return bool(self._dead[3] & DONT_TOUCH)
+
+    @property
+    def pins(self) -> dict[str, Pin]:
+        return self._dead[4]
+
+    @property
+    def attrs(self) -> dict:
+        return self._dead[5]

@@ -1,16 +1,114 @@
-"""The design container: cell/net/port namespaces and editing primitives."""
+"""The design container: cell/net/port namespaces and editing primitives.
+
+Since the slotted-storage refactor a ``Design`` owns a
+:class:`repro.netlist.store.NetlistStore` and its ``cells``/``nets``/``ports``
+attributes are read-only mapping views over the store's name tables: lookups
+and iteration materialize flyweight :class:`~repro.netlist.db.Cell` /
+``Net`` / ``Port`` objects on demand.  All structural edits still go through
+the ``Design`` primitives below, which now translate to store operations —
+the observable behavior (ordering, notifications, error messages) is
+unchanged.
+"""
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.library.cells import LibCell, PinDirection
 from repro.library.library import CellLibrary
 from repro.netlist.change import ChangeTracker
-from repro.netlist.db import Cell, Net, Pin, Port, Terminal
+from repro.netlist.db import Cell, Net, Pin, Port, Terminal, _DetachedPin
+from repro.netlist.store import NO_ID, NetlistStore
+
+
+class _CellMap(Mapping):
+    """Read-only ``name -> Cell`` view over the store's live-cell table."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: NetlistStore) -> None:
+        self._store = store
+
+    def __getitem__(self, name: str) -> Cell:
+        return self._store.cell_view(self._store.cell_ids[name])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.cell_ids)
+
+    def __len__(self) -> int:
+        return len(self._store.cell_ids)
+
+    def __contains__(self, name) -> bool:
+        return name in self._store.cell_ids
+
+    def values(self):
+        store = self._store
+        return (store.cell_view(cid) for cid in store.cell_ids.values())
+
+    def items(self):
+        store = self._store
+        return ((name, store.cell_view(cid)) for name, cid in store.cell_ids.items())
+
+
+class _NetMap(Mapping):
+    """Read-only ``name -> Net`` view over the store's live-net table."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: NetlistStore) -> None:
+        self._store = store
+
+    def __getitem__(self, name: str) -> Net:
+        return self._store.net_view(self._store.net_ids[name])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.net_ids)
+
+    def __len__(self) -> int:
+        return len(self._store.net_ids)
+
+    def __contains__(self, name) -> bool:
+        return name in self._store.net_ids
+
+    def values(self):
+        store = self._store
+        return (store.net_view(nid) for nid in store.net_ids.values())
+
+    def items(self):
+        store = self._store
+        return ((name, store.net_view(nid)) for name, nid in store.net_ids.items())
+
+
+class _PortMap(Mapping):
+    """Read-only ``name -> Port`` view over the store's port table."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: NetlistStore) -> None:
+        self._store = store
+
+    def __getitem__(self, name: str) -> Port:
+        return self._store.port_view(self._store.port_ids[name])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.port_ids)
+
+    def __len__(self) -> int:
+        return len(self._store.port_ids)
+
+    def __contains__(self, name) -> bool:
+        return name in self._store.port_ids
+
+    def values(self):
+        store = self._store
+        return (store.port_view(pid) for pid in store.port_ids.values())
+
+    def items(self):
+        store = self._store
+        return ((name, store.port_view(pid)) for name, pid in store.port_ids.items())
 
 
 class Design:
@@ -32,9 +130,10 @@ class Design:
         self.name = name
         self.library = library
         self.die = die
-        self.cells: dict[str, Cell] = {}
-        self.nets: dict[str, Net] = {}
-        self.ports: dict[str, Port] = {}
+        self.store = NetlistStore()
+        self.cells = _CellMap(self.store)
+        self.nets = _NetMap(self.store)
+        self.ports = _PortMap(self.store)
         self._uniq = 0
         self._trackers: list[ChangeTracker] = []
 
@@ -64,26 +163,44 @@ class Design:
         generate the same generated names (``mbr_N``, stitch nets) as on the
         original — the property the ECO audit mode relies on to compare an
         incremental recompose against a from-scratch one.
+
+        Copies store-to-store without materializing views, so cloning a
+        million-register design costs arrays, not objects.
         """
         other = Design(self.name, self.library, self.die)
-        for port in self.ports.values():
-            other.add_port(port.name, port.direction, port.location, cap=port.cap)
-        for cell in self.cells.values():
-            copy = other.add_cell(
-                cell.name,
-                cell.libcell,
-                cell.origin,
-                fixed=cell.fixed,
-                dont_touch=cell.dont_touch,
+        src = self.store
+        dst = other.store
+        for name, pid in src.port_ids.items():
+            dst.new_port(
+                name,
+                bool(src.port_out[pid]),
+                float(src.port_x[pid]),
+                float(src.port_y[pid]),
+                float(src.port_cap[pid]),
             )
-            copy.attrs = dict(cell.attrs)
-        for net in self.nets.values():
-            copy_net = other.add_net(net.name, is_clock=net.is_clock)
-            for t in net.terminals:
-                if isinstance(t, Pin):
-                    other.connect(other.cells[t.cell.name].pin(t.name), copy_net)
+        for name, cid in src.cell_ids.items():
+            new_cid = dst.new_cell(
+                name,
+                src.libs[src.cell_lib[cid]].libcell,
+                float(src.cell_x[cid]),
+                float(src.cell_y[cid]),
+            )
+            dst.cell_flags[new_cid] = src.cell_flags[cid]
+            attrs = src.cell_attrs.get(cid)
+            if attrs:
+                dst.cell_attrs[new_cid] = dict(attrs)
+        for name, nid in src.net_ids.items():
+            new_nid = dst.new_net(name, is_clock=bool(src.net_clock[nid]))
+            for tid in src.net_terminal_ids(nid):
+                if tid & 1:
+                    new_tid = (dst.port_ids[src.port_name[tid >> 1]] << 1) | 1
                 else:
-                    other.connect(other.ports[t.name], copy_net)
+                    slot = tid >> 1
+                    cid = int(src.pin_cell[slot])
+                    offset = slot - int(src.cell_pin0[cid])
+                    new_cid = dst.cell_ids[src.cell_name[cid]]
+                    new_tid = (int(dst.cell_pin0[new_cid]) + offset) << 1
+                dst.link(new_tid, new_nid)
         other._uniq = self._uniq
         return other
 
@@ -107,24 +224,51 @@ class Design:
         fixed: bool = False,
         dont_touch: bool = False,
     ) -> Cell:
-        if name in self.cells:
+        cid = self.add_cell_raw(
+            name, libcell, origin.x, origin.y, fixed=fixed, dont_touch=dont_touch
+        )
+        return self.store.cell_view(cid)
+
+    def add_cell_raw(
+        self,
+        name: str,
+        libcell: LibCell | str,
+        x: float,
+        y: float,
+        fixed: bool = False,
+        dont_touch: bool = False,
+    ) -> int:
+        """`add_cell` without materializing a view; returns the cell id.
+
+        The bulk-construction path for parsers and generators.  Change
+        trackers are still notified (which does materialize the view), so
+        the two entry points are observationally identical.
+        """
+        if name in self.store.cell_ids:
             raise ValueError(f"duplicate cell name {name!r}")
         if isinstance(libcell, str):
             libcell = self.library.cell(libcell)
-        cell = Cell(name, libcell, origin, fixed=fixed, dont_touch=dont_touch)
-        self.cells[name] = cell
+        cid = self.store.new_cell(name, libcell, x, y, fixed=fixed, dont_touch=dont_touch)
         if self._trackers:
-            self._notify("on_add_cell", cell)
-        return cell
+            self._notify("on_add_cell", self.store.cell_view(cid))
+        return cid
 
     def remove_cell(self, cell: Cell | str) -> None:
         """Remove a cell, disconnecting all of its pins."""
         if isinstance(cell, str):
             cell = self.cells[cell]
-        for pin in list(cell.pins.values()):
-            if pin.net is not None:
-                self.disconnect(pin)
-        del self.cells[cell.name]
+        store = self.store
+        cid = cell._cid
+        if self._trackers:
+            for pin in list(cell.pins.values()):
+                if pin.net is not None:
+                    self.disconnect(pin)
+        else:
+            pin0 = int(store.cell_pin0[cid])
+            for slot in range(pin0, pin0 + store.libs[store.cell_lib[cid]].n_pins):
+                if store.pin_net[slot] != NO_ID:
+                    store.unlink(slot << 1)
+        store.free_cell(cid)  # detaches `cell` and any live pin views
         if self._trackers:
             self._notify("on_remove_cell", cell)
 
@@ -164,8 +308,7 @@ class Design:
         for pin in cell.pins.values():
             if pin.net is not None:
                 self.disconnect(pin)
-        cell.libcell = new_libcell
-        cell.pins = {d.name: Pin(cell, d) for d in new_libcell.pins}
+        self.store.rebind_pins(cell._cid, new_libcell)
         for pin_name, net in saved:
             self.connect(cell.pin(pin_name), net)
         if self._trackers:
@@ -174,13 +317,17 @@ class Design:
     # -- nets --------------------------------------------------------------------
 
     def add_net(self, name: str, is_clock: bool = False) -> Net:
-        if name in self.nets:
+        nid = self.add_net_raw(name, is_clock=is_clock)
+        return self.store.net_view(nid)
+
+    def add_net_raw(self, name: str, is_clock: bool = False) -> int:
+        """`add_net` without materializing a view; returns the net id."""
+        if name in self.store.net_ids:
             raise ValueError(f"duplicate net name {name!r}")
-        net = Net(name, is_clock=is_clock)
-        self.nets[name] = net
+        nid = self.store.new_net(name, is_clock=is_clock)
         if self._trackers:
-            self._notify("on_add_net", net)
-        return net
+            self._notify("on_add_net", self.store.net_view(nid))
+        return nid
 
     def net(self, name: str) -> Net:
         try:
@@ -194,9 +341,7 @@ class Design:
             net = self.nets[net]
         if self._trackers:
             self._notify("on_remove_net", net)  # terminals still attached
-        for t in list(net.terminals):
-            t.net = None
-        del self.nets[net.name]
+        self.store.free_net(net._nid)  # clears terminal back-refs, detaches view
 
     # -- ports -------------------------------------------------------------------
 
@@ -207,32 +352,40 @@ class Design:
         location: Point,
         cap: float = 0.002,
     ) -> Port:
-        if name in self.ports:
+        pid = self.add_port_raw(
+            name, direction is PinDirection.OUTPUT, location.x, location.y, cap
+        )
+        return self.store.port_view(pid)
+
+    def add_port_raw(
+        self, name: str, is_output: bool, x: float, y: float, cap: float = 0.002
+    ) -> int:
+        """`add_port` without materializing a view; returns the port id."""
+        if name in self.store.port_ids:
             raise ValueError(f"duplicate port name {name!r}")
-        port = Port(name, direction, location, cap=cap)
-        self.ports[name] = port
-        return port
+        return self.store.new_port(name, is_output, x, y, cap)
 
     # -- connectivity ------------------------------------------------------------
 
     def connect(self, terminal: Terminal, net: Net | str) -> None:
         if isinstance(net, str):
             net = self.nets[net]
-        if terminal.net is net:
+        if isinstance(terminal, _DetachedPin):
+            raise ValueError("cannot connect a pin of a removed cell")
+        current = terminal.net
+        if current is net:
             return
-        if terminal.net is not None:
+        if current is not None:
             self.disconnect(terminal)
-        net.terminals.append(terminal)
-        terminal.net = net
+        self.store.link(terminal._tid, net._nid)
         if self._trackers:
             self._notify("on_connect", terminal, net)
 
     def disconnect(self, terminal: Terminal) -> None:
-        net = terminal.net
+        net = terminal.net  # None for unconnected and for detached pins
         if net is None:
             return
-        net.terminals.remove(terminal)
-        terminal.net = None
+        self.store.unlink(terminal._tid)
         if self._trackers:
             self._notify("on_disconnect", terminal, net)
 
@@ -240,7 +393,12 @@ class Design:
 
     def registers(self) -> list[Cell]:
         """All register cells (single-bit flops, latches, and MBRs)."""
-        return [c for c in self.cells.values() if c.is_register]
+        store = self.store
+        return [
+            store.cell_view(cid)
+            for cid in store.cell_ids.values()
+            if store.cell_is_register(cid)
+        ]
 
     def iter_terminals(self) -> Iterator[Terminal]:
         for cell in self.cells.values():
@@ -248,44 +406,69 @@ class Design:
         yield from self.ports.values()
 
     def clock_nets(self) -> list[Net]:
-        return [n for n in self.nets.values() if n.is_clock]
+        store = self.store
+        return [
+            store.net_view(nid)
+            for nid in store.net_ids.values()
+            if store.net_clock[nid]
+        ]
 
     # -- aggregate metrics ---------------------------------------------------------
 
     def total_cell_area(self) -> float:
-        return sum(c.libcell.area for c in self.cells.values())
+        store = self.store
+        return sum(
+            store.libs[store.cell_lib[cid]].libcell.area
+            for cid in store.cell_ids.values()
+        )
 
     def total_register_count(self) -> int:
         """Number of register *cells* — each MBR counts as one register,
         matching the paper's Table 1 'Total Regs' convention."""
-        return sum(1 for c in self.cells.values() if c.is_register)
+        store = self.store
+        return sum(1 for cid in store.cell_ids.values() if store.cell_is_register(cid))
 
     def total_register_bits(self) -> int:
         """Number of *connected* register bits — invariant under MBR
         composition (an incomplete MBR's spare bits do not count)."""
         from repro.netlist.registers import RegisterView
 
-        return sum(
-            RegisterView(c).connected_bit_count
-            for c in self.cells.values()
-            if c.is_register
-        )
+        return sum(RegisterView(c).connected_bit_count for c in self.registers())
 
     def total_hpwl(self) -> float:
-        return sum(net.hpwl() for net in self.nets.values())
+        store = self.store
+        total = 0.0
+        for nid in store.net_ids.values():
+            box = store.net_bbox(nid)
+            if box is not None:
+                total += (box[2] - box[0]) + (box[3] - box[1])
+        return total
 
     def hpwl_split(self) -> tuple[float, float]:
         """(clock wirelength, other wirelength) — Table 1's two WL columns."""
-        clk = sum(n.hpwl() for n in self.nets.values() if n.is_clock)
-        other = sum(n.hpwl() for n in self.nets.values() if not n.is_clock)
+        store = self.store
+        clk = 0.0
+        other = 0.0
+        for nid in store.net_ids.values():
+            box = store.net_bbox(nid)
+            if box is None:
+                continue
+            hpwl = (box[2] - box[0]) + (box[3] - box[1])
+            if store.net_clock[nid]:
+                clk += hpwl
+            else:
+                other += hpwl
         return clk, other
 
     def width_histogram(self) -> dict[int, int]:
         """Register count per bit width — the data behind the paper's Fig. 5."""
+        store = self.store
         hist: dict[int, int] = {}
-        for c in self.cells.values():
-            if c.is_register:
-                hist[c.width_bits] = hist.get(c.width_bits, 0) + 1
+        for cid in store.cell_ids.values():
+            rec = store.libs[store.cell_lib[cid]]
+            if rec.is_register:
+                width = rec.libcell.width_bits
+                hist[width] = hist.get(width, 0) + 1
         return dict(sorted(hist.items()))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -25,6 +25,8 @@ from repro.obs.manifest import (
     BENCH_HISTORY_DESIGN_KEYS,
     BENCH_HISTORY_KEYS,
     BENCH_HISTORY_SCHEMA,
+    BENCH_MEM_KEYS,
+    BENCH_MEM_SCHEMA,
     BENCH_REQUIRED_KEYS,
     BENCH_SCHEMA,
     MANIFEST_REQUIRED_KEYS,
@@ -32,6 +34,7 @@ from repro.obs.manifest import (
     build_manifest,
     validate_bench,
     validate_bench_history,
+    validate_bench_mem,
     validate_manifest,
     write_manifest,
 )
@@ -62,6 +65,8 @@ __all__ = [
     "BENCH_HISTORY_DESIGN_KEYS",
     "BENCH_HISTORY_KEYS",
     "BENCH_HISTORY_SCHEMA",
+    "BENCH_MEM_KEYS",
+    "BENCH_MEM_SCHEMA",
     "BENCH_REQUIRED_KEYS",
     "BENCH_SCHEMA",
     "COUNT_BUCKETS",
@@ -89,6 +94,7 @@ __all__ = [
     "tracing_enabled",
     "validate_bench",
     "validate_bench_history",
+    "validate_bench_mem",
     "validate_manifest",
     "write_manifest",
 ]

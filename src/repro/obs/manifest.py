@@ -23,6 +23,7 @@ from repro.obs.trace import Tracer, get_tracer
 MANIFEST_SCHEMA = "repro.obs.manifest/1"
 BENCH_SCHEMA = "repro.bench.flow/2"
 BENCH_HISTORY_SCHEMA = "repro.bench.history/1"
+BENCH_MEM_SCHEMA = "repro.bench.mem/1"
 
 #: Top-level keys every manifest must carry (CI fails the run otherwise).
 MANIFEST_REQUIRED_KEYS = (
@@ -65,6 +66,23 @@ BENCH_HISTORY_DESIGN_KEYS = (
     "registers_after",
     "tns",
     "warmstart_hits",
+)
+
+#: Keys of one ``benchmarks/mem_budget.py`` history line — the memory
+#: trajectory of the scale path (``repro.bench.mem/1``).  Records live in
+#: the same ``BENCH_history.jsonl`` as the flow summaries; the ``schema``
+#: field tells the two record kinds apart.
+BENCH_MEM_KEYS = (
+    "schema",
+    "generated_unix",
+    "git_sha",
+    "n_registers",
+    "baseline_registers",
+    "peak_rss_bytes",
+    "bytes_per_register",
+    "marginal_bytes_per_register",
+    "budget_bytes_per_register",
+    "phase_seconds",
 )
 
 #: Expected value shapes inside a bench design entry, enforced by
@@ -230,6 +248,49 @@ def validate_bench_history(record: dict) -> list[str]:
                     f"design {name!r} key {key!r} must be a number, "
                     f"got {type(entry[key]).__name__}"
                 )
+    return errors
+
+
+def validate_bench_mem(record: dict) -> list[str]:
+    """Schema check of one ``repro.bench.mem/1`` history line (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"mem record must be an object, got {type(record).__name__}"]
+    for key in BENCH_MEM_KEYS:
+        if key not in record:
+            errors.append(f"missing required key {key!r}")
+    if record.get("schema") not in (None, BENCH_MEM_SCHEMA):
+        errors.append(
+            f"schema mismatch: {record.get('schema')!r} != {BENCH_MEM_SCHEMA!r}"
+        )
+    for key in (
+        "generated_unix",
+        "n_registers",
+        "baseline_registers",
+        "peak_rss_bytes",
+        "bytes_per_register",
+        "marginal_bytes_per_register",
+        "budget_bytes_per_register",
+    ):
+        if key in record and not _is_number(record[key]):
+            errors.append(f"{key!r} must be a number, got {type(record[key]).__name__}")
+    if "git_sha" in record and not isinstance(record["git_sha"], str):
+        errors.append(
+            f"'git_sha' must be a string, got {type(record['git_sha']).__name__}"
+        )
+    phases = record.get("phase_seconds")
+    if phases is not None:
+        if not isinstance(phases, dict):
+            errors.append(
+                f"'phase_seconds' must be an object, got {type(phases).__name__}"
+            )
+        else:
+            for name, seconds in phases.items():
+                if not _is_number(seconds):
+                    errors.append(
+                        f"phase {name!r} must be a number, "
+                        f"got {type(seconds).__name__}"
+                    )
     return errors
 
 

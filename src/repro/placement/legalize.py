@@ -9,9 +9,9 @@ cells they displace) while everything else acts as fixed obstacles.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 
+from repro.geometry.gridindex import RowIntervals
 from repro.geometry.point import Point
 from repro.netlist.db import Cell
 from repro.netlist.design import Design
@@ -42,77 +42,41 @@ class LegalizeResult:
         return not self.failed
 
 
-class _RowSpace:
-    """Occupied site intervals of one row, kept sorted and disjoint."""
-
-    __slots__ = ("starts", "ends")
-
-    def __init__(self) -> None:
-        self.starts: list[int] = []
-        self.ends: list[int] = []
-
-    def occupy(self, lo: int, hi: int) -> None:
-        i = bisect.bisect_left(self.starts, lo)
-        self.starts.insert(i, lo)
-        self.ends.insert(i, hi)
-
-    def fits(self, lo: int, hi: int) -> bool:
-        """Whether [lo, hi) is free."""
-        i = bisect.bisect_right(self.starts, lo) - 1
-        if i >= 0 and self.ends[i] > lo:
-            return False
-        if i + 1 < len(self.starts) and self.starts[i + 1] < hi:
-            return False
-        return True
-
-    def nearest_fit(self, desired: int, width: int, row_sites: int) -> int | None:
-        """The start site of the free gap placement nearest ``desired``."""
-        best: int | None = None
-        best_cost = float("inf")
-
-        def consider(lo: int, hi: int) -> None:
-            nonlocal best, best_cost
-            if hi - lo < width:
-                return
-            x = min(max(desired, lo), hi - width)
-            cost = abs(x - desired)
-            if cost < best_cost:
-                best, best_cost = x, cost
-
-        prev_end = 0
-        for s, e in zip(self.starts, self.ends):
-            consider(prev_end, s)
-            prev_end = max(prev_end, e)
-        consider(prev_end, row_sites)
-        return best
-
-
 def legalize(
     design: Design,
     rows: PlacementRows,
     movable: list[Cell] | None = None,
     max_displacement: float | None = None,
+    obstacles: list[Cell] | None = None,
 ) -> LegalizeResult:
     """Legalize ``movable`` cells (default: all non-fixed cells) onto rows.
 
     Cells outside ``movable`` — and all ``fixed`` cells — are obstacles.
-    Movable cells are processed in decreasing width (big MBRs first, since
-    they are hardest to seat; the paper notes registers "are larger and often
-    have higher placement priority").  Each cell lands at the free location
+    Passing ``obstacles`` overrides that default with an explicit obstacle
+    set (the generator's register-first pass uses it to legalize registers
+    on a canvas where unplaced combinational cells don't block).  Movable
+    cells are processed in decreasing width (big MBRs first, since they are
+    hardest to seat; the paper notes registers "are larger and often have
+    higher placement priority").  Each cell lands at the free location
     nearest its current position; cells that cannot be seated within
     ``max_displacement`` (when given) are reported in ``failed``.
     """
     result = LegalizeResult()
-    spaces = [_RowSpace() for _ in range(rows.num_rows)]
+    spaces = [RowIntervals() for _ in range(rows.num_rows)]
     movable_set = (
         {c.name for c in movable if not c.fixed}
         if movable is not None
         else {c.name for c in design.cells.values() if not c.fixed}
     )
 
-    for cell in design.cells.values():
-        if cell.name not in movable_set:
-            _occupy_cell(spaces, rows, cell)
+    if obstacles is not None:
+        for cell in obstacles:
+            if cell.name not in movable_set:
+                _occupy_cell(spaces, rows, cell)
+    else:
+        for cell in design.cells.values():
+            if cell.name not in movable_set:
+                _occupy_cell(spaces, rows, cell)
 
     order = sorted(
         (design.cells[name] for name in movable_set),
@@ -131,7 +95,7 @@ def legalize(
     return result
 
 
-def _occupy_cell(spaces: list[_RowSpace], rows: PlacementRows, cell: Cell) -> None:
+def _occupy_cell(spaces: list[RowIntervals], rows: PlacementRows, cell: Cell) -> None:
     """Mark a cell's sites as occupied in every row it touches."""
     fp = cell.footprint
     lo_site = int((fp.xlo - rows.core.xlo) / rows.site_width)
@@ -143,7 +107,7 @@ def _occupy_cell(spaces: list[_RowSpace], rows: PlacementRows, cell: Cell) -> No
 
 
 def _seat(
-    spaces: list[_RowSpace],
+    spaces: list[RowIntervals],
     rows: PlacementRows,
     cell: Cell,
     max_displacement: float | None,
@@ -164,7 +128,7 @@ def _seat(
         for r in candidates:
             if not 0 <= r < rows.num_rows:
                 continue
-            site = spaces[r].nearest_fit(desired_site, width_sites, rows.sites_per_row)
+            site = spaces[r].nearest_gap(desired_site, width_sites, rows.sites_per_row)
             if site is None:
                 continue
             x = rows.core.xlo + site * rows.site_width

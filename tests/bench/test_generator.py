@@ -87,7 +87,7 @@ class TestGeneratedDesign:
 class TestPresets:
     def test_all_presets_distinct_seeds(self):
         seeds = [s.seed for s in PRESETS.values()]
-        assert len(set(seeds)) == 5
+        assert len(set(seeds)) == len(PRESETS)
 
     def test_d4_is_8bit_rich(self):
         assert PRESETS["D4"].width_mix[8] > 3 * PRESETS["D1"].width_mix[8]

@@ -1,0 +1,171 @@
+"""The shared spatial index: grid-bin pair candidates and row gap search."""
+
+import random
+
+import pytest
+
+from repro.geometry.gridindex import GridBinIndex, RowIntervals
+
+
+def _overlap(a, b):
+    return a[0] <= b[2] and b[0] <= a[2] and a[1] <= b[3] and b[1] <= a[3]
+
+
+class TestGridBinIndex:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridBinIndex(0.0)
+
+    def test_pairs_cover_all_true_overlaps(self):
+        rng = random.Random(7)
+        rects = []
+        for _ in range(120):
+            x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+            rects.append((x, y, x + rng.uniform(0, 8), y + rng.uniform(0, 8)))
+        index = GridBinIndex(5.0)
+        for r in rects:
+            index.add(*r)
+        pairs = set(index.candidate_pairs())
+        truth = {
+            (i, j)
+            for i in range(len(rects))
+            for j in range(i + 1, len(rects))
+            if _overlap(rects[i], rects[j])
+        }
+        # The grid is a filter: it may propose bin-sharing non-overlaps,
+        # but it must never miss a genuinely overlapping pair.
+        assert truth <= pairs
+
+    def test_pairs_are_emitted_exactly_once(self):
+        index = GridBinIndex(1.0)
+        # Two wide rectangles sharing many bins must still pair up once.
+        index.add(0.0, 0.0, 10.0, 0.5)
+        index.add(0.0, 0.2, 10.0, 0.7)
+        assert list(index.candidate_pairs()) == [(0, 1)]
+
+    def test_pair_order_is_insertion_deterministic(self):
+        def build():
+            index = GridBinIndex(2.0)
+            for k in range(40):
+                x = (k * 7) % 13
+                index.add(x, k % 5, x + 3.0, k % 5 + 2.5)
+            return list(index.candidate_pairs())
+
+        assert build() == build()
+
+    def test_query_superset_and_unique(self):
+        index = GridBinIndex(4.0)
+        rects = [(0, 0, 2, 2), (5, 5, 7, 7), (1, 1, 6, 6), (30, 30, 31, 31)]
+        for r in rects:
+            index.add(*r)
+        hits = list(index.query(0.5, 0.5, 5.5, 5.5))
+        assert len(hits) == len(set(hits))
+        truth = {i for i, r in enumerate(rects) if _overlap(r, (0.5, 0.5, 5.5, 5.5))}
+        assert truth <= set(hits)
+        assert 3 not in set(hits)
+
+    def test_negative_coordinates(self):
+        index = GridBinIndex(3.0)
+        index.add(-10.0, -10.0, -8.0, -8.0)
+        index.add(-9.0, -9.0, -7.0, -7.0)
+        assert list(index.candidate_pairs()) == [(0, 1)]
+
+
+class _NaiveRow:
+    """Reference: gaps by linear scan, first-best wins (the old legalizer)."""
+
+    def __init__(self):
+        self.spans = []
+
+    def occupy(self, lo, hi):
+        self.spans.append((lo, hi))
+        self.spans.sort()
+
+    def nearest_gap(self, desired, width, limit):
+        best, best_cost = None, None
+        prev_end = 0
+        gaps = []
+        for s, e in self.spans:
+            gaps.append((prev_end, s))
+            prev_end = max(prev_end, e)
+        gaps.append((prev_end, limit))
+        for lo, hi in gaps:
+            if hi - lo < width:
+                continue
+            x = min(max(desired, lo), hi - width)
+            cost = abs(x - desired)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = x, cost
+        return best
+
+
+class TestRowIntervals:
+    def test_occupy_merges_overlaps(self):
+        row = RowIntervals()
+        row.occupy(10, 20)
+        row.occupy(30, 40)
+        row.occupy(15, 35)  # bridges both
+        assert list(row.intervals()) == [(10, 40)]
+
+    def test_occupy_merges_touching(self):
+        row = RowIntervals()
+        row.occupy(0, 5)
+        row.occupy(5, 8)
+        assert list(row.intervals()) == [(0, 8)]
+
+    def test_fits(self):
+        row = RowIntervals()
+        row.occupy(10, 20)
+        assert row.fits(0, 10)
+        assert row.fits(20, 25)
+        assert not row.fits(5, 11)
+        assert not row.fits(19, 22)
+        assert not row.fits(12, 15)
+
+    def test_fits_is_exact_with_overlapping_inserts(self):
+        # Overlapping occupies used to leave the interval list inconsistent;
+        # merged storage keeps ``fits`` exact.
+        row = RowIntervals()
+        row.occupy(0, 10)
+        row.occupy(2, 4)
+        assert not row.fits(5, 7)
+
+    def test_nearest_gap_basic(self):
+        row = RowIntervals()
+        row.occupy(10, 20)
+        # Desired inside the occupied interval: nearer edge wins; the tie
+        # (dist 2 left at start 8 vs dist 8 right) is not a tie at all.
+        assert row.nearest_gap(12, 2, 100) == 8
+        assert row.nearest_gap(19, 2, 100) == 20
+        assert row.nearest_gap(0, 5, 100) == 0
+
+    def test_nearest_gap_tie_prefers_left(self):
+        row = RowIntervals()
+        row.occupy(4, 8)
+        # width 2, desired 5: left gap places at 2 (cost 3), right gap at 8
+        # (cost 3) — a genuine tie, and the leftmost placement must win,
+        # matching the old first-encountered-wins linear scan.
+        assert row.nearest_gap(5, 2, 20) == 2
+
+    def test_nearest_gap_none_when_full(self):
+        row = RowIntervals()
+        row.occupy(0, 50)
+        assert row.nearest_gap(10, 1, 50) is None
+        assert row.nearest_gap(10, 60, 50) is None
+
+    def test_matches_linear_reference_randomized(self):
+        rng = random.Random(13)
+        for _ in range(200):
+            limit = rng.randrange(20, 120)
+            row, ref = RowIntervals(), _NaiveRow()
+            for _ in range(rng.randrange(0, 12)):
+                lo = rng.randrange(0, limit - 1)
+                hi = lo + rng.randrange(1, 12)
+                row.occupy(lo, min(hi, limit))
+                ref.occupy(lo, min(hi, limit))
+            for _ in range(8):
+                desired = rng.randrange(-5, limit + 5)
+                width = rng.randrange(1, 10)
+                assert row.nearest_gap(desired, width, limit) == ref.nearest_gap(
+                    desired, width, limit
+                ), (list(row.intervals()), desired, width, limit)

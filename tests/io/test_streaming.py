@@ -1,0 +1,209 @@
+"""Streaming parser coverage: round-trips at scale and malformed inputs.
+
+``tests/io/test_roundtrip.py`` checks small hand-built designs survive a
+write/read cycle.  Here the writers and single-pass readers face (a) a
+generated design large enough to exercise the store's growth/interning
+paths with the connectivity oracle as the equality judge, and (b) the
+error paths: every parser must reject corrupt input with a message that
+names the file, line, and offending construct.
+"""
+
+import pytest
+
+from repro.bench import generate_design, preset
+from repro.check.invariants import check_design
+from repro.check.oracles import bit_connectivity_signature
+from repro.io import (
+    read_def,
+    read_liberty,
+    read_verilog,
+    write_def,
+    write_liberty,
+    write_verilog,
+)
+from repro.library import default_library
+from repro.netlist import Design
+from repro.placement import design_hpwl
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    # ``huge`` scaled down: same all-banked topology as the million-register
+    # preset (clusters, scan chains, datapaths), small enough for CI.
+    return generate_design(preset("huge", scale=0.002), default_library())
+
+
+class TestScaleRoundTrip:
+    def test_verilog_def_round_trip_preserves_connectivity(self, bundle, tmp_path):
+        design = bundle.design
+        v, d = tmp_path / "a.v", tmp_path / "a.def"
+        write_verilog(design, v)
+        write_def(design, d)
+        parsed = read_verilog(v, design.library)
+        read_def(d, parsed)
+
+        assert len(parsed.cells) == len(design.cells)
+        assert len(parsed.nets) == len(design.nets)
+        assert len(parsed.ports) == len(design.ports)
+        assert check_design(parsed) == []
+        assert bit_connectivity_signature(parsed) == bit_connectivity_signature(design)
+        assert design_hpwl(parsed) == pytest.approx(design_hpwl(design), rel=1e-9)
+
+    def test_liberty_round_trip_carries_every_cell(self, bundle, tmp_path):
+        library = bundle.design.library
+        path = tmp_path / "lib.lib"
+        write_liberty(library, path)
+        again = read_liberty(path)
+        assert sorted(c.name for c in again.cells()) == sorted(
+            c.name for c in library.cells()
+        )
+        assert again.technology.row_height == library.technology.row_height
+
+    def test_second_generation_is_reproducible(self, bundle):
+        twin = generate_design(preset("huge", scale=0.002), default_library())
+        assert bit_connectivity_signature(twin.design) == bit_connectivity_signature(
+            bundle.design
+        )
+
+
+def _write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+GOOD_HEADER = """\
+module top (clk);
+  input clk;
+  wire n1;
+"""
+
+
+class TestVerilogErrors:
+    def test_unknown_library_cell(self, tmp_path):
+        p = _write(tmp_path, "a.v", GOOD_HEADER + "  NOPE_X9 u1 ( .A(n1) );\nendmodule\n")
+        with pytest.raises(ValueError, match=r"a\.v:4: unknown library cell 'NOPE_X9'"):
+            read_verilog(p, default_library())
+
+    def test_unknown_pin(self, tmp_path):
+        p = _write(tmp_path, "a.v", GOOD_HEADER + "  INV_X1 u1 ( .ZZ(n1) );\nendmodule\n")
+        with pytest.raises(ValueError, match=r"has no pin 'ZZ'"):
+            read_verilog(p, default_library())
+
+    def test_undeclared_net(self, tmp_path):
+        p = _write(tmp_path, "a.v", GOOD_HEADER + "  INV_X1 u1 ( .A(ghost) );\nendmodule\n")
+        with pytest.raises(ValueError, match=r"references undeclared net 'ghost'"):
+            read_verilog(p, default_library())
+
+    def test_double_connection(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.v",
+            GOOD_HEADER + "  INV_X1 u1 ( .A(n1), .A(clk) );\nendmodule\n",
+        )
+        with pytest.raises(ValueError, match=r"pin 'A' of instance 'u1' is connected twice"):
+            read_verilog(p, default_library())
+
+    def test_declaration_after_instance(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.v",
+            GOOD_HEADER + "  INV_X1 u1 ( .A(n1) );\n  wire late;\nendmodule\n",
+        )
+        with pytest.raises(ValueError, match=r"declaration after first instance"):
+            read_verilog(p, default_library())
+
+    def test_no_module(self, tmp_path):
+        p = _write(tmp_path, "a.v", "// just a comment\n")
+        with pytest.raises(ValueError, match=r"no module found"):
+            read_verilog(p, default_library())
+
+
+@pytest.fixture
+def placed_design(lib):
+    from repro.geometry import Point, Rect
+    from repro.library.cells import PinDirection
+
+    d = Design("top", lib, Rect(0, 0, 10, 10))
+    d.add_cell("u1", "INV_X1", Point(1, 1))
+    port = d.add_port("clk", PinDirection.INPUT, Point(0, 5))
+    d.connect(port, d.add_net("clk", is_clock=True))
+    return d
+
+
+class TestDefErrors:
+    def test_unknown_component(self, placed_design, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.def",
+            "DIEAREA ( 0 0 ) ( 10000 10000 ) ;\nCOMPONENTS 1 ;\n"
+            "  - ghost INV_X1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\n",
+        )
+        with pytest.raises(ValueError, match=r"component 'ghost' is not in the netlist"):
+            read_def(p, placed_design)
+
+    def test_libcell_mismatch(self, placed_design, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.def",
+            "DIEAREA ( 0 0 ) ( 10000 10000 ) ;\nCOMPONENTS 1 ;\n"
+            "  - u1 NAND2_X1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\n",
+        )
+        with pytest.raises(ValueError, match=r"u1 is NAND2_X1 in DEF but INV_X1"):
+            read_def(p, placed_design)
+
+    def test_unknown_pin(self, placed_design, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.def",
+            "DIEAREA ( 0 0 ) ( 10000 10000 ) ;\nPINS 1 ;\n"
+            "  - ghost + NET ghost + DIRECTION INPUT + PLACED ( 0 0 ) N ;\nEND PINS\n",
+        )
+        with pytest.raises(ValueError, match=r"pin 'ghost' is not a port of the netlist"):
+            read_def(p, placed_design)
+
+    def test_missing_diearea(self, placed_design, tmp_path):
+        p = _write(tmp_path, "a.def", "VERSION 5.8 ;\nEND DESIGN\n")
+        with pytest.raises(ValueError, match=r"missing DIEAREA"):
+            read_def(p, placed_design)
+
+
+class TestLibertyErrors:
+    def test_cell_outside_library(self, tmp_path):
+        p = _write(tmp_path, "a.lib", "cell (INV_X1) {\n}\n")
+        with pytest.raises(ValueError, match=r"cell outside library"):
+            read_liberty(p)
+
+    def test_pin_outside_cell(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.lib",
+            'library (l) {\n  pin (A) { direction : input; capacitance : 1; '
+            "offset : (0,0); }\n}\n",
+        )
+        with pytest.raises(ValueError, match=r"pin outside cell"):
+            read_liberty(p)
+
+    def test_missing_cell_attribute(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.lib",
+            "library (l) {\n  cell (X) {\n    area : 1.0;\n  }\n}\n",
+        )
+        with pytest.raises(ValueError, match=r"cell 'X' is missing required attribute"):
+            read_liberty(p)
+
+    def test_malformed_pin(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "a.lib",
+            "library (l) {\n  cell (X) {\n    area : 1.0; class : combinational;\n"
+            "    pin (A) { direction : input; }\n  }\n}\n",
+        )
+        with pytest.raises(ValueError, match=r"pin 'A' is missing direction/capacitance/offset"):
+            read_liberty(p)
+
+    def test_not_a_liberty_file(self, tmp_path):
+        p = _write(tmp_path, "a.lib", "// nothing here\n")
+        with pytest.raises(ValueError, match=r"not a liberty-subset file"):
+            read_liberty(p)

@@ -1,0 +1,186 @@
+"""Slotted-store unit tests: interning, free-lists, terminal lists, views.
+
+``tests/netlist/test_db.py`` exercises the flyweight API surface; these
+tests pin down the :class:`~repro.netlist.store.NetlistStore` mechanics
+underneath it — the parts the higher-level suites only hit indirectly.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Design
+from repro.netlist.store import NO_ID
+
+
+def make_design(lib):
+    return Design("t", lib, Rect(0, 0, 100, 100))
+
+
+class TestInterning:
+    def test_libcell_interned_once(self, lib):
+        d = make_design(lib)
+        a = d.add_cell("u1", "INV_X1")
+        b = d.add_cell("u2", "INV_X1")
+        store = d.store
+        assert store.cell_lib[a._cid] == store.cell_lib[b._cid]
+        rec = store.libs[store.cell_lib[a._cid]]
+        assert rec.libcell is a.libcell
+        assert rec.pin_index == {p.name: i for i, p in enumerate(rec.pins)}
+
+    def test_register_record_flags(self, lib):
+        d = make_design(lib)
+        ff = d.add_cell("ff", "DFF_R_X1")
+        inv = d.add_cell("i", "INV_X1")
+        store = d.store
+        assert store.cell_is_register(ff._cid)
+        assert not store.cell_is_register(inv._cid)
+
+
+class TestFreeLists:
+    def test_cell_slot_and_pin_block_recycled(self, lib):
+        d = make_design(lib)
+        a = d.add_cell("u1", "INV_X1")
+        cid, pin0 = a._cid, int(d.store.cell_pin0[a._cid])
+        d.remove_cell(a)
+        b = d.add_cell("u2", "INV_X1")  # same pin-block size: reuse
+        assert b._cid == cid
+        assert int(d.store.cell_pin0[b._cid]) == pin0
+
+    def test_recycled_block_starts_unconnected(self, lib):
+        d = make_design(lib)
+        a = d.add_cell("u1", "INV_X1")
+        n = d.add_net("n1")
+        d.connect(a.pin("A"), n)
+        d.remove_cell(a)
+        b = d.add_cell("u2", "INV_X1")
+        assert b.pin("A").net is None
+        assert n.terminals == []
+
+    def test_net_id_recycled(self, lib):
+        d = make_design(lib)
+        n = d.add_net("n1")
+        nid = n._nid
+        d.remove_net(n)
+        m = d.add_net("n2")
+        assert m._nid == nid
+
+
+class TestTerminalList:
+    def test_order_is_connection_order(self, lib):
+        d = make_design(lib)
+        n = d.add_net("n")
+        cells = [d.add_cell(f"u{i}", "INV_X1") for i in range(5)]
+        for c in cells:
+            d.connect(c.pin("A"), n)
+        assert [t.cell.name for t in n.terminals] == [c.name for c in cells]
+
+    @pytest.mark.parametrize("victim", [0, 2, 4])
+    def test_unlink_keeps_order(self, lib, victim):
+        d = make_design(lib)
+        n = d.add_net("n")
+        cells = [d.add_cell(f"u{i}", "INV_X1") for i in range(5)]
+        for c in cells:
+            d.connect(c.pin("A"), n)
+        d.disconnect(cells[victim].pin("A"))
+        expect = [c.name for i, c in enumerate(cells) if i != victim]
+        assert [t.cell.name for t in n.terminals] == expect
+
+    def test_link_unlink_storm_matches_list_model(self, lib):
+        d = make_design(lib)
+        n = d.add_net("n")
+        cells = [d.add_cell(f"u{i}", "INV_X1") for i in range(12)]
+        model: list[str] = []
+        rng = random.Random(23)
+        for _ in range(400):
+            c = rng.choice(cells)
+            if c.pin("A").net is None:
+                d.connect(c.pin("A"), n)
+                model.append(c.name)
+            else:
+                d.disconnect(c.pin("A"))
+                model.remove(c.name)
+            assert [t.cell.name for t in n.terminals] == model
+            # Doubly-linked integrity: walking the list forward agrees
+            # with the stored count and every node's prev pointer.
+            store, prev = d.store, NO_ID
+            count = 0
+            tid = int(store.net_head[n._nid])
+            while tid != NO_ID:
+                assert store._get_prev(tid) == prev
+                prev, tid = tid, store._get_next(tid)
+                count += 1
+            assert count == int(store.net_count[n._nid]) == len(model)
+            assert int(store.net_tail[n._nid]) == prev
+
+    def test_free_net_clears_terminals(self, lib):
+        d = make_design(lib)
+        n = d.add_net("n")
+        c = d.add_cell("u1", "INV_X1")
+        d.connect(c.pin("A"), n)
+        d.remove_net(n)
+        assert c.pin("A").net is None
+
+
+class TestViews:
+    def test_views_are_canonical(self, lib):
+        d = make_design(lib)
+        c = d.add_cell("u1", "INV_X1")
+        assert d.cells["u1"] is c
+        assert c.pin("A") is c.pin("A")
+        n = d.add_net("n")
+        assert d.nets["n"] is n
+
+    def test_removed_cell_view_detaches(self, lib):
+        d = make_design(lib)
+        c = d.add_cell("u1", "INV_X1", Point(3, 4))
+        n = d.add_net("n")
+        d.connect(c.pin("A"), n)
+        pin = c.pin("A")
+        d.remove_cell(c)
+        # The stale handles stay readable but report disconnection.
+        assert c.name == "u1"
+        assert c.libcell.name == "INV_X1"
+        assert c.origin == Point(3, 4)
+        assert pin.net is None
+
+    def test_detached_view_does_not_alias_slot_reuse(self, lib):
+        d = make_design(lib)
+        c = d.add_cell("u1", "INV_X1", Point(3, 4))
+        d.remove_cell(c)
+        fresh = d.add_cell("u2", "INV_X1", Point(9, 9))  # reuses the slot
+        assert c.name == "u1" and c.origin == Point(3, 4)
+        assert fresh.name == "u2" and fresh.origin == Point(9, 9)
+
+
+class TestGeometry:
+    def test_net_bbox_and_exclude(self, lib):
+        d = make_design(lib)
+        n = d.add_net("n")
+        a = d.add_cell("a", "INV_X1", Point(0, 0))
+        b = d.add_cell("b", "INV_X1", Point(10, 20))
+        d.connect(a.pin("A"), n)
+        d.connect(b.pin("A"), n)
+        full = n.bbox()
+        assert full is not None
+        without_b = n.bbox(exclude=b.pin("A"))
+        pin_a = a.pin("A").location
+        assert without_b.xlo == pytest.approx(pin_a.x)
+        assert without_b.yhi == pytest.approx(pin_a.y)
+
+    def test_clone_preserves_connectivity_and_positions(self, lib):
+        from repro.check.oracles import bit_connectivity_signature
+
+        d = make_design(lib)
+        clk = d.add_net("clk", is_clock=True)
+        data = d.add_net("d0")
+        q = d.add_net("q0")
+        ff = d.add_cell("ff", "DFF_R_X1", Point(5, 5))
+        d.connect(ff.pin("CK"), clk)
+        d.connect(ff.pin("D"), data)
+        d.connect(ff.pin("Q"), q)
+        twin = d.clone()
+        assert bit_connectivity_signature(twin) == bit_connectivity_signature(d)
+        assert twin.cells["ff"].origin == Point(5, 5)
+        assert twin.cells["ff"] is not d.cells["ff"]
