@@ -56,6 +56,26 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+def git_dirty() -> bool:
+    """Whether the working tree differs from HEAD (``False`` outside git).
+
+    Stamped into every emitted payload: a trajectory point produced from
+    uncommitted code cannot be reproduced from its ``git_sha``, and the
+    regression sentinel's baselines deserve to know.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            cwd=_REPO_DIR,
+            timeout=10,
+        )
+    except OSError:  # pragma: no cover - no git binary
+        return False
+    return out.returncode == 0 and bool(out.stdout.strip())
+
+
 def _eco_warmstart_demo(name: str, scale: float, library) -> dict:
     """Repeated ``EcoSession.recompose`` over one session cache.
 
@@ -133,6 +153,7 @@ def history_record(data: dict) -> dict:
         "schema": obs.BENCH_HISTORY_SCHEMA,
         "generated_unix": data["generated_unix"],
         "git_sha": data["git_sha"],
+        "git_dirty": data.get("git_dirty", False),
         "scale": data["scale"],
         "designs": {
             name: {
@@ -147,11 +168,26 @@ def history_record(data: dict) -> dict:
     }
 
 
-def append_history(data: dict, path: str) -> dict:
+def append_history(data: dict, path: str, force: bool = False) -> dict:
+    """Append one summary line; refuses a stale-SHA line unless ``force``.
+
+    The committed ``BENCH_flow.json`` once carried the seed SHA despite
+    being emitted several PRs later — a line like that poisons the
+    sentinel's rolling baselines with numbers no commit can reproduce.
+    The append therefore requires the payload's ``git_sha`` to match the
+    checkout's current HEAD (skipped outside a git checkout).
+    """
     record = history_record(data)
     problems = obs.validate_bench_history(record)
     if problems:  # pragma: no cover - emit satisfies its own schema
         raise SystemExit("invalid history record: " + "; ".join(problems))
+    head = git_sha()
+    if not force and head != "unknown" and record["git_sha"] != head:
+        raise SystemExit(
+            f"refusing to append stale history line: payload git_sha "
+            f"{record['git_sha']!r} != current HEAD {head!r} "
+            f"(re-emit at HEAD, or pass --force to append anyway)"
+        )
     with open(path, "a", encoding="utf-8") as fh:
         json.dump(record, fh, separators=(",", ":"), sort_keys=True)
         fh.write("\n")
@@ -163,6 +199,7 @@ def emit(designs: list[str], scale: float, out: str, workers: int = 1) -> dict:
         "schema": obs.BENCH_SCHEMA,
         "generated_unix": round(time.time(), 3),
         "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
         "scale": scale,
         "designs": {d: run_design(d, scale, workers) for d in designs},
     }
@@ -225,6 +262,12 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the BENCH_history.jsonl append",
     )
     ap.add_argument(
+        "--force",
+        action="store_true",
+        help="append the history line even when its git_sha does not "
+        "match the checkout's current HEAD",
+    )
+    ap.add_argument(
         "--validate",
         metavar="PATH",
         help="validate an existing bench snapshot (.json) or history log "
@@ -250,7 +293,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"wrote {args.out} (git {data['git_sha']})")
     if not args.no_history:
-        append_history(data, args.history)
+        append_history(data, args.history, force=args.force)
         print(f"appended {args.history}")
     return 0
 

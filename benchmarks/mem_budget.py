@@ -196,6 +196,21 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+def git_dirty() -> bool:
+    """Whether the working tree differs from HEAD (``False`` outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            cwd=_REPO_DIR,
+            timeout=10,
+        )
+    except OSError:  # pragma: no cover - no git binary
+        return False
+    return out.returncode == 0 and bool(out.stdout.strip())
+
+
 def run_benchmark(
     n_registers: int,
     baseline_registers: int,
@@ -218,6 +233,7 @@ def run_benchmark(
         "schema": BENCH_MEM_SCHEMA,
         "generated_unix": round(time.time(), 3),
         "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
         "n_registers": n_registers,
         "baseline_registers": baseline_registers,
         "peak_rss_bytes": full["peak_rss_bytes"],

@@ -7,10 +7,13 @@ stage (default: D1 ``compose``) is more than ``--max-regress`` slower than
 the baseline.  Both files must validate against ``repro.bench.flow/2``
 before any numbers are trusted.
 
-The band is deliberately wide (25% by default): CI runners and the
-machines that produced the committed baseline differ, so this is a smoke
-test for gross regressions (an accidentally quadratic loop, a dropped
-cache), not a microbenchmark.
+The band comes from the repo's ``bench_policy.json`` (the ``perf_smoke``
+block) — one file owns every performance threshold, shared with the
+trajectory sentinel behind ``repro bench report`` — and is deliberately
+wide (25%): CI runners and the machines that produced the committed
+baseline differ, so this is a smoke test for gross regressions (an
+accidentally quadratic loop, a dropped cache), not a microbenchmark.
+``--max-regress`` overrides the policy for one-off runs.
 
 Usage::
 
@@ -25,6 +28,27 @@ import json
 import sys
 
 from repro.obs import validate_bench
+from repro.obs.sentinel import Policy, default_policy_path, load_policy
+
+#: Last-resort band when no policy file exists (matches the shipped
+#: bench_policy.json's perf_smoke block).
+FALLBACK_MAX_REGRESS = 0.25
+
+
+def policy_max_regress(policy_path: str | None = None) -> float:
+    """The smoke band from ``bench_policy.json``'s ``perf_smoke`` block."""
+    path = policy_path if policy_path is not None else default_policy_path()
+    try:
+        policy = load_policy(path)
+    except FileNotFoundError:
+        policy = Policy()
+    value = policy.perf_smoke.get("max_regress", FALLBACK_MAX_REGRESS)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+        raise SystemExit(
+            f"{path}: perf_smoke.max_regress must be a non-negative number, "
+            f"got {value!r}"
+        )
+    return float(value)
 
 
 def load_bench(path: str) -> dict:
@@ -79,18 +103,28 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--design", default="D1")
     ap.add_argument("--stage", default="compose")
     ap.add_argument(
+        "--policy",
+        help="bench_policy.json to read the perf_smoke band from "
+        "(default: the repo's checked-in policy)",
+    )
+    ap.add_argument(
         "--max-regress",
         type=float,
-        default=0.25,
-        help="allowed fractional slowdown before failing (default 0.25)",
+        default=None,
+        help="override the policy's allowed fractional slowdown",
     )
     args = ap.parse_args(argv)
+    max_regress = (
+        args.max_regress
+        if args.max_regress is not None
+        else policy_max_regress(args.policy)
+    )
     code, message = compare(
         load_bench(args.baseline),
         load_bench(args.candidate),
         args.design,
         args.stage,
-        args.max_regress,
+        max_regress,
     )
     print(message)
     return code

@@ -8,6 +8,13 @@ shared no-op context manager), count how many spans a real traced D1
 flow actually opens, and require ``per_site_cost x span_count`` to stay
 under 2% of the untraced flow's wall time.  That is the exact overhead a
 disabled run pays relative to uninstrumented code.
+
+The profiler/heartbeat hook sites added by the performance-intelligence
+layer are held to the same standard: with neither installed, a hook site
+is a module-global load plus a ``None`` test, and the pipeline opens one
+pair of heartbeat hooks per stage plus one profiler check per
+``solve_subproblems`` fan-in — orders of magnitude fewer sites than
+spans, so the combined disabled cost stays inside the same 2% bound.
 """
 
 from __future__ import annotations
@@ -38,6 +45,28 @@ def _disabled_site_cost_s() -> float:
     return samples[2]
 
 
+def _disabled_hook_cost_s() -> float:
+    """Seconds one disabled profiler/heartbeat hook site costs (median of 5).
+
+    A hook site is ``obs.get_profiler()``/``obs.get_heartbeat()``
+    returning ``None`` plus the ``is not None`` test — the exact code the
+    pipeline and ``solve_subproblems`` execute when the performance
+    intelligence layer is not installed.
+    """
+    assert obs.get_profiler() is None and obs.get_heartbeat() is None
+    samples = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(_SITE_CALLS):
+            if obs.get_profiler() is not None:  # pragma: no cover
+                raise AssertionError
+            if obs.get_heartbeat() is not None:  # pragma: no cover
+                raise AssertionError
+        samples.append((time.perf_counter() - t0) / _SITE_CALLS)
+    samples.sort()
+    return samples[2]
+
+
 class TestDisabledOverhead:
     def test_disabled_flow_overhead_under_two_percent(self):
         lib = default_library()
@@ -52,6 +81,8 @@ class TestDisabledOverhead:
             flow_seconds = time.perf_counter() - t0
             site_cost = _disabled_site_cost_s()
 
+            hook_cost = _disabled_hook_cost_s()
+
             # Traced flow on a fresh bundle: how many spans the same run opens.
             tracer = obs.install_tracer(enabled=True)
             bundle = generate_design(preset("D1", scale=BENCH_SCALE), lib)
@@ -62,10 +93,15 @@ class TestDisabledOverhead:
             obs.set_registry(prev_registry)
 
         assert span_count > 10  # the flow is actually instrumented
-        overhead = site_cost * span_count
+        # Heartbeat/profiler hook sites are bounded by span count: at most
+        # two heartbeat hooks per stage span plus one profiler check per
+        # solve fan-in, and every such site sits inside a span.
+        hook_sites = 2 * span_count
+        overhead = site_cost * span_count + hook_cost * hook_sites
         assert overhead < 0.02 * flow_seconds, (
             f"disabled-observability overhead {overhead * 1e3:.3f}ms "
-            f"({span_count} spans x {site_cost * 1e9:.0f}ns) exceeds 2% of "
+            f"({span_count} spans x {site_cost * 1e9:.0f}ns + {hook_sites} "
+            f"hooks x {hook_cost * 1e9:.0f}ns) exceeds 2% of "
             f"the {flow_seconds:.3f}s flow"
         )
 
@@ -75,3 +111,9 @@ class TestDisabledOverhead:
             assert obs.span("a") is obs.span("b")
         finally:
             obs.set_tracer(prev)
+
+    def test_profiler_and_heartbeat_absent_by_default(self):
+        # The hook-site accounting above is only valid if nothing installs
+        # a profiler/heartbeat behind the flow's back.
+        assert obs.get_profiler() is None
+        assert obs.get_heartbeat() is None

@@ -12,6 +12,9 @@ Usage::
     python -m repro.cli report --lib repro28.lib --verilog d.v --def d.def --period 1.2
     python -m repro.cli eco --preset D1 --moves 20 [--audit]
     python -m repro.cli check --preset D1 --storms 5 --seed 7 [--replay f.json]
+    python -m repro.cli bench report [--history BENCH_history.jsonl] [--check]
+    python -m repro.cli obs critical-path trace.json
+    python -m repro.cli obs diff manifest_a.json manifest_b.json
 
 ``run`` executes the full flow on a synthetic preset (no files needed)
 and can export the observability artifacts: ``--trace-out`` writes a
@@ -31,11 +34,21 @@ differential oracle armed (``repro.check``): exit 0 when clean, else a
 violation report plus a deterministic reproducer JSON that ``--replay``
 re-executes.  Structured run logs are available everywhere via
 ``REPRO_LOG=1`` (text) / ``REPRO_LOG_JSON=1`` (JSON lines).
+
+Performance intelligence: ``--profile out.folded`` (or
+``REPRO_PROFILE=1``) samples the run's span stacks into a
+collapsed-stack flamegraph file; ``--progress`` (or ``REPRO_PROGRESS=1``)
+emits heartbeat progress events with ETA on stderr; ``bench report``
+judges the ``BENCH_history.jsonl`` trajectories against
+``bench_policy.json`` (``--check`` is the CI regression gate); ``obs
+critical-path`` / ``obs diff`` analyze exported traces and manifests.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
 import sys
 import time
@@ -70,13 +83,37 @@ def _load(args):
 
 def _install_obs(args) -> None:
     """Run-scoped observability: fresh registry always; tracer only when an
-    artifact that needs spans was requested (tracing off = near-zero cost)."""
+    artifact that needs spans was requested (tracing off = near-zero cost).
+
+    ``--profile`` (or ``REPRO_PROFILE=1``/``=path``) additionally starts
+    the sampling profiler — which needs spans, so it forces the tracer
+    on.  ``--progress`` (or ``REPRO_PROGRESS=1``) starts the heartbeat
+    emitter on stderr; the RSS/CPU resource sampler runs whenever a
+    manifest or progress was requested, so long runs leave a timeline.
+    """
+    from repro.obs.profile import (
+        default_profile_path,
+        profile_env_enabled,
+        progress_env_enabled,
+    )
+
     obs.configure_logging()
     obs.set_registry(obs.MetricsRegistry())
-    traced = bool(
-        getattr(args, "trace_out", None) or getattr(args, "manifest_out", None)
-    )
+    manifest_out = getattr(args, "manifest_out", None)
+    profile_out = getattr(args, "profile", None)
+    if not profile_out and profile_env_enabled():
+        profile_out = default_profile_path()
+    args.profile_out = profile_out
+    progress_on = bool(getattr(args, "progress", False) or progress_env_enabled())
+    traced = bool(getattr(args, "trace_out", None) or manifest_out or profile_out)
     obs.install_tracer(enabled=traced)
+    if profile_out:
+        obs.install_profiler()
+    if progress_on or manifest_out:
+        args._resources = obs.ResourceSampler().start()
+        hb = obs.Heartbeat(stream=sys.stderr if progress_on else None)
+        obs.set_heartbeat(hb)
+        hb.start()
 
 
 def _flow_summary(report) -> dict:
@@ -96,16 +133,43 @@ def _flow_summary(report) -> dict:
 
 
 def _export_obs(args, design_name: str, config=None, flow: dict | None = None) -> None:
-    """Write ``--trace-out`` / ``--manifest-out`` artifacts if requested."""
+    """Write ``--trace-out``/``--manifest-out``/``--profile`` artifacts."""
     tracer = obs.get_tracer()
     trace_out = getattr(args, "trace_out", None)
     manifest_out = getattr(args, "manifest_out", None)
+    profiler = obs.set_profiler(None)
+    if profiler is not None:
+        profiler.stop()
+        stacks = profiler.write_folded(args.profile_out)
+        print(
+            f"wrote folded profile: {args.profile_out} "
+            f"({stacks} stacks, {profiler.total_samples} samples, "
+            f"{profiler.idle_samples} idle)"
+        )
+    heartbeat = obs.set_heartbeat(None)
+    progress = None
+    if heartbeat is not None:
+        heartbeat.stop()
+        progress = heartbeat.as_dict()
+    sampler = getattr(args, "_resources", None)
+    resources = None
+    if sampler is not None:
+        sampler.stop()
+        resources = sampler.as_dict()
+        print(
+            f"resources: peak RSS {resources['peak_rss_bytes'] / 1e6:.1f} MB "
+            f"over {resources['samples']} samples"
+        )
     if trace_out and tracer is not None:
         tracer.write_chrome_trace(trace_out)
         print(f"wrote Chrome trace: {trace_out} ({len(tracer.records())} spans)")
     if manifest_out:
         manifest = obs.build_manifest(
-            {"name": design_name}, config=config, flow=flow
+            {"name": design_name},
+            config=config,
+            flow=flow,
+            resources=resources,
+            progress=progress,
         )
         obs.write_manifest(manifest_out, manifest)
         print(f"wrote run manifest: {manifest_out}")
@@ -259,6 +323,7 @@ def cmd_eco(args) -> int:
             f"  ({frac:.1%} recomputed)"
         )
     print(_cache_efficiency_line())
+    _export_obs(args, f"eco-{args.preset}")
     return 0
 
 
@@ -335,6 +400,71 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench_report(args) -> int:
+    """The regression sentinel: judge every ``BENCH_history.jsonl``
+    trajectory against ``bench_policy.json``; ``--check`` makes any
+    regression a nonzero exit (the CI gate)."""
+    from repro.obs import sentinel
+
+    policy_path = args.policy or sentinel.default_policy_path()
+    if os.path.exists(policy_path):
+        policy = sentinel.load_policy(policy_path)
+    elif args.policy:
+        print(f"policy file not found: {policy_path}", file=sys.stderr)
+        return 2
+    else:
+        policy = sentinel.Policy()
+    try:
+        records = sentinel.load_history(args.history)
+    except FileNotFoundError:
+        print(f"history file not found: {args.history}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = sentinel.evaluate_history(records, policy)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote report JSON: {args.json_out}")
+    print(report.format())
+    return 1 if (args.check and not report.ok) else 0
+
+
+def cmd_obs_critical_path(args) -> int:
+    """Longest self-time chain through a Chrome trace's span tree."""
+    from repro.obs import analyze
+
+    try:
+        data = analyze.load_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(analyze.format_critical_path(analyze.critical_path(data)))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    """Per-stage / per-counter deltas between two run manifests."""
+    from repro.obs import analyze
+
+    try:
+        manifest_a = analyze.load_manifest(args.manifest_a)
+        manifest_b = analyze.load_manifest(args.manifest_b)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    diff = analyze.diff_manifests(manifest_a, manifest_b)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(diff, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote diff JSON: {args.json_out}")
+    print(analyze.format_manifest_diff(diff, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="MBR composition flow over design files"
@@ -342,7 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="write a synthetic benchmark to disk")
-    gen.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    gen.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5", "huge"], default="D1")
     gen.add_argument("--scale", type=float, default=0.25)
     gen.add_argument("--out-prefix", required=True)
     gen.set_defaults(func=cmd_generate)
@@ -374,6 +504,20 @@ def build_parser() -> argparse.ArgumentParser:
             "incremental-timing effort (retimed-node counts vs graph size)",
         )
 
+    def add_profile_options(p):
+        p.add_argument(
+            "--profile",
+            metavar="OUT.folded",
+            help="sample the run's span stacks into a collapsed-stack "
+            "(flamegraph) file; also: REPRO_PROFILE=1 or =path",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="emit heartbeat progress events (stage, work done, ETA) "
+            "on stderr for long runs; also: REPRO_PROGRESS=1",
+        )
+
     def add_obs_outputs(p):
         p.add_argument(
             "--trace-out",
@@ -385,13 +529,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--manifest-out",
             dest="manifest_out",
             help="write the validated run manifest JSON "
-            "(config + metrics registry + span roll-up)",
+            "(config + metrics registry + span roll-up + resource timeline)",
         )
+        add_profile_options(p)
 
     run = sub.add_parser(
         "run", help="run the full flow on a synthetic preset (no files needed)"
     )
-    run.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    run.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5", "huge"], default="D1")
     run.add_argument("--scale", type=float, default=0.25)
     add_flow_options(run)
     add_obs_outputs(run)
@@ -401,7 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run a preset flow and write its Chrome trace JSON"
     )
     trc.add_argument("output", help="Chrome trace_event JSON output path")
-    trc.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    trc.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5", "huge"], default="D1")
     trc.add_argument("--scale", type=float, default=0.25)
     add_flow_options(trc)
     trc.add_argument(
@@ -409,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="manifest_out",
         help="also write the validated run manifest JSON",
     )
+    add_profile_options(trc)
     trc.set_defaults(func=cmd_trace)
 
     comp = sub.add_parser("compose", help="run the composition flow on files")
@@ -425,7 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     eco = sub.add_parser(
         "eco", help="incremental recomposition demo: edit storm on a session"
     )
-    eco.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    eco.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5", "huge"], default="D1")
     eco.add_argument("--scale", type=float, default=0.4)
     eco.add_argument("--moves", type=int, default=20, help="number of register moves")
     eco.add_argument("--seed", type=int, default=11)
@@ -445,7 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded edit-storm fuzzing with invariant checkers and "
         "differential oracles; nonzero exit + reproducer JSON on violation",
     )
-    chk.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5"], default="D1")
+    chk.add_argument("--preset", choices=["D1", "D2", "D3", "D4", "D5", "huge"], default="D1")
     chk.add_argument("--scale", type=float, default=0.15)
     chk.add_argument("--storms", type=int, default=5, help="edit storms to run")
     chk.add_argument("--seed", type=int, default=7)
@@ -476,12 +622,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_outputs(chk)
     chk.set_defaults(func=cmd_check)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-trajectory tools (the regression sentinel)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    brep = bench_sub.add_parser(
+        "report",
+        help="judge every BENCH_history.jsonl trajectory against "
+        "bench_policy.json (median + MAD rolling baseline)",
+    )
+    brep.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="trajectory log to judge (default: ./BENCH_history.jsonl)",
+    )
+    brep.add_argument(
+        "--policy",
+        help="bench_policy.json path (default: the repo's checked-in policy; "
+        "built-in defaults when absent)",
+    )
+    brep.add_argument(
+        "--json",
+        dest="json_out",
+        help="also write the machine-readable report (repro.bench.report/1)",
+    )
+    brep.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any trajectory regressed (the CI gate)",
+    )
+    brep.set_defaults(func=cmd_bench_report)
+
+    obsg = sub.add_parser("obs", help="trace/manifest analytics")
+    obs_sub = obsg.add_subparsers(dest="obs_command", required=True)
+    ocp = obs_sub.add_parser(
+        "critical-path",
+        help="longest self-time chain through a Chrome trace's span tree",
+    )
+    ocp.add_argument("trace", help="Chrome trace_event JSON (repro run --trace-out)")
+    ocp.set_defaults(func=cmd_obs_critical_path)
+    odf = obs_sub.add_parser(
+        "diff", help="per-stage/per-counter deltas between two run manifests"
+    )
+    odf.add_argument("manifest_a", help="baseline run manifest JSON")
+    odf.add_argument("manifest_b", help="comparison run manifest JSON")
+    odf.add_argument(
+        "--top", type=int, default=15, help="rows per section (default: 15)"
+    )
+    odf.add_argument("--json", dest="json_out", help="also write the raw diff JSON")
+    odf.set_defaults(func=cmd_obs_diff)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Reports are meant to be piped into head/grep; a closed pipe is a
+        # normal way for the read side to say "seen enough", not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

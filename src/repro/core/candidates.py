@@ -100,6 +100,19 @@ class CandidateConfig:
     enumerating; this keeps dense banks (and decomposed MBRs) tractable."""
 
 
+def _bbox_spread(xmin: float, ymin: float, xmax: float, ymax: float) -> float:
+    """Half-perimeter of a center bounding box, quantized for determinism.
+
+    The spread cap is compared against coordinate *differences*, and
+    ``(a + t) - (b + t)`` need not equal ``a - b`` in floats — a rigid
+    translation of the whole placement could flip a group sitting exactly
+    on the cap in or out of the candidate set.  Rounding to 1e-9 um (six
+    orders below any real site geometry) makes the comparison a function
+    of relative geometry only.
+    """
+    return round((xmax - xmin) + (ymax - ymin), 9)
+
+
 class _MappingMemo:
     """Per-enumeration cache of the pure mapping queries.
 
@@ -269,7 +282,7 @@ def _window_subcliques(
             x, y = info.center_xy
             xmin, xmax = min(xmin, x), max(xmax, x)
             ymin, ymax = min(ymin, y), max(ymax, y)
-            if (xmax - xmin) + (ymax - ymin) > max_spread:
+            if _bbox_spread(xmin, ymin, xmax, ymax) > max_spread:
                 break
             total += bits_of[info.name]
             if total > max_bits:
@@ -300,7 +313,7 @@ def _validate_group(
     """
     xs = [m.center_xy[0] for m in members]
     ys = [m.center_xy[1] for m in members]
-    if (max(xs) - min(xs)) + (max(ys) - min(ys)) > config.max_group_spread:
+    if _bbox_spread(min(xs), min(ys), max(xs), max(ys)) > config.max_group_spread:
         return None
 
     bits = sum(m.bits for m in members)

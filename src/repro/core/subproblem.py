@@ -201,8 +201,14 @@ def solve_subproblems(
     snapshots merge into the parent registry, so ILP effort counters are
     identical whichever path ran.
     """
+    hb = obs.get_heartbeat()
     if workers <= 1 or len(specs) <= 1:
-        return [solve_subproblem(s) for s in specs]
+        results = []
+        for i, s in enumerate(specs):
+            results.append(solve_subproblem(s))
+            if hb is not None:
+                hb.advance(i + 1, len(specs), unit="subproblems")
+        return results
     n_workers = min(workers, len(specs))
     chunksize = max(1, len(specs) // (n_workers * 4))
     tracer = obs.get_tracer()
@@ -212,10 +218,20 @@ def solve_subproblems(
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         captured = list(pool.map(_solve_captured, payloads, chunksize=chunksize))
     registry = obs.get_registry()
+    profiler = obs.get_profiler()
+    # Worker spans become profiler samples under the fan-out site's own
+    # stack, so the flamegraph shows parallel ILP time where it belongs.
+    profile_prefix = (
+        tracer.current_stack_names() if profiler is not None and traced else ()
+    )
     results: list[SubproblemResult] = []
-    for result, records, snapshot in captured:
+    for i, (result, records, snapshot) in enumerate(captured):
         if traced and tracer is not None:
             tracer.adopt(records)
+            if profiler is not None:
+                profiler.ingest_spans(records, prefix=profile_prefix)
         registry.merge(snapshot)
         results.append(result)
+        if hb is not None:
+            hb.advance(i + 1, len(captured), unit="subproblems")
     return results

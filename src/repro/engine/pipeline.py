@@ -79,8 +79,13 @@ class Pipeline(Generic[CtxT]):
 
     def run(self, ctx: CtxT, trace: StageTrace | None = None) -> StageTrace:
         trace = trace if trace is not None else StageTrace()
+        hb = obs.get_heartbeat()
+        if hb is not None:
+            hb.run_started(self.stage_names())
         for st in self.stages:
             before = _timer_stats(ctx)
+            if hb is not None:
+                hb.stage_started(st.name)
             with obs.span(f"stage.{st.name}", cat="stage") as sp:
                 t0 = time.perf_counter()
                 out = st.run(ctx)
@@ -97,6 +102,8 @@ class Pipeline(Generic[CtxT]):
                 if counters:
                     sp.set(**counters)
             trace.record(st.name, seconds, counters=counters, children=children)
+            if hb is not None:
+                hb.stage_finished(st.name, seconds)
         return trace
 
     def stage_names(self) -> list[str]:

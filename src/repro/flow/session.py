@@ -208,6 +208,9 @@ class EcoSession:
 
         limit = max(1, self.max_passes if passes is None else passes)
         consumed = 0
+        hb = obs.get_heartbeat()
+        if hb is not None:
+            hb.update(dirty_registers=dirty_count, incremental=incremental)
         with obs.span(
             "eco.recompose",
             cat="eco",

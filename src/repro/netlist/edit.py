@@ -30,12 +30,16 @@ class ComposeError(ValueError):
 
 
 def _shared_net(views: list[RegisterView], getter, what: str) -> Net | None:
-    nets = {id(getter(v)): getter(v) for v in views}
-    if len(nets) != 1:
+    # Hold strong references before comparing identities: net views are
+    # flyweights in a WeakValueDictionary, so an unreferenced view dies the
+    # moment id() returns and the next lookup builds a fresh object whose
+    # address may or may not coincide with the old one.
+    nets = [getter(v) for v in views]
+    if len({id(n) for n in nets}) != 1:
         raise ComposeError(
             f"registers {[v.cell.name for v in views]} disagree on {what}"
         )
-    return next(iter(nets.values()))
+    return nets[0]
 
 
 def compose_mbr(

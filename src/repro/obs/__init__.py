@@ -48,6 +48,17 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.profile import (
+    Heartbeat,
+    Profiler,
+    ResourceSampler,
+    get_heartbeat,
+    get_profiler,
+    install_heartbeat,
+    install_profiler,
+    set_heartbeat,
+    set_profiler,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     NullSpan,
@@ -73,21 +84,30 @@ __all__ = [
     "Counter",
     "FRACTION_BUCKETS",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "MANIFEST_REQUIRED_KEYS",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "Profiler",
+    "ResourceSampler",
     "SpanRecord",
     "Tracer",
     "build_manifest",
     "configure_logging",
+    "get_heartbeat",
     "get_logger",
+    "get_profiler",
     "get_registry",
     "get_tracer",
+    "install_heartbeat",
+    "install_profiler",
     "install_tracer",
     "log",
+    "set_heartbeat",
+    "set_profiler",
     "set_registry",
     "set_tracer",
     "span",

@@ -117,17 +117,22 @@ def build_manifest(
     flow: dict | None = None,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    resources: dict | None = None,
+    progress: dict | None = None,
 ) -> dict:
     """Assemble one run's manifest.
 
     ``design`` names what ran (at least a ``name``); ``config`` is any
     dataclass/dict describing the knobs; ``flow`` carries the headline
     results (runtimes, register counts, QoR).  ``registry`` and
-    ``tracer`` default to the process-wide current ones.
+    ``tracer`` default to the process-wide current ones.  ``resources``
+    (a :meth:`ResourceSampler.as_dict` RSS/CPU timeline) and ``progress``
+    (a :meth:`Heartbeat.as_dict` event log) are archived verbatim when a
+    run collected them.
     """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "generated_unix": round(time.time(), 3),
         "environment": {
@@ -140,6 +145,11 @@ def build_manifest(
         "spans": tracer.rollup() if tracer is not None else {},
         "flow": _plain(flow) if flow is not None else {},
     }
+    if resources is not None:
+        manifest["resources"] = _plain(resources)
+    if progress is not None:
+        manifest["progress"] = _plain(progress)
+    return manifest
 
 
 def validate_manifest(manifest: dict) -> list[str]:
@@ -177,6 +187,10 @@ def validate_bench(data: dict) -> list[str]:
             errors.append(
                 f"{key!r} must be a number, got {type(data[key]).__name__}"
             )
+    if "git_dirty" in data and not isinstance(data["git_dirty"], bool):
+        errors.append(
+            f"'git_dirty' must be a boolean, got {type(data['git_dirty']).__name__}"
+        )
     designs = data.get("designs")
     if not isinstance(designs, dict) or not designs:
         errors.append("'designs' must be a non-empty object")
@@ -230,6 +244,10 @@ def validate_bench_history(record: dict) -> list[str]:
             errors.append(f"{key!r} must be a number, got {type(record[key]).__name__}")
     if "git_sha" in record and not isinstance(record["git_sha"], str):
         errors.append(f"'git_sha' must be a string, got {type(record['git_sha']).__name__}")
+    if "git_dirty" in record and not isinstance(record["git_dirty"], bool):
+        errors.append(
+            f"'git_dirty' must be a boolean, got {type(record['git_dirty']).__name__}"
+        )
     designs = record.get("designs")
     if not isinstance(designs, dict) or not designs:
         errors.append("'designs' must be a non-empty object")
@@ -277,6 +295,10 @@ def validate_bench_mem(record: dict) -> list[str]:
     if "git_sha" in record and not isinstance(record["git_sha"], str):
         errors.append(
             f"'git_sha' must be a string, got {type(record['git_sha']).__name__}"
+        )
+    if "git_dirty" in record and not isinstance(record["git_dirty"], bool):
+        errors.append(
+            f"'git_dirty' must be a boolean, got {type(record['git_dirty']).__name__}"
         )
     phases = record.get("phase_seconds")
     if phases is not None:

@@ -93,8 +93,8 @@ class _ActiveSpan:
 
     def __enter__(self) -> "_ActiveSpan":
         stack = self._tracer._stack()
-        self.parent_id = stack[-1] if stack else None
-        stack.append(self.id)
+        self.parent_id = stack[-1][0] if stack else None
+        stack.append((self.id, self.name))
         self._t0 = time.perf_counter()
         return self
 
@@ -102,7 +102,7 @@ class _ActiveSpan:
         t1 = time.perf_counter()
         tracer = self._tracer
         stack = tracer._stack()
-        if stack and stack[-1] == self.id:
+        if stack and stack[-1][0] == self.id:
             stack.pop()
         tracer._record(
             SpanRecord(
@@ -135,6 +135,11 @@ class Tracer:
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Every thread's live span stack, keyed by thread ident.  The
+        # lists are the same objects ``_stack`` mutates, so the sampling
+        # profiler can snapshot any thread's stack without touching its
+        # thread-local state (reads race benignly under the GIL).
+        self._thread_stacks: dict[int, list[tuple[int, str]]] = {}
 
     # -- recording ----------------------------------------------------------
 
@@ -144,15 +149,36 @@ class Tracer:
             return NULL_SPAN
         return _ActiveSpan(self, name, cat, args or None)
 
-    def _stack(self) -> list[int]:
+    def _stack(self) -> list[tuple[int, str]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._thread_stacks[threading.get_ident()] = stack
         return stack
 
     def current_span_id(self) -> int | None:
         stack = self._stack()
-        return stack[-1] if stack else None
+        return stack[-1][0] if stack else None
+
+    def current_stack_names(self) -> tuple[str, ...]:
+        """The calling thread's open span names, outermost first."""
+        return tuple(name for _, name in self._stack())
+
+    def active_stacks(self) -> dict[int, tuple[str, ...]]:
+        """Snapshot of every thread's live span-name stack.
+
+        This is the sampling profiler's read path: a point-in-time copy
+        of each registered thread's stack (threads that never opened a
+        span do not appear; finished threads may linger with an empty
+        stack).  The copy is taken without the tracer lock — the GIL
+        makes ``list(stack)`` safe against concurrent append/pop, and a
+        sample that straddles a push/pop is off by at most one frame.
+        """
+        return {
+            tid: tuple(name for _, name in list(stack))
+            for tid, stack in list(self._thread_stacks.items())
+        }
 
     def _record(self, rec: SpanRecord) -> None:
         with self._lock:

@@ -128,3 +128,25 @@ class TestFanOut:
         assert solve_subproblems([], workers=4) == []
         [res] = solve_subproblems([_spec()], workers=4)
         assert isinstance(res, SubproblemResult)
+
+    def test_serial_and_parallel_metrics_snapshots_identical(self):
+        # Worker snapshot merging must be invisible: the parent registry
+        # after a pooled run equals a serial run field-by-field, with int
+        # counters staying ints through the snapshot/merge round-trip.
+        from repro import obs
+
+        specs = [_spec(index=i) for i in range(4)]
+        snapshots = {}
+        for label, workers in (("serial", 1), ("parallel", 2)):
+            prev = obs.set_registry(obs.MetricsRegistry())
+            try:
+                solve_subproblems(specs, workers=workers)
+                snapshots[label] = obs.get_registry().snapshot()
+            finally:
+                obs.set_registry(prev)
+        serial, parallel = snapshots["serial"], snapshots["parallel"]
+        assert serial == parallel
+        assert serial["counters"]  # the solves actually counted something
+        for section in ("counters", "gauges"):
+            for name, value in serial[section].items():
+                assert type(value) is type(parallel[section][name]), name

@@ -1,0 +1,228 @@
+"""Unit tests for trace analytics: critical paths and manifest diffs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.analyze import (
+    build_span_forest,
+    critical_path,
+    diff_manifests,
+    format_critical_path,
+    format_manifest_diff,
+    load_chrome_trace,
+    load_manifest,
+    validate_chrome_trace,
+)
+
+
+def _x(name, ts, dur, pid=1, tid=1):
+    return {"ph": "X", "name": name, "ts": ts, "dur": dur, "pid": pid, "tid": tid}
+
+
+def _trace(*events):
+    return {"traceEvents": list(events)}
+
+
+class TestValidateChromeTrace:
+    def test_valid_trace(self):
+        data = _trace(
+            _x("a", 0, 100),
+            {"ph": "M", "name": "process_name", "pid": 1},
+            {"ph": "C", "name": "ctr", "ts": 5, "pid": 1, "tid": 1},
+        )
+        assert validate_chrome_trace(data) == []
+
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) == ["trace must be an object, got list"]
+
+    def test_rejects_missing_events_list(self):
+        assert validate_chrome_trace({"traceEvents": "nope"}) == [
+            "'traceEvents' must be a list"
+        ]
+
+    def test_flags_bad_complete_events(self):
+        data = _trace(
+            {"ph": "X", "name": 7, "ts": 0, "dur": 1, "pid": 1, "tid": 1},
+            {"ph": "X", "name": "a", "ts": "zero", "dur": -1, "pid": 1},
+            {"ph": "?", "name": "b"},
+        )
+        problems = validate_chrome_trace(data)
+        assert any("'name' must be a string" in p for p in problems)
+        assert any("'ts' must be a number" in p for p in problems)
+        assert any("'dur' must be non-negative" in p for p in problems)
+        assert any("missing 'tid'" in p for p in problems)
+        assert any("unknown phase '?'" in p for p in problems)
+
+    def test_bool_is_not_a_number(self):
+        data = _trace({"ph": "X", "name": "a", "ts": True, "dur": 1, "pid": 1, "tid": 1})
+        assert any("'ts' must be a number" in p for p in validate_chrome_trace(data))
+
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(_trace(_x("a", 0, 10))))
+        assert load_chrome_trace(str(path))["traceEvents"][0]["name"] == "a"
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": "nope"}))
+        with pytest.raises(ValueError, match="not a usable Chrome trace"):
+            load_chrome_trace(str(path))
+
+
+class TestSpanForest:
+    def test_containment_nesting(self):
+        data = _trace(_x("root", 0, 100), _x("a", 10, 30), _x("b", 50, 40))
+        roots = build_span_forest(data)
+        assert [r.name for r in roots] == ["root"]
+        assert [c.name for c in roots[0].children] == ["a", "b"]
+        assert roots[0].self_us == 30.0  # 100 - 30 - 40
+
+    def test_same_start_longer_span_encloses(self):
+        data = _trace(_x("inner", 0, 50), _x("outer", 0, 100))
+        roots = build_span_forest(data)
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+
+    def test_separate_tracks_get_separate_roots(self):
+        data = _trace(_x("parent", 0, 100, pid=1), _x("worker", 10, 20, pid=2))
+        roots = build_span_forest(data)
+        assert sorted(r.name for r in roots) == ["parent", "worker"]
+
+    def test_sequential_siblings_both_root(self):
+        data = _trace(_x("first", 0, 10), _x("second", 20, 10))
+        assert [r.name for r in build_span_forest(data)] == ["first", "second"]
+
+
+class TestCriticalPath:
+    def test_maximizes_self_time_not_duration(self):
+        # A: 0-100, children B (10-40) and C (50-90); C holds D (55-85).
+        # Self times: A=30, B=30, C=10, D=30.  Chain A->C->D = 70 beats
+        # A->B = 60 even though B alone outweighs C alone.
+        data = _trace(
+            _x("A", 0, 100),
+            _x("B", 10, 30),
+            _x("C", 50, 40),
+            _x("D", 55, 30),
+        )
+        steps = critical_path(data)
+        assert [s.name for s in steps] == ["A", "C", "D"]
+        assert sum(s.self_us for s in steps) == 70.0
+
+    def test_picks_best_tree_of_forest(self):
+        data = _trace(_x("small", 0, 10), _x("big", 100, 500, pid=2))
+        assert [s.name for s in critical_path(data)] == ["big"]
+
+    def test_empty_trace(self):
+        assert critical_path(_trace()) == []
+        assert "empty trace" in format_critical_path([])
+
+    def test_format_table(self):
+        text = format_critical_path(critical_path(_trace(_x("root", 0, 100))))
+        assert "critical path: 1 spans" in text
+        assert "root" in text and "100.0%" in text
+
+
+def _manifest(spans=None, counters=None, flow=None):
+    """A minimal manifest-shaped dict for diffing (not schema-validated)."""
+    return {
+        "spans": {
+            name: {"count": 1, "total_s": total}
+            for name, total in (spans or {}).items()
+        },
+        "metrics": {"counters": dict(counters or {}), "gauges": {}},
+        "flow": dict(flow or {}),
+    }
+
+
+class TestDiffManifests:
+    def test_span_and_counter_deltas(self):
+        a = _manifest(
+            spans={"stage.compose": 2.0},
+            counters={"ilp.nodes": 100},
+            flow={"tns": -5.0},
+        )
+        b = _manifest(
+            spans={"stage.compose": 3.0},
+            counters={"ilp.nodes": 150},
+            flow={"tns": -2.0},
+        )
+        diff = diff_manifests(a, b)
+        (span_row,) = diff["spans"]
+        assert span_row == {
+            "name": "stage.compose",
+            "a": 2.0,
+            "b": 3.0,
+            "delta": 1.0,
+            "ratio": 1.5,
+        }
+        (counter_row,) = diff["counters"]
+        assert counter_row["delta"] == 50.0
+        (flow_row,) = diff["flow"]
+        assert flow_row["delta"] == 3.0
+
+    def test_one_sided_entries_have_no_delta(self):
+        a = _manifest(spans={"stage.old": 1.0})
+        b = _manifest(spans={"stage.new": 1.0})
+        rows = {r["name"]: r for r in diff_manifests(a, b)["spans"]}
+        assert rows["stage.old"]["b"] is None and "delta" not in rows["stage.old"]
+        assert rows["stage.new"]["a"] is None and "delta" not in rows["stage.new"]
+
+    def test_non_numeric_flow_entries_skipped(self):
+        a = _manifest(flow={"preset": "D1", "tns": -1.0})
+        b = _manifest(flow={"preset": "D2", "tns": -1.0})
+        names = [r["name"] for r in diff_manifests(a, b)["flow"]]
+        assert names == ["tns"]
+
+
+class TestFormatManifestDiff:
+    def test_sorted_by_impact_and_capped(self):
+        spans_a = {f"stage.s{i}": 1.0 for i in range(5)}
+        spans_b = {f"stage.s{i}": 1.0 + (i + 1) * 0.1 for i in range(5)}
+        diff = diff_manifests(_manifest(spans=spans_a), _manifest(spans=spans_b))
+        text = format_manifest_diff(diff, top=2)
+        assert "spans (5 changed):" in text
+        # Largest delta first; the cap is announced, never silent.
+        assert text.index("stage.s4") < text.index("stage.s3")
+        assert "... 3 more (use --top to widen)" in text
+        assert "stage.s0" not in text
+
+    def test_no_changes(self):
+        diff = diff_manifests(_manifest(spans={"a": 1.0}), _manifest(spans={"a": 1.0}))
+        assert format_manifest_diff(diff) == (
+            "no differences in comparable numeric entries"
+        )
+
+
+class TestLoadManifest:
+    def test_round_trips_a_real_manifest(self, tmp_path):
+        from repro import obs
+        from repro.obs.manifest import build_manifest
+
+        prev_tracer = obs.set_tracer(None)
+        prev_registry = obs.set_registry(obs.MetricsRegistry())
+        try:
+            tracer = obs.install_tracer()
+            with obs.span("stage.work"):
+                pass
+            manifest = build_manifest(
+                design={"name": "unit"},
+                config={"k": 1},
+                flow={"tns": -1.0},
+                tracer=tracer,
+            )
+        finally:
+            obs.set_tracer(prev_tracer)
+            obs.set_registry(prev_registry)
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(manifest))
+        loaded = load_manifest(str(path))
+        assert "stage.work" in loaded["spans"]
+
+    def test_rejects_invalid(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"schema": "repro.obs.manifest/1"}))
+        with pytest.raises(ValueError, match="invalid manifest"):
+            load_manifest(str(path))

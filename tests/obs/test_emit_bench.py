@@ -12,7 +12,8 @@ import json
 
 import pytest
 
-from benchmarks.emit_bench import history_record, main
+import benchmarks.emit_bench as emit_bench
+from benchmarks.emit_bench import append_history, history_record, main
 from repro.obs.manifest import BENCH_HISTORY_SCHEMA, BENCH_SCHEMA
 
 
@@ -132,3 +133,58 @@ class TestValidateHistoryCli:
         path = self._write(tmp_path, [])
         assert main(["--validate", path]) == 1
         assert "empty history" in capsys.readouterr().out
+
+
+class TestProvenanceStamps:
+    def test_history_record_carries_git_dirty(self):
+        payload = _valid_payload()
+        payload["git_dirty"] = True
+        assert history_record(payload)["git_dirty"] is True
+        # Pre-PR payloads without the stamp default to clean.
+        assert history_record(_valid_payload())["git_dirty"] is False
+
+    def test_git_dirty_reflects_porcelain_output(self, monkeypatch):
+        class Done:
+            def __init__(self, stdout, returncode=0):
+                self.stdout = stdout
+                self.returncode = returncode
+
+        monkeypatch.setattr(
+            emit_bench.subprocess, "run", lambda *a, **k: Done(" M file.py\n")
+        )
+        assert emit_bench.git_dirty() is True
+        monkeypatch.setattr(
+            emit_bench.subprocess, "run", lambda *a, **k: Done("")
+        )
+        assert emit_bench.git_dirty() is False
+
+
+class TestAppendHistoryStaleGuard:
+    def test_refuses_stale_sha(self, tmp_path, monkeypatch):
+        # The payload was emitted at some older commit; appending it would
+        # poison the sentinel baselines with unreproducible numbers.
+        monkeypatch.setattr(emit_bench, "git_sha", lambda: "fffffffffff0")
+        path = tmp_path / "h.jsonl"
+        with pytest.raises(SystemExit, match="stale history line"):
+            append_history(_valid_payload(), str(path))
+        assert not path.exists()
+
+    def test_force_overrides_guard(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(emit_bench, "git_sha", lambda: "fffffffffff0")
+        path = tmp_path / "h.jsonl"
+        record = append_history(_valid_payload(), str(path), force=True)
+        assert record["git_sha"] == "0123456789ab"
+        line = json.loads(path.read_text().strip())
+        assert line["git_sha"] == "0123456789ab"
+
+    def test_matching_sha_appends(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(emit_bench, "git_sha", lambda: "0123456789ab")
+        path = tmp_path / "h.jsonl"
+        append_history(_valid_payload(), str(path))
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_outside_git_checkout_appends(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(emit_bench, "git_sha", lambda: "unknown")
+        path = tmp_path / "h.jsonl"
+        append_history(_valid_payload(), str(path))
+        assert len(path.read_text().splitlines()) == 1

@@ -117,6 +117,47 @@ class TestRegistrySnapshotMerge:
             merged.merge(worker.snapshot())
         assert merged.snapshot() == whole.snapshot()
 
+    def test_merge_preserves_int_counter_type(self):
+        # Worker snapshots of int counters must not float-promote on the
+        # way through merge — the manifest's effort counters stay ints.
+        parent = MetricsRegistry()
+        parent.counter("ilp.nodes").inc(10)
+        for _ in range(3):
+            worker = MetricsRegistry()
+            worker.counter("ilp.nodes").inc(7)
+            parent.merge(worker.snapshot())
+        value = parent.snapshot()["counters"]["ilp.nodes"]
+        assert value == 31
+        assert isinstance(value, int) and not isinstance(value, bool)
+
+    def test_merge_promotes_float_counters(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("seconds").inc(0.25)
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        value = parent.snapshot()["counters"]["seconds"]
+        assert value == pytest.approx(0.5)
+        assert isinstance(value, float)
+
+    def test_merge_type_fidelity_field_by_field(self):
+        # Serial counting and merged worker snapshots must agree not just
+        # numerically but on the Python types of every field.
+        whole, merged = MetricsRegistry(), MetricsRegistry()
+        for chunk in ((1, 2), (3,)):
+            worker = MetricsRegistry()
+            for v in chunk:
+                for reg in (whole, worker):
+                    reg.counter("ints").inc(v)
+                    reg.counter("floats").inc(v / 2)
+                    reg.gauge("last").set(v)
+            merged.merge(worker.snapshot())
+        a, b = whole.snapshot(), merged.snapshot()
+        assert a == b
+        for section in ("counters", "gauges"):
+            for name in a[section]:
+                assert type(a[section][name]) is type(b[section][name]), name
+
     def test_reset(self):
         reg = MetricsRegistry()
         reg.counter("n").inc()

@@ -12,7 +12,13 @@ import json
 
 import pytest
 
-from benchmarks.perf_smoke import compare, load_bench, main
+from benchmarks.perf_smoke import (
+    FALLBACK_MAX_REGRESS,
+    compare,
+    load_bench,
+    main,
+    policy_max_regress,
+)
 from repro.obs.manifest import BENCH_SCHEMA
 
 
@@ -103,3 +109,47 @@ class TestCli:
             load_bench(base)
         with pytest.raises(SystemExit, match="INVALID"):
             main([base, cand])
+
+
+class TestPolicyBand:
+    def _policy(self, tmp_path, perf_smoke) -> str:
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({"perf_smoke": perf_smoke}))
+        return str(path)
+
+    def test_band_read_from_policy_file(self, tmp_path):
+        path = self._policy(tmp_path, {"max_regress": 0.1})
+        assert policy_max_regress(path) == 0.1
+
+    def test_missing_policy_falls_back(self, tmp_path):
+        assert policy_max_regress(str(tmp_path / "nope.json")) == (
+            FALLBACK_MAX_REGRESS
+        )
+
+    def test_policy_without_block_falls_back(self, tmp_path):
+        path = self._policy(tmp_path, {})
+        assert policy_max_regress(path) == FALLBACK_MAX_REGRESS
+
+    def test_bad_band_value_refused(self, tmp_path):
+        for bogus in ("wide", -0.5, True):
+            path = self._policy(tmp_path, {"max_regress": bogus})
+            with pytest.raises(SystemExit, match="non-negative number"):
+                policy_max_regress(path)
+
+    def test_shipped_policy_drives_default_band(self):
+        # The repo's checked-in policy owns the CI band.
+        assert policy_max_regress() == 0.25
+
+    def test_cli_uses_policy_band(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload(1.0))
+        cand = _write(tmp_path, "cand.json", _payload(1.4))
+        loose = self._policy(tmp_path, {"max_regress": 0.5})
+        assert main([base, cand, "--policy", loose]) == 0
+        tight = self._policy(tmp_path, {"max_regress": 0.1})
+        assert main([base, cand, "--policy", tight]) == 1
+
+    def test_explicit_flag_overrides_policy(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload(1.0))
+        cand = _write(tmp_path, "cand.json", _payload(1.4))
+        tight = self._policy(tmp_path, {"max_regress": 0.1})
+        assert main([base, cand, "--policy", tight, "--max-regress", "0.5"]) == 0

@@ -122,6 +122,100 @@ class TestAdopt:
         tracer.adopt(recs, parent_id=None)
         assert tracer.records()[0].parent_id is None
 
+    def test_out_of_order_adoption_preserves_epoch_and_ids(self):
+        # Workers complete in any order; the fan-in adopts whichever
+        # finishes first.  Adopting the later-spawned worker's records
+        # before the earlier one's must not disturb timestamps (all
+        # workers share the parent's epoch) nor collide remapped ids.
+        tracer = obs.install_tracer()
+
+        def worker(idx, t0_us):
+            rec = SpanRecord(
+                id=1, parent_id=None, name=f"ilp.solve.{idx}", cat="ilp",
+                start_us=t0_us, dur_us=50.0, pid=1000 + idx, tid=1,
+            )
+            inner = SpanRecord(
+                id=2, parent_id=1, name="inner", cat="ilp",
+                start_us=t0_us + 10.0, dur_us=20.0, pid=1000 + idx, tid=1,
+            )
+            return [rec, inner]
+
+        batches = [worker(0, 100.0), worker(1, 200.0), worker(2, 300.0)]
+        with obs.span("stage.solve", cat="stage"):
+            stage_id = tracer.current_span_id()
+            for records in (batches[2], batches[0], batches[1]):
+                tracer.adopt(records)
+        recs = tracer.records()
+        ids = [r.id for r in recs]
+        assert len(ids) == len(set(ids))
+        by_name = {r.name: r for r in recs}
+        for idx, start in ((0, 100.0), (1, 200.0), (2, 300.0)):
+            root = by_name[f"ilp.solve.{idx}"]
+            # Epoch-anchored timestamps survive adoption untouched.
+            assert root.start_us == start
+            assert root.parent_id == stage_id
+        # Each worker root gets its own 'inner' child, correctly linked.
+        inners = [r for r in recs if r.name == "inner"]
+        assert sorted(r.parent_id for r in inners) == sorted(
+            by_name[f"ilp.solve.{i}"].id for i in range(3)
+        )
+
+    def test_out_of_order_adoption_exports_valid_chrome_trace(self):
+        from repro.obs.analyze import build_span_forest, validate_chrome_trace
+
+        tracer = obs.install_tracer()
+        late = [
+            SpanRecord(
+                id=1, parent_id=None, name="w.late", cat="ilp",
+                start_us=500.0, dur_us=50.0, pid=222, tid=1,
+            )
+        ]
+        early = [
+            SpanRecord(
+                id=1, parent_id=None, name="w.early", cat="ilp",
+                start_us=100.0, dur_us=50.0, pid=111, tid=1,
+            )
+        ]
+        with obs.span("stage.solve", cat="stage"):
+            tracer.adopt(late)
+            tracer.adopt(early)
+        data = tracer.to_chrome_trace()
+        assert validate_chrome_trace(data) == []
+        roots = {r.name for r in build_span_forest(data)}
+        # Worker spans live on their own (pid, tid) tracks, so each is a
+        # root of its own tree next to the parent's stage span.
+        assert roots == {"stage.solve", "w.late", "w.early"}
+
+
+class TestActiveStacks:
+    def test_current_stack_names(self):
+        obs.install_tracer()
+        tracer = obs.get_tracer()
+        assert tracer.current_stack_names() == ()
+        with obs.span("a"):
+            with obs.span("b"):
+                assert tracer.current_stack_names() == ("a", "b")
+            assert tracer.current_stack_names() == ("a",)
+
+    def test_active_stacks_sees_other_threads(self):
+        tracer = obs.install_tracer()
+        ready, release = threading.Event(), threading.Event()
+
+        def work():
+            with obs.span("bg"):
+                ready.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=work)
+        t.start()
+        assert ready.wait(timeout=5)
+        with obs.span("fg"):
+            stacks = tracer.active_stacks()
+        release.set()
+        t.join()
+        assert ("bg",) in stacks.values()
+        assert ("fg",) in stacks.values()
+
 
 class TestChromeExport:
     def test_chrome_trace_shape(self, tmp_path):
