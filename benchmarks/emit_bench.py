@@ -227,10 +227,13 @@ def validate_path(path: str) -> list[str]:
                 problems.append(f"line {i}: not JSON ({exc})")
                 continue
             # BENCH_history.jsonl interleaves flow summaries with the
-            # memory-trajectory lines mem_budget.py appends; dispatch on
-            # the record's schema tag.
+            # memory-trajectory lines mem_budget.py appends and the
+            # service-layer lines load_gen.py appends; dispatch on the
+            # record's schema tag.
             if record.get("schema") == obs.BENCH_MEM_SCHEMA:
                 validate = obs.validate_bench_mem
+            elif record.get("schema") == obs.BENCH_SERVE_SCHEMA:
+                validate = obs.validate_bench_serve
             else:
                 validate = obs.validate_bench_history
             problems.extend(f"line {i}: {p}" for p in validate(record))

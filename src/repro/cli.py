@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli bench report [--history BENCH_history.jsonl] [--check]
     python -m repro.cli obs critical-path trace.json
     python -m repro.cli obs diff manifest_a.json manifest_b.json
+    python -m repro.cli serve --designs D1 D1 --scale 0.25 --port 7821
+    python -m repro.cli submit eco --design D1-0 --params '{"seed":7,"moves":3}'
 
 ``run`` executes the full flow on a synthetic preset (no files needed)
 and can export the observability artifacts: ``--trace-out`` writes a
@@ -34,6 +36,13 @@ differential oracle armed (``repro.check``): exit 0 when clean, else a
 violation report plus a deterministic reproducer JSON that ``--replay``
 re-executes.  Structured run logs are available everywhere via
 ``REPRO_LOG=1`` (text) / ``REPRO_LOG_JSON=1`` (JSON lines).
+
+``serve`` starts the compose-as-a-service front-end (:mod:`repro.serve`):
+named preset designs behind long-lived ``EcoSession`` s, one process-wide
+component cache (optionally spilled to ``--spill-dir``), a bounded job
+queue with explicit ``queue_full`` rejections, and a JSON-lines TCP
+protocol.  ``submit`` is the matching one-shot client: one job per
+invocation, or ``--stdin`` to pipe request frames.
 
 Performance intelligence: ``--profile out.folded`` (or
 ``REPRO_PROFILE=1``) samples the run's span stacks into a
@@ -432,6 +441,93 @@ def cmd_bench_report(args) -> int:
     return 1 if (args.check and not report.ok) else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the compose job server until interrupted (SIGINT/SIGTERM)."""
+    import asyncio
+    import signal
+
+    from repro.serve import ComposeServer, DesignRegistry, SharedComponentCache
+
+    _install_obs(args)
+    shared = SharedComponentCache(
+        max_entries=args.cache_entries,
+        max_bytes=args.cache_mb * 1024 * 1024,
+        spill_dir=args.spill_dir,
+    )
+    registry = DesignRegistry(shared_cache=shared)
+    registry.config.workers = args.workers
+    for i, preset_name in enumerate(args.designs):
+        name = f"{preset_name}-{i}"
+        registry.add_preset(name, preset_name, scale=args.scale)
+        entry = registry.entry(name)
+        print(
+            f"design {name}: preset {preset_name} @ scale {args.scale} "
+            f"({entry.session.design.total_register_count()} registers)"
+        )
+
+    async def _serve() -> dict:
+        server = ComposeServer(registry, queue_depth=args.queue_depth)
+        host, port = await server.serve(args.host, args.port)
+        print(f"repro serve: listening on {host}:{port} (queue depth {args.queue_depth})")
+        print(f"submit with: repro submit status --host {host} --port {port}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:
+                pass
+        try:
+            await stop.wait()
+        finally:
+            manifest = server.build_manifest()
+            await server.aclose()
+        return manifest
+
+    try:
+        manifest = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+        return 130
+    print("shutting down")
+    if args.manifest_out:
+        obs.write_manifest(args.manifest_out, manifest)
+        print(f"wrote run manifest: {args.manifest_out}")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """One-shot client of a running ``repro serve`` instance."""
+    from repro.serve import TcpClient, submit_stdin_lines
+
+    try:
+        client = TcpClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.stdin:
+            failures = 0
+            for response in submit_stdin_lines(client, sys.stdin):
+                print(json.dumps(response))
+                if not response.get("ok"):
+                    failures += 1
+            return 1 if failures else 0
+        try:
+            params = json.loads(args.params) if args.params else {}
+        except json.JSONDecodeError as exc:
+            print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        response = client.submit(args.kind, design=args.design, params=params)
+        print(json.dumps(response.to_wire(), indent=2))
+        return 0 if response.ok else 1
+    except ConnectionError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
 def cmd_obs_critical_path(args) -> int:
     """Longest self-time chain through a Chrome trace's span tree."""
     from repro.obs import analyze
@@ -653,6 +749,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any trajectory regressed (the CI gate)",
     )
     brep.set_defaults(func=cmd_bench_report)
+
+    srv = sub.add_parser(
+        "serve",
+        help="compose-as-a-service: asyncio job server over named EcoSessions",
+    )
+    srv.add_argument(
+        "--designs",
+        nargs="+",
+        choices=["D1", "D2", "D3", "D4", "D5", "huge"],
+        default=["D1"],
+        help="presets to serve (repeat a name for replicas; designs are "
+        "registered as PRESET-0, PRESET-1, ...)",
+    )
+    srv.add_argument("--scale", type=float, default=0.25)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7821)
+    srv.add_argument(
+        "--queue-depth",
+        dest="queue_depth",
+        type=int,
+        default=64,
+        help="max jobs in flight before submissions are rejected queue_full",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width of each session's ILP solve stage",
+    )
+    srv.add_argument(
+        "--cache-entries",
+        dest="cache_entries",
+        type=int,
+        default=65536,
+        help="shared component cache entry budget",
+    )
+    srv.add_argument(
+        "--cache-mb",
+        dest="cache_mb",
+        type=int,
+        default=256,
+        help="shared component cache byte budget (MiB)",
+    )
+    srv.add_argument(
+        "--spill-dir",
+        dest="spill_dir",
+        help="spill shared cache entries to digest-named files here "
+        "(reused across server restarts)",
+    )
+    add_obs_outputs(srv)
+    srv.set_defaults(func=cmd_serve)
+
+    sbm = sub.add_parser(
+        "submit", help="submit one job to a running repro serve instance"
+    )
+    sbm.add_argument("kind", choices=["compose", "eco", "check", "status"])
+    sbm.add_argument("--design", help="registered design name (see serve startup log)")
+    sbm.add_argument(
+        "--params",
+        help='job params as JSON, e.g. \'{"seed": 7, "moves": 3, "radius": 3.0}\'',
+    )
+    sbm.add_argument("--host", default="127.0.0.1")
+    sbm.add_argument("--port", type=int, default=7821)
+    sbm.add_argument("--timeout", type=float, default=300.0)
+    sbm.add_argument(
+        "--stdin",
+        action="store_true",
+        help="read request frames (JSON lines) from stdin instead",
+    )
+    sbm.set_defaults(func=cmd_submit)
 
     obsg = sub.add_parser("obs", help="trace/manifest analytics")
     obs_sub = obsg.add_subparsers(dest="obs_command", required=True)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import pickle
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -39,11 +40,13 @@ from repro.core.compatibility import (
     info_signature,
 )
 from repro.core.graph import build_compatibility_graph, patch_compatibility_graph
+from repro.core.mapping import MappingChoice
 from repro.core.mbr_placement import place_mbr
 from repro.core.partition import DEFAULT_MAX_NODES, partition_component
 from repro.core.subproblem import make_spec, solve_subproblems
 from repro.engine import FlowContext, Pipeline, StageTrace, stage
 from repro.geometry.rect import Rect
+from repro.geometry.region import FeasibleRegion
 from repro.library.functional import ScanStyle
 from repro.netlist.design import Design
 from repro.netlist.edit import ComposeError, compose_mbr
@@ -127,6 +130,103 @@ class ComponentCache:
     chosen: tuple[CandidateMBR, ...]
 
 
+#: Version tag of the serialized :class:`ComponentCache` payload.  A spill
+#: file carrying any other tag is discarded, never reinterpreted.
+ENTRY_CODEC_SCHEMA = "repro.compose.component/1"
+
+
+def entry_payload(entry: ComponentCache) -> dict:
+    """Pure-data form of a cache entry (the spill / accounting codec).
+
+    Library cells are referenced **by name** — the netlist store interns
+    libcells by object identity, so a decoded entry must rebind against the
+    live :class:`~repro.library.library.CellLibrary` rather than carry its
+    own unpickled copies.  Regions flatten to their rect coordinates.
+    """
+    chosen = []
+    for c in entry.chosen:
+        m = c.mapping
+        region = None
+        if c.region is not None:
+            r = c.region.rect
+            region = (r.xlo, r.ylo, r.xhi, r.yhi, bool(c.region.pinned))
+        chosen.append(
+            {
+                "members": list(c.members),
+                "bits": c.bits,
+                "weight": c.weight,
+                "blockers": c.blockers,
+                "cell": None if m is None else m.cell.name,
+                "incomplete": False if m is None else bool(m.incomplete),
+                "spare_bits": 0 if m is None else m.spare_bits,
+                "region": region,
+            }
+        )
+    return {
+        "digest": entry.digest,
+        "nodes": list(entry.nodes),
+        "subgraphs": entry.subgraphs,
+        "candidates": entry.candidates,
+        "ilp_nodes": entry.ilp_nodes,
+        "chosen": chosen,
+    }
+
+
+def entry_from_payload(payload: dict, library) -> ComponentCache:
+    """Rebuild a :class:`ComponentCache` from its pure-data payload.
+
+    Raises ``KeyError`` when a referenced cell name is unknown to
+    ``library`` — callers treat any exception as "payload not trusted".
+    """
+    chosen = []
+    for c in payload["chosen"]:
+        mapping = None
+        if c["cell"] is not None:
+            mapping = MappingChoice(
+                cell=library.cell(c["cell"]),
+                incomplete=bool(c["incomplete"]),
+                spare_bits=int(c["spare_bits"]),
+            )
+        region = None
+        if c["region"] is not None:
+            xlo, ylo, xhi, yhi, pinned = c["region"]
+            region = FeasibleRegion(Rect(xlo, ylo, xhi, yhi), pinned=bool(pinned))
+        chosen.append(
+            CandidateMBR(
+                members=tuple(c["members"]),
+                bits=int(c["bits"]),
+                weight=float(c["weight"]),
+                blockers=int(c["blockers"]),
+                mapping=mapping,
+                region=region,
+            )
+        )
+    return ComponentCache(
+        digest=payload["digest"],
+        nodes=tuple(payload["nodes"]),
+        subgraphs=int(payload["subgraphs"]),
+        candidates=int(payload["candidates"]),
+        ilp_nodes=int(payload["ilp_nodes"]),
+        chosen=tuple(chosen),
+    )
+
+
+def entry_blob(entry: ComponentCache) -> bytes:
+    """Self-describing binary form of an entry (schema-tagged pickle)."""
+    return pickle.dumps(
+        {"schema": ENTRY_CODEC_SCHEMA, "payload": entry_payload(entry)},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def entry_from_blob(blob: bytes, library) -> ComponentCache:
+    """Decode :func:`entry_blob` output; raises on any mismatch or damage."""
+    wrapper = pickle.loads(blob)
+    if not isinstance(wrapper, dict) or wrapper.get("schema") != ENTRY_CODEC_SCHEMA:
+        raise ValueError(f"unknown component payload schema: {wrapper!r:.80}")
+    return entry_from_payload(wrapper["payload"], library)
+
+
 @dataclass
 class CompositionCache:
     """Cross-recompose memo of the composition pipeline.
@@ -138,7 +238,23 @@ class CompositionCache:
     ``infos`` and ``graph`` are the live analysis state (mutated in place by
     the incremental analyze/graph stages); ``components`` maps content
     digests (see :func:`component_digest`) to :class:`ComponentCache`
-    entries, LRU-bounded by ``max_components``.
+    entries, LRU-bounded by **both** ``max_components`` and ``max_bytes``
+    (sizes per :func:`entry_blob`, so a long session cannot grow the memo
+    without bound).
+
+    When ``shared`` is attached (a :class:`repro.serve.SharedComponentCache`
+    or anything duck-typed like it), local misses fall through to the
+    process-wide tier and fresh entries are written through to it; the
+    shared tier needs ``namespace`` (library/config fingerprint — those are
+    out of :func:`component_digest` by the "fixed per session" contract) and
+    ``library`` (to rebind spilled entries' cells by name).
+
+    ``replay_in_full`` opts *full* composes into cache reads.  The default
+    (off) keeps the classic contract — full mode never reads, so one-shot
+    composes stay byte-identical to the pre-cache implementation; server
+    sessions switch it on so priming a design replays components already
+    solved for another design (sound: replay is bit-identical by the digest
+    contract, which the ECO audit shadow-checks).
     """
 
     infos: dict[str, RegisterInfo] = field(default_factory=dict)
@@ -147,6 +263,13 @@ class CompositionCache:
         default_factory=OrderedDict
     )
     max_components: int = 8192
+    max_bytes: int = 64 * 1024 * 1024
+    total_bytes: int = 0
+    shared: object | None = None
+    namespace: str = ""
+    library: object | None = None
+    replay_in_full: bool = False
+    _entry_bytes: dict[str, int] = field(default_factory=dict)
     incumbents: "OrderedDict[tuple[str, ...], tuple[frozenset[str], ...]]" = field(
         default_factory=OrderedDict
     )
@@ -163,19 +286,43 @@ class CompositionCache:
         if entry is not None:
             self.components.move_to_end(digest)
             obs.get_registry().counter("compose.cache.hits").inc()
-        else:
-            obs.get_registry().counter("compose.cache.misses").inc()
+            return entry
+        obs.get_registry().counter("compose.cache.misses").inc()
+        if self.shared is not None:
+            entry = self.shared.get(
+                digest, namespace=self.namespace, library=self.library
+            )
+            if entry is not None:
+                # Adopt locally so the next lookup is a local hit; the entry
+                # is already in the shared tier, so no write-through.
+                self._store(entry)
         return entry
 
     def put(self, entry: ComponentCache) -> None:
-        self.components[entry.digest] = entry
-        self.components.move_to_end(entry.digest)
+        blob = self._store(entry)
+        if self.shared is not None:
+            self.shared.put(entry, namespace=self.namespace, blob=blob)
+
+    def _store(self, entry: ComponentCache) -> bytes:
+        """Insert into the local memo, then evict LRU to both budgets."""
+        blob = entry_blob(entry)
+        digest = entry.digest
+        self.total_bytes -= self._entry_bytes.get(digest, 0)
+        self.components[digest] = entry
+        self.components.move_to_end(digest)
+        self._entry_bytes[digest] = len(blob)
+        self.total_bytes += len(blob)
         evicted = 0
-        while len(self.components) > self.max_components:
-            self.components.popitem(last=False)
+        while len(self.components) > 1 and (
+            len(self.components) > self.max_components
+            or self.total_bytes > self.max_bytes
+        ):
+            old, _ = self.components.popitem(last=False)
+            self.total_bytes -= self._entry_bytes.pop(old, 0)
             evicted += 1
         if evicted:
             obs.get_registry().counter("compose.cache.evictions").inc(evicted)
+        return blob
 
     def get_incumbent(
         self, nodes: tuple[str, ...]
@@ -384,7 +531,9 @@ def _stage_partition(state: ComposeState):
     (:func:`component_digest`); in incremental mode a digest hit replays the
     cached solver selection and skips partition/enumerate/solve for that
     component entirely.  Full mode never *reads* the cache (identical
-    behavior to the classic path) but still records digests for later reuse.
+    behavior to the classic path) but still records digests for later reuse
+    — unless the cache opts in via ``replay_in_full`` (service sessions do,
+    so priming one design replays components solved for another).
     """
     if state.config.max_subgraph_nodes < 2:
         raise ValueError("max_nodes must be at least 2")
@@ -401,7 +550,7 @@ def _stage_partition(state: ComposeState):
             digest = component_digest(
                 nodes, state.graph, state.infos, state.all_regs, state.scan_model
             )
-            if state.dirty is not None:
+            if state.dirty is not None or state.cache.replay_in_full:
                 entry = state.cache.get(digest)
                 if entry is not None:
                     reused += 1

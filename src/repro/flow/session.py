@@ -34,6 +34,7 @@ is the blanket resynchronization fallback.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass, replace
@@ -57,6 +58,47 @@ from repro.scan.model import ScanModel
 from repro.sta.timer import Timer
 
 AUDIT_ENV = "REPRO_ECO_AUDIT"
+
+
+def cache_namespace(design: Design, config: ComposerConfig) -> str:
+    """Shared-cache namespace fingerprint for one session's world.
+
+    :func:`~repro.core.composer.component_digest` deliberately excludes the
+    library, the die, and the composer config ("fixed per session"), so a
+    *cross-session* cache must carry them in its key.  Everything hashed
+    here has a deterministic ``repr`` (dataclasses, plain values), so the
+    namespace is stable across process restarts — which is what makes disk
+    spill reusable between server runs.
+    """
+    h = hashlib.sha256()
+    h.update(repr(design.library.name).encode())
+    h.update(repr(sorted(c.name for c in design.library.cells())).encode())
+    h.update(repr(design.die).encode())
+    h.update(repr(config).encode())
+    return f"{design.library.name}/{h.hexdigest()[:16]}"
+
+
+def shared_session_cache(
+    design: Design,
+    config: ComposerConfig,
+    shared: object,
+) -> CompositionCache:
+    """A session cache wired into a process-wide shared component tier.
+
+    The returned :class:`~repro.core.composer.CompositionCache` falls
+    through to ``shared`` on local misses, writes fresh solves through to
+    it, and opts into full-mode replay (``replay_in_full``) so even a
+    design's priming compose reuses components solved under another design
+    or a previous server run.  This is the service-session configuration;
+    plain :class:`EcoSession` construction keeps the classic per-session
+    memo.
+    """
+    return CompositionCache(
+        shared=shared,
+        namespace=cache_namespace(design, config),
+        library=design.library,
+        replay_in_full=True,
+    )
 
 
 def _audit_env_enabled() -> bool:

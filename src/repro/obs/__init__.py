@@ -27,6 +27,7 @@ from repro.obs.manifest import (
     BENCH_HISTORY_SCHEMA,
     BENCH_MEM_KEYS,
     BENCH_MEM_SCHEMA,
+    BENCH_SERVE_SCHEMA,
     BENCH_REQUIRED_KEYS,
     BENCH_SCHEMA,
     MANIFEST_REQUIRED_KEYS,
@@ -35,6 +36,7 @@ from repro.obs.manifest import (
     validate_bench,
     validate_bench_history,
     validate_bench_mem,
+    validate_bench_serve,
     validate_manifest,
     write_manifest,
 )
@@ -78,6 +80,7 @@ __all__ = [
     "BENCH_HISTORY_SCHEMA",
     "BENCH_MEM_KEYS",
     "BENCH_MEM_SCHEMA",
+    "BENCH_SERVE_SCHEMA",
     "BENCH_REQUIRED_KEYS",
     "BENCH_SCHEMA",
     "COUNT_BUCKETS",
@@ -115,6 +118,7 @@ __all__ = [
     "validate_bench",
     "validate_bench_history",
     "validate_bench_mem",
+    "validate_bench_serve",
     "validate_manifest",
     "write_manifest",
 ]

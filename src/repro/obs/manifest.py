@@ -24,6 +24,7 @@ MANIFEST_SCHEMA = "repro.obs.manifest/1"
 BENCH_SCHEMA = "repro.bench.flow/2"
 BENCH_HISTORY_SCHEMA = "repro.bench.history/1"
 BENCH_MEM_SCHEMA = "repro.bench.mem/1"
+BENCH_SERVE_SCHEMA = "repro.bench.serve/1"
 
 #: Top-level keys every manifest must carry (CI fails the run otherwise).
 MANIFEST_REQUIRED_KEYS = (
@@ -83,6 +84,24 @@ BENCH_MEM_KEYS = (
     "marginal_bytes_per_register",
     "budget_bytes_per_register",
     "phase_seconds",
+)
+
+#: Keys of one ``benchmarks/load_gen.py`` history line — the service-layer
+#: trajectory (``repro.bench.serve/1``): the deterministic load generator's
+#: throughput, tail latency, and cross-request cache hit-ratio.  Lives in
+#: the same ``BENCH_history.jsonl``, told apart by its ``schema`` field.
+BENCH_SERVE_KEYS = (
+    "schema",
+    "generated_unix",
+    "git_sha",
+    "workload",
+    "designs",
+    "clients",
+    "jobs",
+    "throughput_jobs_per_s",
+    "p50_ms",
+    "p99_ms",
+    "cache_hit_ratio",
 )
 
 #: Expected value shapes inside a bench design entry, enforced by
@@ -313,6 +332,57 @@ def validate_bench_mem(record: dict) -> list[str]:
                         f"phase {name!r} must be a number, "
                         f"got {type(seconds).__name__}"
                     )
+    return errors
+
+
+def validate_bench_serve(record: dict) -> list[str]:
+    """Schema check of one ``repro.bench.serve/1`` history line (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"serve record must be an object, got {type(record).__name__}"]
+    for key in BENCH_SERVE_KEYS:
+        if key not in record:
+            errors.append(f"missing required key {key!r}")
+    if record.get("schema") not in (None, BENCH_SERVE_SCHEMA):
+        errors.append(
+            f"schema mismatch: {record.get('schema')!r} != {BENCH_SERVE_SCHEMA!r}"
+        )
+    for key in (
+        "generated_unix",
+        "throughput_jobs_per_s",
+        "p50_ms",
+        "p99_ms",
+        "cache_hit_ratio",
+    ):
+        if key in record and not _is_number(record[key]):
+            errors.append(f"{key!r} must be a number, got {type(record[key]).__name__}")
+    for key in ("designs", "clients", "jobs"):
+        if key in record and (
+            not isinstance(record[key], int) or isinstance(record[key], bool)
+        ):
+            errors.append(
+                f"{key!r} must be an integer, got {type(record[key]).__name__}"
+            )
+    if "workload" in record and not isinstance(record["workload"], str):
+        errors.append(
+            f"'workload' must be a string, got {type(record['workload']).__name__}"
+        )
+    if "git_sha" in record and not isinstance(record["git_sha"], str):
+        errors.append(
+            f"'git_sha' must be a string, got {type(record['git_sha']).__name__}"
+        )
+    if "git_dirty" in record and not isinstance(record["git_dirty"], bool):
+        errors.append(
+            f"'git_dirty' must be a boolean, got {type(record['git_dirty']).__name__}"
+        )
+    if "deterministic" in record and not isinstance(record["deterministic"], bool):
+        errors.append(
+            f"'deterministic' must be a boolean, "
+            f"got {type(record['deterministic']).__name__}"
+        )
+    ratio = record.get("cache_hit_ratio")
+    if _is_number(ratio) and not 0.0 <= ratio <= 1.0:
+        errors.append(f"'cache_hit_ratio' must be within [0, 1], got {ratio}")
     return errors
 
 

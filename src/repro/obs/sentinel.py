@@ -37,8 +37,10 @@ from statistics import median
 from repro.obs.manifest import (
     BENCH_HISTORY_SCHEMA,
     BENCH_MEM_SCHEMA,
+    BENCH_SERVE_SCHEMA,
     validate_bench_history,
     validate_bench_mem,
+    validate_bench_serve,
 )
 
 POLICY_SCHEMA = "repro.bench.policy/1"
@@ -60,6 +62,15 @@ MEM_SERIES_KEYS = (
     "peak_rss_bytes",
     "bytes_per_register",
     "marginal_bytes_per_register",
+)
+
+#: Serve-history metrics that become per-workload series
+#: (``serve.<workload>.<k>``), from ``benchmarks/load_gen.py``.
+SERVE_SERIES_KEYS = (
+    "throughput_jobs_per_s",
+    "p50_ms",
+    "p99_ms",
+    "cache_hit_ratio",
 )
 
 
@@ -183,11 +194,12 @@ def load_history(path: str) -> list[dict]:
                 problems.append(f"line {i}: not JSON ({exc})")
                 continue
             schema = record.get("schema") if isinstance(record, dict) else None
-            validate = (
-                validate_bench_mem
-                if schema == BENCH_MEM_SCHEMA
-                else validate_bench_history
-            )
+            if schema == BENCH_MEM_SCHEMA:
+                validate = validate_bench_mem
+            elif schema == BENCH_SERVE_SCHEMA:
+                validate = validate_bench_serve
+            else:
+                validate = validate_bench_history
             line_problems = validate(record)
             if line_problems:
                 problems.extend(f"line {i}: {p}" for p in line_problems)
@@ -214,6 +226,13 @@ def series_from_history(records: list[dict]) -> dict[str, list[Point]]:
             for key in MEM_SERIES_KEYS:
                 if key in record:
                     series.setdefault(f"mem.{size}.{key}", []).append(
+                        Point(float(record[key]), sha, when)
+                    )
+        elif record.get("schema") == BENCH_SERVE_SCHEMA:
+            workload = record.get("workload", "unknown")
+            for key in SERVE_SERIES_KEYS:
+                if key in record:
+                    series.setdefault(f"serve.{workload}.{key}", []).append(
                         Point(float(record[key]), sha, when)
                     )
         elif record.get("schema") in (None, BENCH_HISTORY_SCHEMA):

@@ -1,0 +1,55 @@
+"""Compose-as-a-service: an asyncio job server over long-lived sessions.
+
+The ROADMAP's service shape for the paper's incremental composition: a
+single-process asyncio front-end (:class:`ComposeServer`) owning a
+registry of named designs (:class:`DesignRegistry`), each backed by a
+long-lived :class:`~repro.flow.session.EcoSession`, all sharing one
+process-wide :class:`SharedComponentCache` so identical components solved
+for one request replay for the next — across designs and (with disk
+spill) across server restarts.
+
+Entry points: ``repro serve`` / ``repro submit`` on the CLI,
+:class:`Client` in-process, :class:`TcpClient` over the JSON-lines wire
+protocol (:mod:`repro.serve.protocol`), and ``benchmarks/load_gen.py``
+for the deterministic service benchmark.
+"""
+
+from repro.serve.cache import SharedComponentCache
+from repro.serve.client import Client, TcpClient, drive, submit_stdin_lines
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_JOB_FAILED,
+    ERR_QUEUE_FULL,
+    ERR_UNKNOWN_DESIGN,
+    ERR_UNKNOWN_KIND,
+    JOB_KINDS,
+    PROTOCOL_SCHEMA,
+    JobError,
+    JobRequest,
+    JobResponse,
+    ProtocolError,
+)
+from repro.serve.registry import DesignEntry, DesignRegistry
+from repro.serve.server import ComposeServer
+
+__all__ = [
+    "Client",
+    "ComposeServer",
+    "DesignEntry",
+    "DesignRegistry",
+    "ERR_BAD_REQUEST",
+    "ERR_JOB_FAILED",
+    "ERR_QUEUE_FULL",
+    "ERR_UNKNOWN_DESIGN",
+    "ERR_UNKNOWN_KIND",
+    "JOB_KINDS",
+    "JobError",
+    "JobRequest",
+    "JobResponse",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "SharedComponentCache",
+    "TcpClient",
+    "drive",
+    "submit_stdin_lines",
+]

@@ -1,0 +1,196 @@
+"""Process-wide component cache shared across designs and server runs.
+
+This promotes the per-session ``component_digest`` memo of
+:class:`~repro.core.composer.CompositionCache` to a process-wide tier:
+every :class:`~repro.flow.session.EcoSession` the server owns writes its
+freshly solved components here and reads other sessions' components back
+— identical components solved for one request replay for the next,
+across designs (same library/die/config namespace) and, with disk spill
+enabled, across server restarts.
+
+Entries are held in memory under an LRU budget bounded by **both** entry
+count and encoded byte size (the same discipline
+``CompositionCache`` applies locally), with eviction counters.  When a
+``spill_dir`` is configured, every entry is also written through to a
+digest-named file carrying the versioned
+:data:`~repro.core.composer.ENTRY_CODEC_SCHEMA` payload; a memory miss
+falls back to the spill tier.  A spill file that fails to decode for any
+reason — truncation, corruption, schema mismatch, a cell name unknown to
+the live library, a digest that does not match its file name — is
+deleted and treated as a miss, never trusted.
+
+Thread safety: all state is guarded by one lock.  Server jobs run on
+worker threads (one per design), so concurrent gets/puts are the normal
+case, not the exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+
+from repro import obs
+from repro.core.composer import ComponentCache, entry_blob, entry_from_blob
+
+#: Spill file suffix; the content is an ``entry_blob`` (schema-tagged pickle).
+SPILL_SUFFIX = ".comp"
+
+
+class SharedComponentCache:
+    """An LRU byte/entry-budgeted component store shared by many sessions.
+
+    ``get``/``put`` are keyed by ``(namespace, digest)`` — the namespace
+    (see :func:`~repro.flow.session.cache_namespace`) carries the
+    library/die/config state that :func:`~repro.core.composer.component_digest`
+    deliberately leaves out.  ``library`` must be passed to ``get`` so
+    spilled entries can rebind their cells by name against the live
+    :class:`~repro.library.library.CellLibrary`.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        max_bytes: int = 256 * 1024 * 1024,
+        spill_dir: str | None = None,
+    ) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.spill_dir = spill_dir
+        self.total_bytes = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, tuple[ComponentCache, int]]" = OrderedDict()
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+
+    # -- keys and files -----------------------------------------------------
+
+    @staticmethod
+    def _key(namespace: str, digest: str) -> str:
+        return f"{namespace}|{digest}"
+
+    def _spill_path(self, namespace: str, digest: str) -> str:
+        ns = hashlib.sha256(namespace.encode()).hexdigest()[:12]
+        return os.path.join(self.spill_dir, f"{ns}-{digest}{SPILL_SUFFIX}")
+
+    # -- the cache protocol -------------------------------------------------
+
+    def get(self, digest: str, namespace: str = "", library=None):
+        """Look up one component; memory first, then the spill tier."""
+        key = self._key(namespace, digest)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                obs.get_registry().counter("serve.shared_cache.hits").inc()
+                return hit[0]
+        entry = self._load_spilled(digest, namespace, library)
+        if entry is not None:
+            obs.get_registry().counter("serve.shared_cache.hits").inc()
+            obs.get_registry().counter("serve.shared_cache.spill_loads").inc()
+            # Adopt into memory so the next lookup skips the disk.
+            self.put(entry, namespace=namespace)
+            return entry
+        obs.get_registry().counter("serve.shared_cache.misses").inc()
+        return None
+
+    def put(self, entry: ComponentCache, namespace: str = "", blob: bytes | None = None) -> None:
+        """Insert (or refresh) one component; write through to the spill."""
+        if blob is None:
+            blob = entry_blob(entry)
+        key = self._key(namespace, entry.digest)
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.total_bytes -= old[1]
+            self._entries[key] = (entry, len(blob))
+            self.total_bytes += len(blob)
+            while len(self._entries) > 1 and (
+                len(self._entries) > self.max_entries
+                or self.total_bytes > self.max_bytes
+            ):
+                _, (_, nbytes) = self._entries.popitem(last=False)
+                self.total_bytes -= nbytes
+                evicted += 1
+        if evicted:
+            obs.get_registry().counter("serve.shared_cache.evictions").inc(evicted)
+        if self.spill_dir is not None and old is None:
+            self._write_spilled(entry.digest, namespace, blob)
+
+    # -- spill tier ---------------------------------------------------------
+
+    def _write_spilled(self, digest: str, namespace: str, blob: bytes) -> None:
+        path = self._spill_path(namespace, digest)
+        if os.path.exists(path):
+            return
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+            obs.get_registry().counter("serve.shared_cache.spill_writes").inc()
+        except OSError:
+            obs.get_registry().counter("serve.shared_cache.spill_errors").inc()
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _load_spilled(self, digest: str, namespace: str, library):
+        if self.spill_dir is None or library is None:
+            return None
+        path = self._spill_path(namespace, digest)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        try:
+            entry = entry_from_blob(blob, library)
+            if entry.digest != digest:
+                raise ValueError(
+                    f"spill digest mismatch: {entry.digest} != {digest}"
+                )
+        except Exception:
+            # Damaged, truncated, stale-schema, or foreign content: the
+            # file is evidence of nothing.  Remove it and miss.
+            obs.get_registry().counter("serve.shared_cache.spill_discards").inc()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return entry
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        """Counter snapshot plus occupancy, for status jobs and manifests."""
+        counters = obs.get_registry().snapshot().get("counters", {})
+        with self._lock:
+            occupancy = {
+                "entries": len(self._entries),
+                "bytes": self.total_bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "spill_dir": self.spill_dir,
+            }
+        prefix = "serve.shared_cache."
+        occupancy.update(
+            {
+                name[len(prefix):]: value
+                for name, value in counters.items()
+                if name.startswith(prefix)
+            }
+        )
+        return occupancy

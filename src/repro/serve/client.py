@@ -1,0 +1,165 @@
+"""Clients of the compose service: in-process, TCP, and the drive helper.
+
+:class:`Client` talks straight to a live :class:`~repro.serve.server.ComposeServer`
+on the same event loop — the form tests and the load generator use.
+:class:`TcpClient` is a small blocking JSON-lines socket client for the
+``repro submit`` CLI (and for exercising the real wire path in tests).
+
+:func:`drive` fans a deterministic global job list over N client lanes
+while preserving per-design submission order: lanes pull from one shared
+deque and ``ComposeServer.submit`` enqueues before its first ``await``,
+so the enqueue order per design equals the pull order — which is why a
+concurrent run is bit-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from collections import deque
+from typing import Iterable
+
+from repro.serve.protocol import (
+    PROTOCOL_SCHEMA,
+    JobRequest,
+    JobResponse,
+    ProtocolError,
+    decode_line,
+    encode_line,
+)
+
+
+class Client:
+    """In-process client: submits straight into the server's loop."""
+
+    def __init__(self, server, name: str = "local") -> None:
+        self.server = server
+        self.name = name
+        self._seq = 0
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{self.name}-{self._seq}"
+
+    async def submit(
+        self,
+        kind: str,
+        design: str | None = None,
+        params: dict | None = None,
+        job_id: str | None = None,
+    ) -> JobResponse:
+        request = JobRequest(
+            kind=kind,
+            design=design,
+            params=params or {},
+            id=self._next_id() if job_id is None else job_id,
+        )
+        return await self.server.submit(request)
+
+    async def submit_request(self, request: JobRequest) -> JobResponse:
+        return await self.server.submit(request)
+
+
+class TcpClient:
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._seq = 0
+
+    def submit(
+        self,
+        kind: str,
+        design: str | None = None,
+        params: dict | None = None,
+        job_id: str | None = None,
+    ) -> JobResponse:
+        self._seq += 1
+        request = JobRequest(
+            kind=kind,
+            design=design,
+            params=params or {},
+            id=f"tcp-{self._seq}" if job_id is None else job_id,
+        )
+        return self.submit_request(request)
+
+    def submit_request(self, request: JobRequest) -> JobResponse:
+        self._file.write(encode_line(request.to_wire()))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return JobResponse.from_wire(decode_line(line))
+
+    def send_raw(self, line: bytes) -> dict:
+        """Ship arbitrary bytes (protocol tests); returns the raw response."""
+        self._file.write(line)
+        self._file.flush()
+        reply = self._file.readline()
+        if not reply:
+            raise ConnectionError("server closed the connection")
+        return decode_line(reply)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TcpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+async def drive(
+    server,
+    jobs: Iterable[JobRequest],
+    clients: int = 1,
+    client_name: str = "gen",
+) -> tuple[dict[str, JobResponse], list[float]]:
+    """Submit ``jobs`` through ``clients`` concurrent lanes.
+
+    Returns ``(responses by job id, per-job wall latencies in seconds)``.
+    The job list's *relative order per design* is preserved no matter how
+    many lanes run (see the module docstring), so the same list replayed
+    with ``clients=1`` and ``clients=8`` drives every design through the
+    identical job sequence.
+    """
+    work = deque(jobs)
+    responses: dict[str, JobResponse] = {}
+    latencies: list[float] = []
+
+    async def lane() -> None:
+        while True:
+            try:
+                request = work.popleft()
+            except IndexError:
+                return
+            t0 = time.perf_counter()
+            response = await server.submit(request)
+            latencies.append(time.perf_counter() - t0)
+            responses[request.id] = response
+
+    await asyncio.gather(*(lane() for _ in range(max(1, clients))))
+    return responses, latencies
+
+
+def submit_stdin_lines(client: TcpClient, lines: Iterable[str]) -> Iterable[dict]:
+    """CLI helper: each input line is one request frame; yields responses."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        data.setdefault("schema", PROTOCOL_SCHEMA)
+        try:
+            request = JobRequest.from_wire(data)
+        except ProtocolError as exc:
+            yield {"ok": False, "error": {"code": "bad_request", "message": str(exc)}}
+            continue
+        yield client.submit_request(request).to_wire()

@@ -1,0 +1,181 @@
+"""The wire protocol of the compose service: JSON lines, typed errors.
+
+One request and one response per line (UTF-8 JSON, ``\\n``-terminated) —
+the framing is trivial on purpose: any language with a socket and a JSON
+parser is a client.  The schema is versioned
+(:data:`PROTOCOL_SCHEMA`); responses echo the request ``id`` so a client
+may pipeline many requests over one connection.
+
+Request::
+
+    {"schema": "repro.serve.job/1", "id": "c0-3", "kind": "eco",
+     "design": "D1-0", "params": {"seed": 7, "moves": 2, "radius": 3.0}}
+
+Success response::
+
+    {"schema": "repro.serve.job/1", "id": "c0-3", "ok": true,
+     "kind": "eco", "design": "D1-0", "result": {...}}
+
+Failure response (typed)::
+
+    {"schema": "repro.serve.job/1", "id": "c0-3", "ok": false,
+     "kind": "eco", "design": "D1-0",
+     "error": {"code": "queue_full", "message": "..."},
+     "rejected": "queue_full"}
+
+Error codes: ``bad_request`` (malformed frame or params),
+``unknown_design``, ``unknown_kind``, ``queue_full`` (back-pressure;
+also surfaced as a top-level ``rejected`` marker), and ``job_failed``
+(the job raised inside the session — that job only; the session stays
+consistent and subsequent jobs proceed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+PROTOCOL_SCHEMA = "repro.serve.job/1"
+
+JOB_KINDS = ("compose", "eco", "check", "status")
+
+#: Typed error codes a response may carry.
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_DESIGN = "unknown_design"
+ERR_UNKNOWN_KIND = "unknown_kind"
+ERR_QUEUE_FULL = "queue_full"
+ERR_JOB_FAILED = "job_failed"
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be interpreted as a job request."""
+
+
+class JobError(RuntimeError):
+    """A typed failure raised by a job handler (carries its wire code)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated job submission."""
+
+    kind: str
+    design: str | None = None
+    params: dict = field(default_factory=dict)
+    id: str = ""
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "JobRequest":
+        if not isinstance(data, dict):
+            raise ProtocolError(f"request must be an object, got {type(data).__name__}")
+        schema = data.get("schema", PROTOCOL_SCHEMA)
+        if schema != PROTOCOL_SCHEMA:
+            raise ProtocolError(f"unknown schema {schema!r} (want {PROTOCOL_SCHEMA!r})")
+        kind = data.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise ProtocolError("request needs a string 'kind'")
+        design = data.get("design")
+        if design is not None and not isinstance(design, str):
+            raise ProtocolError("'design' must be a string when present")
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be an object when present")
+        job_id = data.get("id", "")
+        if not isinstance(job_id, str):
+            job_id = str(job_id)
+        return cls(kind=kind, design=design, params=params, id=job_id)
+
+    def to_wire(self) -> dict:
+        data = {"schema": PROTOCOL_SCHEMA, "id": self.id, "kind": self.kind}
+        if self.design is not None:
+            data["design"] = self.design
+        if self.params:
+            data["params"] = self.params
+        return data
+
+
+@dataclass
+class JobResponse:
+    """One job outcome, success or typed failure."""
+
+    id: str
+    kind: str
+    ok: bool
+    design: str | None = None
+    result: dict = field(default_factory=dict)
+    error_code: str | None = None
+    error: str | None = None
+
+    @property
+    def rejected(self) -> bool:
+        return self.error_code == ERR_QUEUE_FULL
+
+    @classmethod
+    def success(cls, request: JobRequest, result: dict) -> "JobResponse":
+        return cls(
+            id=request.id,
+            kind=request.kind,
+            ok=True,
+            design=request.design,
+            result=result,
+        )
+
+    @classmethod
+    def failure(cls, request: JobRequest, code: str, message: str) -> "JobResponse":
+        return cls(
+            id=request.id,
+            kind=request.kind,
+            ok=False,
+            design=request.design,
+            error_code=code,
+            error=message,
+        )
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "JobResponse":
+        error = data.get("error") or {}
+        return cls(
+            id=str(data.get("id", "")),
+            kind=str(data.get("kind", "")),
+            ok=bool(data.get("ok")),
+            design=data.get("design"),
+            result=data.get("result") or {},
+            error_code=error.get("code"),
+            error=error.get("message"),
+        )
+
+    def to_wire(self) -> dict:
+        data = {
+            "schema": PROTOCOL_SCHEMA,
+            "id": self.id,
+            "ok": self.ok,
+            "kind": self.kind,
+        }
+        if self.design is not None:
+            data["design"] = self.design
+        if self.ok:
+            data["result"] = self.result
+        else:
+            data["error"] = {"code": self.error_code, "message": self.error}
+            if self.rejected:
+                data["rejected"] = self.error_code
+        return data
+
+
+def encode_line(data: dict) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return json.dumps(data, separators=(",", ":"), sort_keys=False).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError(f"frame must be an object, got {type(data).__name__}")
+    return data

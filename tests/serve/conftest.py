@@ -1,0 +1,86 @@
+"""Fixtures and helpers for the service-layer suite.
+
+``fresh_metrics`` gives every test a clean counter slate (the serve
+layer reports into the process-global registry).  ``make_entry`` builds
+synthetic :class:`~repro.core.composer.ComponentCache` entries with a
+controllable encoded size (``pad``) for the cache-budget tests, and
+``tcp_server`` runs a :class:`~repro.serve.ComposeServer` with its TCP
+listener on a background event-loop thread for the wire-protocol tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core.candidates import CandidateMBR
+from repro.core.composer import ComponentCache
+from repro.core.mapping import MappingChoice
+from repro.geometry import Rect
+from repro.geometry.region import FeasibleRegion
+from repro.serve import ComposeServer
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    obs.set_registry(obs.MetricsRegistry())
+    yield
+
+
+def make_entry(digest: str, library=None, pad: int = 0) -> ComponentCache:
+    """A synthetic cache entry; pass ``library`` to give it a real mapped
+    candidate (exercises the by-name cell rebinding of the codec), ``pad``
+    to inflate its encoded size for byte-budget tests."""
+    chosen = ()
+    if library is not None:
+        chosen = (
+            CandidateMBR(
+                members=("r0", "r1"),
+                bits=2,
+                weight=1.25,
+                blockers=1,
+                mapping=MappingChoice(
+                    cell=library.cell("BUF_X1"), incomplete=False, spare_bits=1
+                ),
+                region=FeasibleRegion(Rect(1.0, 2.0, 9.0, 8.0), pinned=False),
+            ),
+        )
+    return ComponentCache(
+        digest=digest,
+        nodes=("r0", "r1", "x" * pad),
+        subgraphs=1,
+        candidates=3,
+        ilp_nodes=2,
+        chosen=chosen,
+    )
+
+
+@contextlib.contextmanager
+def tcp_server(registry, queue_depth: int = 8):
+    """A live TCP-serving ComposeServer on a background loop; yields the
+    bound ``(host, port)``."""
+    loop = asyncio.new_event_loop()
+    server = ComposeServer(registry, queue_depth=queue_depth)
+    ready = threading.Event()
+    box: dict = {}
+
+    async def main():
+        box["stop"] = asyncio.Event()
+        box["addr"] = await server.serve("127.0.0.1", 0)
+        ready.set()
+        await box["stop"].wait()
+        await server.aclose()
+
+    thread = threading.Thread(target=lambda: loop.run_until_complete(main()))
+    thread.start()
+    assert ready.wait(30), "TCP server failed to start"
+    try:
+        yield box["addr"]
+    finally:
+        loop.call_soon_threadsafe(box["stop"].set)
+        thread.join(30)
+        loop.close()

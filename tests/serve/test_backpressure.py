@@ -1,0 +1,122 @@
+"""Back-pressure and fault isolation.
+
+A server with ``queue_depth=1`` and a deliberately slow job must reject
+the next submission *immediately* with the typed ``queue_full`` error
+(and the top-level ``rejected`` wire marker) while still answering
+``status`` inline; once the slow job drains, submissions flow again.
+A job that raises inside the session fails that job only — the session
+stays ``check_all``-clean and subsequent jobs succeed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import obs
+from repro.serve import (
+    ERR_BAD_REQUEST,
+    ERR_JOB_FAILED,
+    ERR_QUEUE_FULL,
+    Client,
+    ComposeServer,
+    DesignRegistry,
+)
+
+
+def small_registry() -> DesignRegistry:
+    registry = DesignRegistry()
+    registry.add_preset("tiny", "D1", scale=0.06)
+    return registry
+
+
+def test_queue_full_rejection_is_typed_and_immediate():
+    server = ComposeServer(small_registry(), queue_depth=1)
+    client = Client(server)
+
+    async def main():
+        await server.start()
+        slow = asyncio.get_running_loop().create_task(
+            client.submit("check", "tiny", {"sleep_s": 0.6})
+        )
+        await asyncio.sleep(0.15)  # let the slow job occupy the only slot
+
+        t0 = asyncio.get_running_loop().time()
+        rejected = await client.submit("check", "tiny")
+        elapsed = asyncio.get_running_loop().time() - t0
+        assert not rejected.ok
+        assert rejected.error_code == ERR_QUEUE_FULL
+        assert rejected.rejected
+        assert rejected.to_wire()["rejected"] == ERR_QUEUE_FULL
+        assert elapsed < 0.2, "rejection must not wait for the queue"
+
+        # status bypasses the queue: a saturated server stays observable.
+        status = await client.submit("status")
+        assert status.ok
+        assert status.result["inflight"] == 1
+        assert status.result["jobs_rejected"] == 1
+
+        done = await slow
+        assert done.ok
+        # Capacity freed: the next job is admitted and completes.
+        after = await client.submit("check", "tiny")
+        assert after.ok
+        await server.aclose()
+
+    asyncio.run(main())
+    counters = obs.get_registry().snapshot()["counters"]
+    assert counters["serve.jobs.rejected"] == 1
+
+
+def test_fault_in_job_spares_session_and_successors():
+    server = ComposeServer(small_registry(), queue_depth=8)
+    client = Client(server)
+
+    async def main():
+        await server.start()
+        prime = await client.submit("compose", "tiny")
+        assert prime.ok
+
+        failed = await client.submit(
+            "eco", "tiny", {"seed": 3, "moves": 1, "inject_fault": True}
+        )
+        assert not failed.ok
+        assert failed.error_code == ERR_JOB_FAILED
+        assert "injected fault" in failed.error
+
+        # The session's committed world is still invariant-clean...
+        check = await client.submit("check", "tiny")
+        assert check.ok
+        assert check.result["clean"], check.result["report"]
+
+        # ...and the next jobs run as if nothing happened.
+        eco = await client.submit("eco", "tiny", {"seed": 3, "moves": 1})
+        assert eco.ok
+        assert eco.result["moves_applied"] == 1
+        status = await client.submit("status", "tiny")
+        assert status.ok
+        assert status.result["jobs_failed"] == 1
+        await server.aclose()
+
+    asyncio.run(main())
+    counters = obs.get_registry().snapshot()["counters"]
+    assert counters["serve.jobs.failed"] == 1
+    assert counters["serve.design.tiny.jobs_failed"] == 1
+
+
+def test_bad_eco_move_is_a_typed_request_error():
+    server = ComposeServer(small_registry(), queue_depth=8)
+    client = Client(server)
+
+    async def main():
+        await server.start()
+        bad = await client.submit(
+            "eco", "tiny", {"cells": [{"cell": "no_such_cell", "x": 1, "y": 1}]}
+        )
+        assert not bad.ok
+        assert bad.error_code == ERR_BAD_REQUEST
+        # A typed request error is not a server fault; the design still works.
+        good = await client.submit("check", "tiny")
+        assert good.ok
+        await server.aclose()
+
+    asyncio.run(main())

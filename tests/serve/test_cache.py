@@ -1,0 +1,239 @@
+"""Cache correctness: shared-tier LRU/bytes/spill, local-tier budget.
+
+Covers the satellite battery: LRU eviction order, byte-budget
+accounting, disk-spill round trip, corrupt/truncated/mismatched spill
+files discarded (never trusted), cross-session replay, and the
+regression guard for the session-local :class:`CompositionCache` budget
+(it was unbounded before the service layer landed).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.core.composer import (
+    ComposerConfig,
+    CompositionCache,
+    entry_blob,
+    entry_payload,
+)
+from repro.flow.session import cache_namespace
+from repro.serve import SharedComponentCache
+from repro.serve.cache import SPILL_SUFFIX
+
+from tests.serve.conftest import make_entry
+
+
+def counters() -> dict:
+    return obs.get_registry().snapshot()["counters"]
+
+
+# -- shared tier: LRU + byte budget ------------------------------------------
+
+
+def test_shared_lru_eviction_order():
+    cache = SharedComponentCache(max_entries=3)
+    for d in ("d1", "d2", "d3"):
+        cache.put(make_entry(d))
+    assert cache.keys() == ["|d1", "|d2", "|d3"]
+
+    # A hit refreshes recency: d1 moves to the MRU end, d2 becomes LRU.
+    assert cache.get("d1") is not None
+    cache.put(make_entry("d4"))
+    assert cache.keys() == ["|d3", "|d1", "|d4"]
+    assert counters()["serve.shared_cache.evictions"] == 1
+
+
+def test_shared_byte_budget_accounting():
+    one = len(entry_blob(make_entry("da", pad=2000)))
+    cache = SharedComponentCache(max_entries=100, max_bytes=2 * one + 16)
+    cache.put(make_entry("da", pad=2000))
+    cache.put(make_entry("db", pad=2000))
+    assert len(cache) == 2
+    assert cache.total_bytes == 2 * one
+
+    cache.put(make_entry("dc", pad=2000))
+    assert len(cache) == 2
+    assert cache.keys() == ["|db", "|dc"]
+    assert cache.total_bytes <= cache.max_bytes
+
+    # Refreshing an existing digest replaces, never double-counts.
+    cache.put(make_entry("dc", pad=2000))
+    assert len(cache) == 2
+    assert cache.total_bytes == 2 * one
+
+
+def test_shared_keeps_one_oversized_entry():
+    cache = SharedComponentCache(max_bytes=1)
+    cache.put(make_entry("dx", pad=500))
+    assert len(cache) == 1  # a single over-budget entry must not thrash
+
+
+# -- shared tier: disk spill -------------------------------------------------
+
+
+def test_spill_round_trip(tmp_path, lib):
+    ns = "libX/abcd"
+    writer = SharedComponentCache(spill_dir=str(tmp_path))
+    entry = make_entry("deadbeef", library=lib)
+    writer.put(entry, namespace=ns)
+    files = list(tmp_path.glob(f"*{SPILL_SUFFIX}"))
+    assert len(files) == 1
+    assert counters()["serve.shared_cache.spill_writes"] == 1
+
+    # A fresh cache over the same spill_dir = a server restart.
+    obs.set_registry(obs.MetricsRegistry())
+    reader = SharedComponentCache(spill_dir=str(tmp_path))
+    got = reader.get("deadbeef", namespace=ns, library=lib)
+    assert got is not None
+    assert entry_payload(got) == entry_payload(entry)
+    assert counters()["serve.shared_cache.spill_loads"] == 1
+
+    # The load adopted it into memory: the next get never touches disk.
+    assert reader.get("deadbeef", namespace=ns, library=lib) is not None
+    assert counters()["serve.shared_cache.spill_loads"] == 1
+    # A different namespace never sees it.
+    assert reader.get("deadbeef", namespace="other", library=lib) is None
+
+
+@pytest.mark.parametrize(
+    "content",
+    [
+        b"not a pickle at all",
+        pickle.dumps({"schema": "repro.compose.component/0", "payload": {}}),
+    ],
+    ids=["garbage", "stale-schema"],
+)
+def test_damaged_spill_discarded(tmp_path, lib, content):
+    cache = SharedComponentCache(spill_dir=str(tmp_path))
+    path = cache._spill_path("ns", "feedface")
+    with open(path, "wb") as fh:
+        fh.write(content)
+    assert cache.get("feedface", namespace="ns", library=lib) is None
+    assert not os.path.exists(path)
+    assert counters()["serve.shared_cache.spill_discards"] == 1
+
+
+def test_truncated_spill_discarded(tmp_path, lib):
+    cache = SharedComponentCache(spill_dir=str(tmp_path))
+    blob = entry_blob(make_entry("cafe", library=lib))
+    path = cache._spill_path("ns", "cafe")
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])
+    assert cache.get("cafe", namespace="ns", library=lib) is None
+    assert not os.path.exists(path)
+
+
+def test_digest_mismatch_spill_discarded(tmp_path, lib):
+    """A valid blob under the wrong file name is foreign content: drop it."""
+    cache = SharedComponentCache(spill_dir=str(tmp_path))
+    blob = entry_blob(make_entry("aaaa", library=lib))
+    path = cache._spill_path("ns", "bbbb")
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    assert cache.get("bbbb", namespace="ns", library=lib) is None
+    assert not os.path.exists(path)
+    assert counters()["serve.shared_cache.spill_discards"] == 1
+
+
+def test_unknown_cell_spill_discarded(tmp_path, lib):
+    """An entry naming a cell the live library lacks decodes to nothing."""
+    entry = make_entry("beef", library=lib)
+    blob = entry_blob(entry)
+    wrapper = pickle.loads(blob)
+    wrapper["payload"]["chosen"][0]["cell"] = "NO_SUCH_CELL"
+    cache = SharedComponentCache(spill_dir=str(tmp_path))
+    path = cache._spill_path("ns", "beef")
+    with open(path, "wb") as fh:
+        fh.write(pickle.dumps(wrapper))
+    assert cache.get("beef", namespace="ns", library=lib) is None
+    assert not os.path.exists(path)
+
+
+# -- cross-session replay ----------------------------------------------------
+
+
+def test_cross_session_hit(lib):
+    """A component solved under session A replays for session B."""
+    shared = SharedComponentCache()
+    a = CompositionCache(shared=shared, namespace="ns", library=lib)
+    b = CompositionCache(shared=shared, namespace="ns", library=lib)
+    entry = make_entry("d1", library=lib)
+    a.put(entry)
+
+    got = b.get("d1")
+    assert got is entry
+    assert counters()["serve.shared_cache.hits"] == 1
+
+    # B adopted the entry locally: the repeat lookup never leaves B.
+    assert b.get("d1") is entry
+    assert counters()["serve.shared_cache.hits"] == 1
+    assert counters()["compose.cache.hits"] == 1
+
+    # A different namespace (library/die/config fingerprint) is isolated.
+    c = CompositionCache(shared=shared, namespace="other", library=lib)
+    assert c.get("d1") is None
+
+
+def test_cache_namespace_partitions_by_config():
+    from repro.bench import generate_design, preset
+    from repro.library import default_library
+
+    bundle = generate_design(preset("D1", scale=0.05), default_library())
+    again = generate_design(preset("D1", scale=0.05), default_library())
+    cfg = ComposerConfig()
+    ns = cache_namespace(bundle.design, cfg)
+    assert ns == cache_namespace(again.design, cfg)
+    assert ns.startswith(bundle.design.library.name + "/")
+
+    other = ComposerConfig()
+    other.passes = cfg.passes + 1
+    assert cache_namespace(bundle.design, other) != ns
+
+    bigger = generate_design(preset("D1", scale=0.5), default_library())
+    assert cache_namespace(bigger.design, cfg) != ns  # different die
+
+
+# -- local tier: the CompositionCache budget regression ----------------------
+
+
+def test_composition_cache_byte_budget(lib):
+    one = len(entry_blob(make_entry("e0", pad=500)))
+    cache = CompositionCache(max_components=100, max_bytes=3 * one + 16)
+    for i in range(6):
+        cache.put(make_entry(f"e{i}", pad=500))
+    assert cache.total_bytes <= cache.max_bytes
+    assert len(cache.components) == 3
+    # LRU discipline: the newest entries survive, in insertion order.
+    assert list(cache.components) == ["e3", "e4", "e5"]
+    # The byte ledger matches the surviving entries exactly.
+    assert cache.total_bytes == sum(
+        cache._entry_bytes[d] for d in cache.components
+    )
+    assert counters()["compose.cache.evictions"] == 3
+
+
+def test_composition_cache_entry_budget():
+    cache = CompositionCache(max_components=2)
+    for i in range(4):
+        cache.put(make_entry(f"e{i}"))
+    assert list(cache.components) == ["e2", "e3"]
+
+
+def test_composition_cache_refresh_keeps_hot_entries():
+    cache = CompositionCache(max_components=2)
+    cache.put(make_entry("cold"))
+    cache.put(make_entry("hot"))
+    assert cache.get("cold") is not None  # refresh: "hot" is now LRU
+    cache.put(make_entry("new"))
+    assert list(cache.components) == ["cold", "new"]
+
+
+def test_composition_cache_bounded_by_default():
+    cache = CompositionCache()
+    assert 0 < cache.max_components < 10**9
+    assert 0 < cache.max_bytes < 10**12

@@ -1,0 +1,96 @@
+"""Serving concurrently must be bit-identical to serving serially.
+
+The same deterministic global job list — a priming compose plus seeded
+move storms per design — runs once through one client lane and once
+through eight concurrent lanes, each time against fresh worlds.  The
+per-design end states must match exactly: placement signatures (which
+cell, which libcell, which coordinates — the grouping outcome) and
+timing signatures (per-endpoint slacks), both via the
+:mod:`repro.check.oracles` used by ``repro check``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import obs
+from repro.check.oracles import placement_signature, timing_signature
+from repro.serve import ComposeServer, DesignRegistry, JobRequest, SharedComponentCache, drive
+
+SCALE = 0.12
+STORMS = 3
+
+
+def job_list(names: list[str]) -> list[JobRequest]:
+    jobs = [
+        JobRequest(kind="compose", design=n, id=f"prime-{n}") for n in names
+    ]
+    for k in range(STORMS):
+        for n in names:
+            jobs.append(
+                JobRequest(
+                    kind="eco",
+                    design=n,
+                    params={
+                        "seed": 40 + k,
+                        "moves": 2,
+                        "radius": 3.0,
+                        # Last storm also reports wire-level digests.
+                        "signatures": k == STORMS - 1,
+                    },
+                    id=f"eco-{n}-{k}",
+                )
+            )
+    return jobs
+
+
+def run_workload(clients: int) -> tuple[dict, dict]:
+    """Fresh worlds, fresh metrics; returns (end states, responses)."""
+    obs.set_registry(obs.MetricsRegistry())
+    registry = DesignRegistry(shared_cache=SharedComponentCache())
+    names = ["D1-a", "D1-b"]
+    for n in names:
+        registry.add_preset(n, "D1", scale=SCALE)
+    server = ComposeServer(registry, queue_depth=64)
+
+    async def main():
+        await server.start()
+        responses, _ = await drive(server, job_list(names), clients=clients)
+        await server.aclose()
+        return responses
+
+    responses = asyncio.run(main())
+    assert all(r.ok for r in responses.values()), [
+        (r.id, r.error_code, r.error) for r in responses.values() if not r.ok
+    ]
+    states = {
+        n: (
+            sorted(placement_signature(registry.session(n).design).items()),
+            sorted(timing_signature(registry.session(n).timer).items()),
+        )
+        for n in names
+    }
+    return states, responses
+
+
+def test_concurrent_serving_is_bit_identical():
+    serial_states, serial_responses = run_workload(clients=1)
+    concurrent_states, concurrent_responses = run_workload(clients=8)
+
+    for name in serial_states:
+        assert serial_states[name] == concurrent_states[name], name
+
+    # The wire-level digests of the final storm agree too — what a
+    # remote client would use to assert bit-identity.
+    for rid, serial in serial_responses.items():
+        if "placement_digest" in serial.result:
+            concurrent = concurrent_responses[rid]
+            assert serial.result["placement_digest"] == concurrent.result["placement_digest"]
+            assert serial.result["timing_digest"] == concurrent.result["timing_digest"]
+
+
+def test_replicas_converge_to_the_same_state():
+    """Identical worlds fed identical job sequences end identical — the
+    cross-design shared-cache replay changes nothing observable."""
+    states, _ = run_workload(clients=4)
+    assert states["D1-a"] == states["D1-b"]
